@@ -1,0 +1,294 @@
+package speedlight
+
+// The benchmarks below regenerate, at reduced scale, every table and
+// figure of the paper's evaluation (run `cmd/experiments` for the
+// full-size versions), plus micro-benchmarks of the protocol's hot
+// paths. Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"testing"
+	"time"
+
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/emunet"
+	"speedlight/internal/experiments"
+	"speedlight/internal/packet"
+	"speedlight/internal/routing"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+	"speedlight/internal/wire"
+)
+
+// BenchmarkTable1Resources regenerates Table 1: data-plane resource
+// usage of the three Speedlight variants.
+func BenchmarkTable1Resources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1(64)
+		if len(t.Rows) != 7 {
+			b.Fatal("table shape")
+		}
+	}
+}
+
+// BenchmarkFig9Synchronization regenerates Figure 9: synchronization
+// CDFs of snapshots (with and without channel state) versus polling.
+func BenchmarkFig9Synchronization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(experiments.Fig9Config{Snapshots: 10, Seed: int64(i + 1)})
+		if r.SwitchState.N() == 0 || r.Polling.N() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFig10SnapshotRate regenerates one point of Figure 10: the
+// maximum sustained snapshot rate of a 16-port router.
+func BenchmarkFig10SnapshotRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(experiments.Fig10Config{
+			PortCounts:    []int{16},
+			TrialDuration: 20 * sim.Millisecond,
+			Seed:          int64(i + 1),
+		})
+		if r.Points[0].MaxRateHz <= 0 {
+			b.Fatal("no rate found")
+		}
+	}
+}
+
+// BenchmarkFig11Scale regenerates Figure 11: synchronization versus
+// network size up to 10,000 routers.
+func BenchmarkFig11Scale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(experiments.Fig11Config{
+			RouterCounts:         []int{10, 1000, 10000},
+			Trials:               20,
+			CalibrationSnapshots: 30,
+			Seed:                 int64(i + 1),
+		})
+		if len(r.Points) != 3 {
+			b.Fatal("points")
+		}
+	}
+}
+
+// BenchmarkFig12LoadBalance regenerates Figure 12: uplink load-balance
+// standard deviation under the three workloads, two balancers and two
+// measurement methods.
+func BenchmarkFig12LoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(experiments.Fig12Config{Samples: 20, Seed: int64(i + 1)})
+		if len(r.Workloads) != 3 {
+			b.Fatal("workloads")
+		}
+	}
+}
+
+// BenchmarkFig13Correlation regenerates Figure 13: pairwise egress-port
+// correlation analysis under GraphX, snapshots versus polling.
+func BenchmarkFig13Correlation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13(experiments.Fig13Config{Snapshots: 30, Seed: int64(i + 1)})
+		if r.Snapshot.Matrix == nil {
+			b.Fatal("no matrix")
+		}
+	}
+}
+
+// BenchmarkAblationInitiators regenerates the multi- vs
+// single-initiator design ablation.
+func BenchmarkAblationInitiators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationInitiators(experiments.AblationConfig{
+			Snapshots: 15, Seed: int64(i + 1),
+		})
+		if r.Multi.N() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkAblationClocks regenerates the clock-discipline ablation.
+func BenchmarkAblationClocks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationClocks(experiments.AblationConfig{
+			Snapshots: 15, Seed: int64(i + 1),
+		})
+		if r.PTP.N() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkAblationNotifBuffers regenerates the socket-buffer ablation.
+func BenchmarkAblationNotifBuffers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationNotifBuffers(experiments.AblationConfig{Seed: int64(i + 1)})
+		if len(r.Points) != 4 {
+			b.Fatal("points")
+		}
+	}
+}
+
+// BenchmarkAblationPartialDeployment regenerates the Section 10
+// partial-deployment ablation.
+func BenchmarkAblationPartialDeployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationPartialDeployment(experiments.AblationConfig{
+			Snapshots: 10, Seed: int64(i + 1),
+		})
+		if len(r.Points) != 3 {
+			b.Fatal("points")
+		}
+	}
+}
+
+// BenchmarkUnitOnPacket measures the per-packet cost of the snapshot
+// state machine itself — the protocol's inner loop.
+func BenchmarkUnitOnPacket(b *testing.B) {
+	u, err := core.NewUnit(core.Config{
+		MaxID: 256, WrapAround: true, ChannelState: true,
+		NumChannels: 2, CPChannel: 1,
+	}, &counters.PacketCount{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := &packet.Packet{
+		HasSnap: true,
+		Snap:    packet.SnapshotHeader{Type: packet.TypeData},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt.Snap.ID = uint32((uint64(i) / 1024) % 256) // epoch advances every 1024 packets
+		u.OnPacket(pkt, 0)
+	}
+}
+
+// BenchmarkSwitchPipeline measures a full ingress+egress traversal of
+// one emulated switch, including forwarding lookup and balancing.
+func BenchmarkSwitchPipeline(b *testing.B) {
+	sw, err := dataplane.New(dataplane.Config{
+		Node: 0, NumPorts: 8, MaxID: 256, WrapAround: true,
+		Metrics: func(dataplane.UnitID) core.Metric { return &counters.PacketCount{} },
+		FIB: &routing.FIB{
+			Node: 0, Version: 1,
+			NextHops: map[topology.HostID][]int{10: {4, 5, 6, 7}},
+		},
+		Balancer: routing.ECMP{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := &packet.Packet{DstHost: 10, SrcPort: uint16(i), Size: 1000}
+		res := sw.Ingress(pkt, i%4, 0)
+		sw.Egress(pkt, res.EgressPort, 0)
+		if i%512 == 0 {
+			for {
+				if _, ok := sw.PopNotif(); !ok {
+					break
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkHeaderCodec measures the snapshot header wire codec.
+func BenchmarkHeaderCodec(b *testing.B) {
+	h := packet.SnapshotHeader{Type: packet.TypeData, ID: 123456, Channel: 17}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := h.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out packet.SnapshotHeader
+		if err := out.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadeSnapshot measures one end-to-end snapshot round on the
+// public API: schedule, initiate at every switch, complete, assemble.
+func BenchmarkFacadeSnapshot(b *testing.B) {
+	net, err := New(Config{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		net.Send(0, 3, 1000, uint16(i), 80)
+	}
+	net.Run(time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulationThroughput measures the discrete-event emulator's
+// packet throughput: one full switch traversal (ingress, forwarding,
+// queueing, egress, delivery) per packet across the testbed fabric.
+func BenchmarkEmulationThroughput(b *testing.B) {
+	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 3,
+		HostLinkLatency:   sim.Microsecond,
+		FabricLinkLatency: sim.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := emunet.New(emunet.Config{Topo: ls.Topology, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.InjectFromHost(0, &packet.Packet{DstHost: 3, SrcPort: uint16(i), Proto: 6, Size: 1000})
+		if i%1024 == 1023 {
+			n.RunFor(sim.Millisecond)
+		}
+	}
+	n.RunFor(10 * sim.Millisecond)
+}
+
+// BenchmarkUDPSnapshot measures one complete snapshot round over the
+// real UDP deployment: initiation datagrams out, result datagrams back,
+// global assembly.
+func BenchmarkUDPSnapshot(b *testing.B) {
+	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 3,
+		HostLinkLatency:   sim.Microsecond,
+		FabricLinkLatency: sim.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := wire.Deploy(wire.Config{Topo: ls.Topology})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, done, err := d.TakeSnapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			b.Fatal("snapshot timed out")
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Command speedlight runs a synchronized-network-snapshot campaign on
+// an emulated leaf-spine fabric and prints each assembled global
+// snapshot: its synchronization, consistency, and per-unit values.
+//
+// Usage:
+//
+//	speedlight -leaves 2 -spines 2 -hosts 3 -snapshots 10 -metric packets
+//	speedlight -metric ewma -balancer flowlet -workload hadoop
+//	speedlight -channel-state -workload memcache -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"speedlight/internal/emunet"
+	"speedlight/internal/export"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+	"speedlight/internal/workload"
+
+	"speedlight"
+)
+
+func main() {
+	var (
+		leaves    = flag.Int("leaves", 2, "leaf switches")
+		spines    = flag.Int("spines", 2, "spine switches")
+		hosts     = flag.Int("hosts", 3, "hosts per leaf")
+		metric    = flag.String("metric", "packets", "snapshot target: packets, bytes, ewma, queue")
+		balancer  = flag.String("balancer", "ecmp", "load balancer: ecmp, flowlet")
+		chanState = flag.Bool("channel-state", false, "record in-flight packets (channel state)")
+		snapshots = flag.Int("snapshots", 10, "snapshots to take")
+		interval  = flag.Duration("interval", 2*time.Millisecond, "virtual time between snapshots")
+		wl        = flag.String("workload", "uniform", "traffic: uniform, hadoop, graphx, memcache, trace, none")
+		tracePath = flag.String("trace", "", "trace CSV for -workload trace (time_us,src,dst,src_port,dst_port,size,cos)")
+		seed      = flag.Int64("seed", 1, "randomness seed")
+		verbose   = flag.Bool("verbose", false, "print every unit value")
+		csvPath   = flag.String("csv", "", "write all snapshot values to this CSV file")
+	)
+	flag.Parse()
+
+	cfg := speedlight.Config{
+		Fabric:       speedlight.Fabric{Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts},
+		ChannelState: *chanState,
+		Seed:         *seed,
+	}
+	switch *metric {
+	case "packets":
+		cfg.Metric = speedlight.PacketCount
+	case "bytes":
+		cfg.Metric = speedlight.ByteCount
+	case "ewma":
+		cfg.Metric = speedlight.EWMAInterarrival
+	case "queue":
+		cfg.Metric = speedlight.QueueDepth
+	default:
+		fatalf("unknown metric %q", *metric)
+	}
+	switch *balancer {
+	case "ecmp":
+		cfg.Balancer = speedlight.ECMP
+	case "flowlet":
+		cfg.Balancer = speedlight.Flowlet
+	default:
+		fatalf("unknown balancer %q", *balancer)
+	}
+
+	net, err := speedlight.New(cfg)
+	if err != nil {
+		fatalf("building network: %v", err)
+	}
+
+	if app := buildWorkload(*wl, *tracePath, net); app != nil {
+		app.Start()
+		defer app.Stop()
+	}
+	net.Run(2 * time.Millisecond) // warm up
+
+	fmt.Printf("speedlight: %d leaves, %d spines, %d hosts/leaf, metric=%s, balancer=%s, channel-state=%v\n",
+		*leaves, *spines, *hosts, *metric, *balancer, *chanState)
+
+	for i := 0; i < *snapshots; i++ {
+		net.Run(*interval)
+		snap, err := net.Snapshot()
+		if err != nil {
+			fatalf("snapshot %d: %v", i+1, err)
+		}
+		var total uint64
+		for _, v := range snap.Values {
+			total += v.Value
+		}
+		fmt.Printf("snapshot %3d: sync=%8.1fus consistent=%-5v units=%d total=%d\n",
+			snap.ID, float64(snap.Sync.Nanoseconds())/1000, snap.Consistent, len(snap.Values), total)
+		if *verbose {
+			for _, v := range snap.Values {
+				fmt.Printf("    sw%d port%d %-7s = %d (consistent=%v)\n",
+					v.Switch, v.Port, v.Direction, v.Value, v.Consistent)
+			}
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatalf("creating %s: %v", *csvPath, err)
+		}
+		if err := export.SnapshotsCSV(f, net.Inner().Snapshots()); err != nil {
+			fatalf("writing csv: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing csv: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+// buildWorkload wires a traffic generator to the facade's inner
+// emulation via the shared host ID space.
+func buildWorkload(name, tracePath string, net *speedlight.Network) workload.App {
+	inner, hosts := innerOf(net)
+	if inner == nil {
+		return nil
+	}
+	switch name {
+	case "none":
+		return nil
+	case "uniform":
+		return &workload.Uniform{Net: inner, Hosts: hosts}
+	case "hadoop":
+		return &workload.Terasort{Net: inner, Mappers: hosts, Reducers: hosts}
+	case "graphx":
+		return &workload.PageRank{Net: inner, Workers: hosts[1:]}
+	case "memcache":
+		return &workload.Memcache{Net: inner, Clients: hosts[:1], Servers: hosts[1:]}
+	case "trace":
+		if tracePath == "" {
+			fatalf("-workload trace requires -trace <file>")
+		}
+		f, err := os.Open(tracePath)
+		if err != nil {
+			fatalf("opening trace: %v", err)
+		}
+		events, err := workload.LoadTraceCSV(f)
+		f.Close()
+		if err != nil {
+			fatalf("parsing trace: %v", err)
+		}
+		return &workload.Replay{Net: inner, Events: events, Loop: 2 * sim.Millisecond}
+	default:
+		fatalf("unknown workload %q", name)
+		return nil
+	}
+}
+
+// innerOf exposes the facade's emulation for workload attachment.
+func innerOf(net *speedlight.Network) (*emunet.Network, []topology.HostID) {
+	inner := net.Inner()
+	var hosts []topology.HostID
+	for _, h := range inner.Topo().Hosts {
+		hosts = append(hosts, h.ID)
+	}
+	return inner, hosts
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

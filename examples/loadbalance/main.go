@@ -1,0 +1,148 @@
+// Loadbalance answers the paper's opening question — "is my load
+// balancing protocol balancing the load?" — the way Section 8.3 does:
+// it runs a Hadoop-style shuffle over the fabric twice, once with ECMP
+// and once with flowlet switching, snapshots the EWMA of packet
+// interarrival time on every uplink, and compares the standard
+// deviation across each leaf's uplinks. The same analysis is repeated
+// with traditional asynchronous counter polling, to show why
+// unsynchronized measurements cannot answer the question.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/emunet"
+	"speedlight/internal/polling"
+	"speedlight/internal/routing"
+	"speedlight/internal/sim"
+	"speedlight/internal/stats"
+	"speedlight/internal/topology"
+	"speedlight/internal/workload"
+)
+
+func main() {
+	for _, balancer := range []string{"ecmp", "flowlet"} {
+		snap, poll := measure(balancer)
+		fmt.Printf("%-8s  snapshots: median stddev %6.2fµs  p90 %6.2fµs   (n=%d)\n",
+			balancer, snap.Median(), snap.Quantile(0.9), snap.N())
+		fmt.Printf("%-8s  polling:   median stddev %6.2fµs  p90 %6.2fµs   (n=%d)\n",
+			balancer, poll.Median(), poll.Quantile(0.9), poll.N())
+	}
+	fmt.Println("\nlower stddev = better balance; snapshots measure it at single instants,")
+	fmt.Println("polling smears each reading across milliseconds of unrelated instants.")
+}
+
+// measure runs the shuffle under one balancer and returns snapshot- and
+// polling-based imbalance distributions.
+func measure(balancer string) (snapCDF, pollCDF *stats.CDF) {
+	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 3,
+		HostLinkLatency:   sim.Microsecond,
+		FabricLinkLatency: sim.Microsecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := emunet.Config{
+		Topo:  ls.Topology,
+		Seed:  7,
+		MaxID: 256, WrapAround: true,
+		Metrics: func(net *emunet.Network, id dataplane.UnitID) core.Metric {
+			if id.Dir == dataplane.Egress {
+				eng := net.Engine()
+				return counters.NewEWMAInterarrival(func() int64 { return int64(eng.Now()) })
+			}
+			return &counters.PacketCount{}
+		},
+	}
+	if balancer == "flowlet" {
+		cfg.NewBalancer = func(_ topology.NodeID, r *rand.Rand) routing.Balancer {
+			return routing.NewFlowlet(100*sim.Microsecond, r)
+		}
+	}
+	net, err := emunet.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var hosts []topology.HostID
+	for _, h := range ls.Hosts {
+		hosts = append(hosts, h.ID)
+	}
+	shuffle := &workload.Terasort{Net: net, Mappers: hosts, Reducers: hosts}
+	shuffle.Start()
+	defer shuffle.Stop()
+	net.RunFor(5 * sim.Millisecond)
+
+	// The uplink egress units of each leaf.
+	var groups [][]dataplane.UnitID
+	var flat []dataplane.UnitID
+	for _, leaf := range ls.Leaves {
+		var g []dataplane.UnitID
+		for _, port := range ls.UplinkPorts(leaf) {
+			g = append(g, dataplane.UnitID{Node: leaf, Port: port, Dir: dataplane.Egress})
+		}
+		groups = append(groups, g)
+		flat = append(flat, g...)
+	}
+
+	poller := polling.New(net, polling.Config{})
+	var snapStd, pollStd []float64
+	var ids []uint64
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		net.Engine().After(sim.Millisecond, func() {
+			if id, err := net.ScheduleSnapshot(net.Engine().Now().Add(200 * sim.Microsecond)); err == nil {
+				ids = append(ids, id)
+			}
+			poller.PollAll(flat, func(s []polling.Sample) {
+				byUnit := map[dataplane.UnitID]float64{}
+				for _, smp := range s {
+					byUnit[smp.Unit] = float64(smp.Value) / 1000
+				}
+				pollStd = append(pollStd, groupStddev(groups, byUnit)...)
+			})
+		})
+		net.RunFor(sim.Millisecond)
+	}
+	net.RunFor(50 * sim.Millisecond)
+
+	byID := map[uint64]bool{}
+	for _, g := range net.Snapshots() {
+		if byID[g.ID] {
+			continue
+		}
+		byID[g.ID] = true
+		byUnit := map[dataplane.UnitID]float64{}
+		for _, u := range flat {
+			if v, ok := g.Value(u); ok {
+				byUnit[u] = float64(v) / 1000
+			}
+		}
+		snapStd = append(snapStd, groupStddev(groups, byUnit)...)
+	}
+	return stats.NewCDF(snapStd), stats.NewCDF(pollStd)
+}
+
+func groupStddev(groups [][]dataplane.UnitID, values map[dataplane.UnitID]float64) []float64 {
+	var out []float64
+	for _, g := range groups {
+		var xs []float64
+		for _, u := range g {
+			if v, ok := values[u]; ok {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == len(g) {
+			out = append(out, stats.PopStddev(xs))
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module speedlight
+
+go 1.22

@@ -1,0 +1,169 @@
+// Package analysis turns sequences of assembled global snapshots into
+// the whole-network answers the paper's Section 2.2 motivates: load
+// imbalance across port groups, correlation of per-port behavior,
+// concurrency of load, and rates derived from cumulative counters.
+//
+// Everything operates on observer.GlobalSnapshot values, so the same
+// analyses run over the simulator, the live goroutine runtime, and the
+// UDP deployment.
+package analysis
+
+import (
+	"sort"
+
+	"speedlight/internal/dataplane"
+	"speedlight/internal/observer"
+	"speedlight/internal/stats"
+)
+
+// bySchedule orders snapshots by their scheduling time (assembly order
+// can differ when retries interleave).
+func bySchedule(snaps []*observer.GlobalSnapshot) []*observer.GlobalSnapshot {
+	out := make([]*observer.GlobalSnapshot, len(snaps))
+	copy(out, snaps)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].ScheduledAt != out[b].ScheduledAt {
+			return out[a].ScheduledAt < out[b].ScheduledAt
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// UnitSeries extracts, for each unit, its consistent snapshot values in
+// schedule order. Snapshots missing a consistent value for any of the
+// units are skipped entirely, keeping the series aligned.
+func UnitSeries(snaps []*observer.GlobalSnapshot, units []dataplane.UnitID) [][]float64 {
+	series := make([][]float64, len(units))
+	for _, g := range bySchedule(snaps) {
+		row := make([]float64, len(units))
+		ok := true
+		for i, u := range units {
+			v, have := g.Value(u)
+			if !have {
+				ok = false
+				break
+			}
+			row[i] = float64(v)
+		}
+		if !ok {
+			continue
+		}
+		for i := range units {
+			series[i] = append(series[i], row[i])
+		}
+	}
+	return series
+}
+
+// Imbalance computes, for every snapshot and every group of units, the
+// population standard deviation of the group's values scaled by scale
+// (e.g. 1e-3 for ns -> µs), and returns the distribution — the
+// Section 8.3 load-balance analysis. Groups with any missing value at
+// an instant are skipped at that instant.
+func Imbalance(snaps []*observer.GlobalSnapshot, groups [][]dataplane.UnitID, scale float64) *stats.CDF {
+	return stats.NewCDF(ImbalanceSamples(snaps, groups, scale))
+}
+
+// ImbalanceSamples returns the raw per-instant, per-group standard
+// deviations, for callers that pool samples across runs before building
+// a distribution.
+func ImbalanceSamples(snaps []*observer.GlobalSnapshot, groups [][]dataplane.UnitID, scale float64) []float64 {
+	var out []float64
+	for _, g := range bySchedule(snaps) {
+		for _, group := range groups {
+			xs := make([]float64, 0, len(group))
+			for _, u := range group {
+				v, ok := g.Value(u)
+				if !ok {
+					break
+				}
+				xs = append(xs, float64(v)*scale)
+			}
+			if len(xs) == len(group) && len(xs) > 1 {
+				out = append(out, stats.PopStddev(xs))
+			}
+		}
+	}
+	return out
+}
+
+// Correlate builds per-unit series from the snapshots and returns their
+// pairwise Spearman correlation matrix — the Section 8.4 analysis.
+func Correlate(snaps []*observer.GlobalSnapshot, units []dataplane.UnitID) (*stats.CorrMatrix, error) {
+	return stats.NewCorrMatrix(UnitSeries(snaps, units))
+}
+
+// ConcurrentLoad returns, per snapshot, how many of the given units
+// were at or above the threshold in the same instant — the "how much of
+// my network is concurrently loaded?" question of Section 1.
+func ConcurrentLoad(snaps []*observer.GlobalSnapshot, units []dataplane.UnitID, threshold uint64) *stats.CDF {
+	var out []float64
+	for _, g := range bySchedule(snaps) {
+		loaded := 0
+		for _, u := range units {
+			if v, ok := g.Value(u); ok && v >= threshold {
+				loaded++
+			}
+		}
+		out = append(out, float64(loaded))
+	}
+	return stats.NewCDF(out)
+}
+
+// RatePoint is a derived rate over one inter-snapshot interval.
+type RatePoint struct {
+	// At is the midpoint of the interval, in virtual nanoseconds.
+	At int64
+	// PerSecond is the counter delta divided by the interval.
+	PerSecond float64
+}
+
+// Rates converts a cumulative counter's snapshot sequence into rates:
+// consecutive consistent values divided by the time between the
+// snapshots' schedules. Because the cuts are causally consistent, the
+// deltas are exact event counts for the intervals — something
+// asynchronous polling cannot provide.
+func Rates(snaps []*observer.GlobalSnapshot, unit dataplane.UnitID) []RatePoint {
+	ordered := bySchedule(snaps)
+	var out []RatePoint
+	var prevVal uint64
+	var prevAt int64
+	have := false
+	for _, g := range ordered {
+		v, ok := g.Value(unit)
+		if !ok {
+			continue
+		}
+		at := int64(g.ScheduledAt)
+		if have && at > prevAt {
+			dt := float64(at-prevAt) / 1e9
+			out = append(out, RatePoint{
+				At:        (at + prevAt) / 2,
+				PerSecond: float64(v-prevVal) / dt,
+			})
+		}
+		prevVal, prevAt, have = v, at, true
+	}
+	return out
+}
+
+// Conserved checks a two-unit conservation claim over a snapshot
+// sequence: every consistent snapshot's value at a must be at least the
+// value at b (a is upstream of b on every path), and both must be
+// monotone. It returns the first violating snapshot ID, or 0.
+func Conserved(snaps []*observer.GlobalSnapshot, a, b dataplane.UnitID) uint64 {
+	var lastA, lastB uint64
+	for _, g := range bySchedule(snaps) {
+		va, okA := g.Value(a)
+		vb, okB := g.Value(b)
+		if !okA || !okB {
+			continue
+		}
+		if va < vb || va < lastA || vb < lastB {
+			return g.ID
+		}
+		lastA, lastB = va, vb
+	}
+	return 0
+}

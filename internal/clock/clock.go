@@ -1,0 +1,117 @@
+// Package clock models per-device clocks synchronized by a protocol such
+// as PTP, as used by Speedlight control planes to agree on snapshot
+// initiation times.
+//
+// A Clock tracks an offset from true (simulation) time plus a frequency
+// error (drift). A periodic synchronization event re-disciplines the
+// clock, drawing a fresh residual offset and drift from configured
+// distributions. The defaults are calibrated to the paper's setting: PTP
+// within a rack-scale deployment leaves residual offsets on the order of
+// single microseconds, while a good LAN NTP accuracy is about 1 ms
+// (Section 2.1).
+package clock
+
+import (
+	"math/rand"
+
+	"speedlight/internal/dist"
+	"speedlight/internal/sim"
+)
+
+// Config describes the discipline quality of a synchronized clock.
+type Config struct {
+	// SyncInterval is the time between synchronization rounds in true
+	// time. ptp4l defaults to roughly one round per second.
+	SyncInterval sim.Duration
+	// ResidualOffset is the offset from true time, in nanoseconds,
+	// remaining immediately after a synchronization round.
+	ResidualOffset dist.Dist
+	// DriftPPM is the frequency error drawn after each synchronization
+	// round, in parts per million. Commodity oscillators are within
+	// tens of ppm; a disciplined clock's effective drift is far lower.
+	DriftPPM dist.Dist
+}
+
+// PTP returns a configuration representative of ptp4l/phc2sys on a
+// datacenter LAN: ~1 s sync interval, residual offsets of a few
+// microseconds, and sub-ppm disciplined drift.
+func PTP() Config {
+	return Config{
+		SyncInterval:   1 * sim.Second,
+		ResidualOffset: dist.Normal{Mu: 0, Sigma: 1500}, // 1.5 µs
+		DriftPPM:       dist.Normal{Mu: 0, Sigma: 0.5},
+	}
+}
+
+// NTPLAN returns a configuration representative of good LAN NTP: ~1 ms
+// accuracy (the paper's Section 2.1 comparison point).
+func NTPLAN() Config {
+	return Config{
+		SyncInterval:   16 * sim.Second,
+		ResidualOffset: dist.Normal{Mu: 0, Sigma: 500_000}, // 0.5 ms
+		DriftPPM:       dist.Normal{Mu: 0, Sigma: 20},
+	}
+}
+
+// Perfect returns a configuration with no offset and no drift, useful in
+// tests that want to isolate protocol behaviour from clock error.
+func Perfect() Config {
+	return Config{
+		SyncInterval:   1 * sim.Second,
+		ResidualOffset: dist.Constant{V: 0},
+		DriftPPM:       dist.Constant{V: 0},
+	}
+}
+
+// Clock is one device's local clock. It is driven in true (simulation)
+// time: the owner calls Sync at each synchronization round and Read /
+// TrueAtLocal to convert between local and true time.
+type Clock struct {
+	cfg      Config
+	r        *rand.Rand
+	offsetNS float64  // offset from true time at lastSync, ns
+	driftPPM float64  // current frequency error
+	lastSync sim.Time // true time of last discipline round
+}
+
+// New creates a clock with the given configuration and randomness. The
+// initial offset and drift are drawn as if a synchronization round had
+// just completed at true time 0.
+func New(cfg Config, r *rand.Rand) *Clock {
+	c := &Clock{cfg: cfg, r: r}
+	c.Sync(0)
+	return c
+}
+
+// Sync runs a synchronization round at the given true time, redrawing
+// the residual offset and drift.
+func (c *Clock) Sync(trueNow sim.Time) {
+	c.offsetNS = c.cfg.ResidualOffset.Sample(c.r)
+	c.driftPPM = c.cfg.DriftPPM.Sample(c.r)
+	c.lastSync = trueNow
+}
+
+// SyncInterval returns the configured time between discipline rounds.
+func (c *Clock) SyncInterval() sim.Duration { return c.cfg.SyncInterval }
+
+// OffsetAt returns the clock's offset from true time, in nanoseconds, at
+// the given true time: offset + drift accumulated since the last sync.
+func (c *Clock) OffsetAt(trueNow sim.Time) float64 {
+	elapsed := float64(trueNow - c.lastSync)
+	return c.offsetNS + c.driftPPM*1e-6*elapsed
+}
+
+// Read returns the local clock reading at the given true time.
+func (c *Clock) Read(trueNow sim.Time) sim.Time {
+	return trueNow + sim.Time(c.OffsetAt(trueNow))
+}
+
+// TrueAtLocal returns the true time at which the local clock will read
+// localTarget, assuming no synchronization round occurs in between.
+func (c *Clock) TrueAtLocal(localTarget sim.Time) sim.Time {
+	// local = true + offset + drift*(true - lastSync)
+	// => true = (local - offset + drift*lastSync) / (1 + drift)
+	d := c.driftPPM * 1e-6
+	num := float64(localTarget) - c.offsetNS + d*float64(c.lastSync)
+	return sim.Time(num / (1 + d))
+}

@@ -1,0 +1,145 @@
+package clock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"speedlight/internal/dist"
+	"speedlight/internal/sim"
+)
+
+func TestPerfectClock(t *testing.T) {
+	c := New(Perfect(), rand.New(rand.NewSource(1)))
+	for _, tm := range []sim.Time{0, 1000, 5 * sim.Time(sim.Second)} {
+		if got := c.Read(tm); got != tm {
+			t.Errorf("Read(%d) = %d", tm, got)
+		}
+		if got := c.TrueAtLocal(tm); got != tm {
+			t.Errorf("TrueAtLocal(%d) = %d", tm, got)
+		}
+	}
+}
+
+func TestOffsetApplied(t *testing.T) {
+	cfg := Config{
+		SyncInterval:   sim.Second,
+		ResidualOffset: dist.Constant{V: 5000}, // +5 µs fast
+		DriftPPM:       dist.Constant{V: 0},
+	}
+	c := New(cfg, rand.New(rand.NewSource(1)))
+	if got := c.Read(1000); got != 6000 {
+		t.Errorf("Read = %d, want 6000", got)
+	}
+	// Local reads 5 µs ahead, so local target T is reached 5 µs early.
+	if got := c.TrueAtLocal(100_000); got != 95_000 {
+		t.Errorf("TrueAtLocal = %d, want 95000", got)
+	}
+}
+
+func TestDriftAccumulates(t *testing.T) {
+	cfg := Config{
+		SyncInterval:   sim.Second,
+		ResidualOffset: dist.Constant{V: 0},
+		DriftPPM:       dist.Constant{V: 10}, // 10 ppm fast
+	}
+	c := New(cfg, rand.New(rand.NewSource(1)))
+	// After 1 second of true time, a 10 ppm clock gained 10 µs.
+	trueNow := sim.Time(sim.Second)
+	if got := c.OffsetAt(trueNow); math.Abs(got-10_000) > 1 {
+		t.Errorf("OffsetAt(1s) = %v ns, want ~10000", got)
+	}
+	if got := c.Read(trueNow); got != trueNow+10_000 {
+		t.Errorf("Read(1s) = %d", got)
+	}
+}
+
+func TestSyncResetsOffset(t *testing.T) {
+	cfg := Config{
+		SyncInterval:   sim.Second,
+		ResidualOffset: dist.Constant{V: 100},
+		DriftPPM:       dist.Constant{V: 50},
+	}
+	c := New(cfg, rand.New(rand.NewSource(1)))
+	later := sim.Time(2 * sim.Second)
+	before := c.OffsetAt(later)
+	c.Sync(later)
+	after := c.OffsetAt(later)
+	if math.Abs(after-100) > 1e-9 {
+		t.Errorf("offset after sync = %v, want 100", after)
+	}
+	if before <= after {
+		t.Errorf("sync did not reduce accumulated offset: %v -> %v", before, after)
+	}
+}
+
+func TestTrueAtLocalInverse(t *testing.T) {
+	// Read(TrueAtLocal(x)) == x (within a nanosecond) for drifting clocks.
+	cfg := Config{
+		SyncInterval:   sim.Second,
+		ResidualOffset: dist.Normal{Mu: 0, Sigma: 2000},
+		DriftPPM:       dist.Normal{Mu: 0, Sigma: 5},
+	}
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		c := New(cfg, r)
+		local := sim.Time(r.Int63n(int64(10 * sim.Second)))
+		trueT := c.TrueAtLocal(local)
+		back := c.Read(trueT)
+		if d := int64(back - local); d < -1 || d > 1 {
+			t.Fatalf("round-trip error %d ns (local=%d)", d, local)
+		}
+	}
+}
+
+func TestPTPOffsetsAreMicrosecondScale(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var worst float64
+	for i := 0; i < 1000; i++ {
+		c := New(PTP(), r)
+		off := math.Abs(c.OffsetAt(0))
+		if off > worst {
+			worst = off
+		}
+	}
+	if worst > 10_000 { // 10 µs
+		t.Errorf("PTP residual offset %v ns too large", worst)
+	}
+	if worst < 100 { // all below 0.1 µs would be unrealistically good
+		t.Errorf("PTP residual offsets suspiciously tiny (max %v ns)", worst)
+	}
+}
+
+func TestNTPWorseThanPTP(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	spread := func(cfg Config) float64 {
+		var sum float64
+		for i := 0; i < 500; i++ {
+			c := New(cfg, r)
+			sum += math.Abs(c.OffsetAt(0))
+		}
+		return sum / 500
+	}
+	ptp := spread(PTP())
+	ntp := spread(NTPLAN())
+	if ntp < 50*ptp {
+		t.Errorf("NTP (%v) should be orders of magnitude worse than PTP (%v)", ntp, ptp)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := New(PTP(), rand.New(rand.NewSource(5)))
+	b := New(PTP(), rand.New(rand.NewSource(5)))
+	for i := sim.Time(0); i < 10; i++ {
+		if a.Read(i*1000) != b.Read(i*1000) {
+			t.Fatal("same-seed clocks diverge")
+		}
+	}
+}
+
+func TestSyncIntervalAccessor(t *testing.T) {
+	c := New(PTP(), rand.New(rand.NewSource(6)))
+	if c.SyncInterval() != sim.Second {
+		t.Errorf("SyncInterval = %d", c.SyncInterval())
+	}
+}

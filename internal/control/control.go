@@ -1,0 +1,360 @@
+// Package control implements Speedlight's per-switch control plane
+// (Section 6): it initiates snapshots at every local processing unit,
+// consumes data-plane notifications to detect snapshot completion and
+// inconsistency (Figure 7), reads snapshot values back from the data
+// plane registers, and recovers from notification drops by polling.
+//
+// The control plane is the second tier of the bipartite design: the
+// data plane guarantees consistency of what it records, while the
+// control plane fills in everything the match-action hardware cannot do
+// — tracking progress across epochs, recognizing the snapshots that
+// skipped IDs left unusable, and shipping finished values to the
+// snapshot observer.
+//
+// Like internal/core, this package is a pure state machine: the
+// emulation harness decides when notifications arrive and when timers
+// fire, passing virtual time in explicitly.
+package control
+
+import (
+	"fmt"
+	"sort"
+
+	"speedlight/internal/core"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/packet"
+	"speedlight/internal/sim"
+)
+
+// Result is one finished per-unit snapshot, as shipped to the snapshot
+// observer.
+type Result struct {
+	Unit       dataplane.UnitID
+	SnapshotID uint64
+	// Value is the recorded state (meaningful only when Consistent).
+	Value uint64
+	// Consistent is false for snapshots invalidated by skipped IDs in
+	// the channel-state variant (Figure 7) or lost to register reuse.
+	Consistent bool
+	// ReadAt is the virtual time the control plane finalized the value.
+	ReadAt sim.Time
+}
+
+// Config describes one control plane.
+type Config struct {
+	// Switch is the local data plane. Required.
+	Switch *dataplane.Switch
+	// CompletionChannels returns, for a unit, the upstream channels that
+	// gate snapshot completion in the channel-state variant. Nil (or a
+	// nil function) selects every non-CPU channel. Operators use this to
+	// remove upstream neighbors that structurally carry no traffic
+	// (Section 6, liveness).
+	CompletionChannels func(id dataplane.UnitID) []int
+	// OnResult receives finished snapshots. Required.
+	OnResult func(Result)
+}
+
+// unitState is the controller's view of one processing unit (the
+// ctrlSnapID / ctrlLastSeen / lastRead state of Figure 7).
+type unitState struct {
+	id         dataplane.UnitID
+	snapID     uint64 // ctrlSnapID, unwrapped
+	lastSeen   []uint64
+	lastRead   uint64
+	gateChans  []int
+	inconsists map[uint64]bool
+}
+
+// Plane is one switch's snapshot control plane.
+type Plane struct {
+	cfg          Config
+	channelState bool
+	maxID        uint64
+	wrap         bool
+
+	units map[dataplane.UnitID]*unitState
+	// initiated tracks the highest snapshot ID this plane has initiated,
+	// so re-initiations know what to resend.
+	initiated uint64
+}
+
+// New builds a control plane for a switch.
+func New(cfg Config) (*Plane, error) {
+	if cfg.Switch == nil {
+		return nil, fmt.Errorf("control: nil switch")
+	}
+	if cfg.OnResult == nil {
+		return nil, fmt.Errorf("control: nil OnResult")
+	}
+	swCfg := cfg.Switch.Config()
+	p := &Plane{
+		cfg:          cfg,
+		channelState: swCfg.ChannelState,
+		maxID:        uint64(swCfg.MaxID),
+		wrap:         swCfg.WrapAround,
+		units:        make(map[dataplane.UnitID]*unitState),
+	}
+	for _, id := range cfg.Switch.UnitIDs() {
+		u := cfg.Switch.Unit(id)
+		st := &unitState{
+			id:         id,
+			lastSeen:   make([]uint64, u.Config().NumChannels),
+			inconsists: make(map[uint64]bool),
+		}
+		if cfg.CompletionChannels != nil {
+			st.gateChans = cfg.CompletionChannels(id)
+		}
+		if st.gateChans == nil {
+			for ch := 0; ch < u.Config().NumChannels; ch++ {
+				if ch != u.Config().CPChannel {
+					st.gateChans = append(st.gateChans, ch)
+				}
+			}
+		}
+		p.units[id] = st
+	}
+	return p, nil
+}
+
+// Node returns the switch this plane controls.
+func (p *Plane) Node() int { return int(p.cfg.Switch.Node()) }
+
+// wrapID converts an unwrapped ID to the wire form.
+func (p *Plane) wrapID(id uint64) uint32 {
+	if p.wrap {
+		return uint32(id % p.maxID)
+	}
+	return uint32(id)
+}
+
+// unwrapID resolves a wire ID against an unwrapped reference with
+// serial-number arithmetic (forward distances below half the ID space
+// are ahead; the rest are at or behind). lastRead or the tracked ctrl
+// state serves as the reference, exactly as the paper prescribes for
+// rollback-aware comparison; the observer keeps live IDs within half
+// the space.
+func (p *Plane) unwrapID(wire uint32, ref uint64) uint64 {
+	if !p.wrap {
+		return uint64(wire)
+	}
+	delta := (uint64(wire) + p.maxID - uint64(p.wrapID(ref))) % p.maxID
+	if delta < p.maxID/2 {
+		return ref + delta
+	}
+	behind := p.maxID - delta
+	if behind > ref {
+		return 0
+	}
+	return ref - behind
+}
+
+// Initiated returns the highest snapshot ID this plane has initiated.
+func (p *Plane) Initiated() uint64 { return p.initiated }
+
+// Initiation pairs an initiation packet with the egress port whose
+// per-class FIFO queue it must traverse.
+type Initiation struct {
+	Port int
+	Pkt  *packet.Packet
+}
+
+// Initiate starts snapshot id at every local port: the CPU sends an
+// initiation message to each ingress unit (Figure 6, path 3). It
+// returns the initiation packets — one per (port, class of service)
+// FIFO channel — which the caller must deliver to the corresponding
+// egress unit through the same queues as data traffic. Duplicate or
+// stale initiations are harmless: the data plane ignores them
+// (Section 6).
+func (p *Plane) Initiate(id uint64, now sim.Time) []Initiation {
+	if id > p.initiated {
+		p.initiated = id
+	}
+	sw := p.cfg.Switch
+	var out []Initiation
+	for port := 0; port < sw.NumPorts(); port++ {
+		for _, pkt := range sw.InitiateIngress(p.wrapID(id), port, now) {
+			out = append(out, Initiation{Port: port, Pkt: pkt})
+		}
+	}
+	return out
+}
+
+// HandleNotification processes one data-plane notification, following
+// Figure 7. Duplicate notifications (no new information) are dropped
+// here, as the paper requires.
+func (p *Plane) HandleNotification(n dataplane.CPUNotification, now sim.Time) {
+	st, ok := p.units[n.Unit]
+	if !ok {
+		return
+	}
+	if p.channelState {
+		p.onNotifyCS(st, n, now)
+	} else {
+		p.onNotifyNoCS(st, n, now)
+	}
+}
+
+// onNotifyNoCS is Figure 7, lines 16-22. Without channel state a unit is
+// done with a snapshot the moment it records it; skipped epochs carry
+// the value of the next recorded one (the unit's state cannot have
+// changed in between, or a packet would have carried the intermediate
+// ID).
+func (p *Plane) onNotifyNoCS(st *unitState, n dataplane.CPUNotification, now sim.Time) {
+	current := p.unwrapID(n.NewSID, st.lastRead)
+	if current <= st.lastRead {
+		// Duplicate, or a stale value after heavy notification loss
+		// pushed the unit more than half the ID space ahead of the
+		// controller's view; Poll recovers the lost ground.
+		return
+	}
+	u := p.cfg.Switch.Unit(st.id)
+
+	// Walk downward from current to lastRead+1, inheriting values for
+	// slots that were skipped (uninitialized) or lost to notification
+	// drops.
+	type finished struct {
+		id    uint64
+		value uint64
+		ok    bool
+	}
+	var batch []finished
+	validValue, validOK := u.RegSnapshot(current)
+	batch = append(batch, finished{current, validValue, validOK})
+	for i := current - 1; i > st.lastRead; i-- {
+		if v, ok := u.RegSnapshot(i); ok {
+			validValue, validOK = v, ok
+			batch = append(batch, finished{i, v, true})
+		} else {
+			batch = append(batch, finished{i, validValue, validOK})
+		}
+	}
+	st.lastRead = current
+	st.snapID = current
+	// Ship in ascending snapshot order.
+	sort.Slice(batch, func(a, b int) bool { return batch[a].id < batch[b].id })
+	for _, f := range batch {
+		p.cfg.OnResult(Result{
+			Unit:       st.id,
+			SnapshotID: f.id,
+			Value:      f.value,
+			Consistent: f.ok,
+			ReadAt:     now,
+		})
+	}
+}
+
+// onNotifyCS is Figure 7, lines 1-15, with the skipped-ID marking made
+// precise: when a unit's snapshot ID advances, every incomplete older
+// snapshot (above the minimum last-seen) can still receive in-flight
+// packets that the hardware will fold into the *current* slot only, so
+// those older snapshots are inconsistent. The newly recorded snapshot
+// itself remains consistent — in-flight packets for it are absorbed
+// correctly.
+func (p *Plane) onNotifyCS(st *unitState, n dataplane.CPUNotification, now sim.Time) {
+	current := p.unwrapID(n.NewSID, st.snapID)
+	if current > st.snapID {
+		done := p.minGate(st)
+		for i := done + 1; i < current; i++ {
+			if i > st.lastRead {
+				st.inconsists[i] = true
+			}
+		}
+		st.snapID = current
+	}
+
+	newLS := p.unwrapID(n.NewLastSeen, st.lastSeen[n.Channel])
+	if newLS > st.lastSeen[n.Channel] {
+		st.lastSeen[n.Channel] = newLS
+		p.readThrough(st, p.minGate(st), now)
+	}
+}
+
+// minGate returns the smallest last-seen ID across the unit's
+// completion-gating channels.
+func (p *Plane) minGate(st *unitState) uint64 {
+	if len(st.gateChans) == 0 {
+		return st.snapID
+	}
+	min := uint64(1<<63 - 1)
+	for _, ch := range st.gateChans {
+		if st.lastSeen[ch] < min {
+			min = st.lastSeen[ch]
+		}
+	}
+	return min
+}
+
+// readThrough finalizes every snapshot from lastRead+1 through toRead:
+// consistent ones are read from the data plane, inconsistent ones are
+// reported as such.
+func (p *Plane) readThrough(st *unitState, toRead uint64, now sim.Time) {
+	if toRead <= st.lastRead {
+		return
+	}
+	u := p.cfg.Switch.Unit(st.id)
+	for i := st.lastRead + 1; i <= toRead; i++ {
+		res := Result{Unit: st.id, SnapshotID: i, ReadAt: now}
+		if !st.inconsists[i] {
+			if v, ok := u.RegSnapshot(i); ok {
+				res.Value = v
+				res.Consistent = true
+			}
+		}
+		delete(st.inconsists, i)
+		p.cfg.OnResult(res)
+	}
+	st.lastRead = toRead
+}
+
+// Poll proactively reads every unit's registers and processes the state
+// as if freshly notified, recovering from dropped notifications
+// (Section 6). It is safe to call at any time.
+func (p *Plane) Poll(now sim.Time) {
+	for _, id := range p.cfg.Switch.UnitIDs() {
+		st := p.units[id]
+		u := p.cfg.Switch.Unit(id)
+		if p.channelState {
+			// Synthesize one notification per channel so the last-seen
+			// view catches up alongside the snapshot ID.
+			for ch := 0; ch < u.Config().NumChannels; ch++ {
+				p.onNotifyCS(st, dataplane.CPUNotification{
+					Unit: id,
+					Notification: core.Notification{
+						Channel:     ch,
+						NewSID:      u.RegCurrentSID(),
+						NewLastSeen: u.RegLastSeen(ch),
+					},
+					Exported: now,
+				}, now)
+			}
+		} else {
+			p.onNotifyNoCS(st, dataplane.CPUNotification{
+				Unit: id,
+				Notification: core.Notification{
+					Channel: 0,
+					NewSID:  u.RegCurrentSID(),
+				},
+				Exported: now,
+			}, now)
+		}
+	}
+}
+
+// LastRead returns the unit's latest finalized snapshot ID.
+func (p *Plane) LastRead(id dataplane.UnitID) uint64 {
+	if st, ok := p.units[id]; ok {
+		return st.lastRead
+	}
+	return 0
+}
+
+// Complete reports whether snapshot id has been finalized (read or
+// marked inconsistent) at every unit of this switch.
+func (p *Plane) Complete(id uint64) bool {
+	for _, st := range p.units {
+		if st.lastRead < id {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,315 @@
+// Package core implements the paper's primary contribution: the
+// per-processing-unit network snapshot state machine.
+//
+// A processing unit is the per-port, per-direction packet processor of a
+// switch (Section 4.1). Units are linearizable and connected by FIFO
+// channels, which lets a modified multi-initiator Chandy–Lamport
+// protocol partition all events into pre- and post-snapshot sets with
+// causal consistency (Section 4.2).
+//
+// Two implementations live here:
+//
+//   - Unit is the Speedlight data-plane unit (Figures 4 and 5). It is
+//     faithful to the match-action hardware's limitations: it cannot
+//     loop through skipped snapshot IDs (the control plane marks those
+//     inconsistent, Figure 7), it stores snapshots in a bounded register
+//     array with optional ID wraparound, and it reports progress to the
+//     control plane through notifications.
+//
+//   - IdealUnit is the idealized algorithm of Figure 3, with unbounded
+//     IDs and loop-through of skipped epochs. It exists as an executable
+//     specification: tests drive Unit and IdealUnit with the same packet
+//     streams and compare results.
+//
+// Units are pure state machines: no goroutines, no clocks. The
+// simulation (internal/emunet) and live (internal/runtime) harnesses
+// drive them.
+package core
+
+import (
+	"fmt"
+
+	"speedlight/internal/packet"
+)
+
+// Metric is the local state targeted by a snapshot. The snapshot
+// machinery is agnostic to the measured data (Section 3): anything that
+// can be read as a register value at line rate can be snapshotted.
+//
+// Read must return the current state encoded into a register value.
+// Update applies a data packet to the state and is orthogonal to the
+// snapshot logic. Absorb folds an in-flight packet into a previously
+// recorded snapshot value (channel state); metrics for which channel
+// state is meaningless (e.g., instantaneous queue depth) can return the
+// value unchanged.
+type Metric interface {
+	Read() uint64
+	Update(pkt *packet.Packet)
+	Absorb(snapVal uint64, pkt *packet.Packet) uint64
+}
+
+// Config describes one processing unit's snapshot support.
+type Config struct {
+	// MaxID is the size of the snapshot ID space and of the snapshot
+	// value register array (the paper's "max snapshot id"). Must be at
+	// least 2.
+	MaxID uint32
+	// WrapAround enables snapshot ID rollover to 0 after MaxID-1
+	// (Section 5.3). Without it, IDs live in the full uint32 space and
+	// the deployment must stop snapshotting before exhausting them;
+	// register slots are still reused modulo MaxID.
+	WrapAround bool
+	// ChannelState enables in-flight packet recording and the last-seen
+	// machinery needed for it (the items marked "-" in Sections 4.2,
+	// 5.1 and 5.2).
+	ChannelState bool
+	// NumChannels is the number of upstream neighbors, including the
+	// control plane pseudo-channel. An ingress unit in switched
+	// Ethernet has 2 (the external neighbor and the CPU); an egress
+	// unit has one per ingress port of the device plus the CPU.
+	NumChannels int
+	// CPChannel is the index of the control plane's pseudo-channel in
+	// the last-seen array. Its entry participates in rollover detection
+	// but not in completion (Section 6). Use -1 when the unit has no
+	// CPU path.
+	CPChannel int
+}
+
+func (c Config) validate() error {
+	if c.MaxID < 2 {
+		return fmt.Errorf("core: MaxID %d < 2", c.MaxID)
+	}
+	if c.NumChannels < 1 {
+		return fmt.Errorf("core: NumChannels %d < 1", c.NumChannels)
+	}
+	if c.CPChannel >= c.NumChannels {
+		return fmt.Errorf("core: CPChannel %d out of range", c.CPChannel)
+	}
+	return nil
+}
+
+// Notification is the data plane's progress report to the control plane
+// (Section 5.3). One is exported after any update of the local snapshot
+// ID or of a last-seen entry, carrying the former value of the changed
+// last-seen entry along with the former and new snapshot ID. Values are
+// wrapped, exactly as the hardware registers hold them; the control
+// plane unwraps them against its own tracking state.
+type Notification struct {
+	Channel     int
+	OldSID      uint32
+	NewSID      uint32
+	OldLastSeen uint32
+	NewLastSeen uint32
+}
+
+// SIDChanged reports whether the unit's snapshot ID advanced.
+func (n Notification) SIDChanged() bool { return n.OldSID != n.NewSID }
+
+// LastSeenChanged reports whether the last-seen entry advanced.
+func (n Notification) LastSeenChanged() bool { return n.OldLastSeen != n.NewLastSeen }
+
+// slot is one entry of the snapshot value register array. id records the
+// unwrapped ID the slot was written for. Hardware stores only the
+// wrapped form — indistinguishable across rollover laps, which is
+// exactly why the observer enforces the no-lapping assumption and the
+// control plane reads values promptly (Section 5.3). The unwrapped
+// shadow makes RegSnapshot strictly safer than the hardware register
+// (a lapped read returns "not held" instead of a later epoch's value)
+// without changing behaviour under correct operation.
+type slot struct {
+	id    uint64
+	valid bool
+	value uint64
+}
+
+// Unit is a Speedlight data-plane processing unit.
+type Unit struct {
+	cfg    Config
+	metric Metric
+
+	sid      uint64   // current snapshot ID, unwrapped
+	lastSeen []uint64 // per-channel last seen ID, unwrapped
+	snaps    []slot   // register array, indexed by sid mod MaxID
+}
+
+// NewUnit creates a processing unit with all state zeroed, as when a new
+// device attaches to the network (Section 6): its first traffic will
+// jump it forward to the network's current snapshot ID.
+func NewUnit(cfg Config, metric Metric) (*Unit, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if metric == nil {
+		return nil, fmt.Errorf("core: nil metric")
+	}
+	return &Unit{
+		cfg:      cfg,
+		metric:   metric,
+		lastSeen: make([]uint64, cfg.NumChannels),
+		snaps:    make([]slot, cfg.MaxID),
+	}, nil
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Metric returns the unit's metric.
+func (u *Unit) Metric() Metric { return u.metric }
+
+// wrap converts an unwrapped ID to its on-wire / in-register form.
+func (u *Unit) wrap(id uint64) uint32 {
+	if u.cfg.WrapAround {
+		return uint32(id % uint64(u.cfg.MaxID))
+	}
+	return uint32(id)
+}
+
+// unwrap resolves a wire ID against a reference unwrapped ID (the
+// channel's last-seen entry — the rollover reference of Section 5.3)
+// using serial-number arithmetic: a forward distance below half the ID
+// space means the wire ID is ahead of the reference; anything else means
+// it is at or behind it (an in-flight packet, or a stale/duplicate
+// control-plane initiation, which the data plane must ignore rather than
+// misread as a rollover, Section 6). The observer keeps all live IDs
+// within half the space, making the resolution exact.
+func (u *Unit) unwrap(wire uint32, ref uint64) uint64 {
+	if !u.cfg.WrapAround {
+		return uint64(wire)
+	}
+	m := uint64(u.cfg.MaxID)
+	delta := (uint64(wire) + m - uint64(u.wrap(ref))) % m
+	if delta < m/2 {
+		return ref + delta
+	}
+	behind := m - delta
+	if behind > ref {
+		return 0 // older than anything this unit has seen
+	}
+	return ref - behind
+}
+
+// OnPacket runs the snapshot pipeline of Figures 4 and 5 on a packet
+// arriving on the given upstream channel. It mutates the packet's
+// snapshot header (stamping the unit's current ID for the next hop) and
+// returns a notification if the unit's ID or the channel's last-seen
+// entry advanced.
+//
+// The packet must carry a snapshot header; adding headers at the
+// snapshot-enabled edge is the data plane wiring's job (Section 5.1).
+func (u *Unit) OnPacket(pkt *packet.Packet, channel int) (Notification, bool) {
+	if !pkt.HasSnap {
+		panic("core: OnPacket without snapshot header")
+	}
+	if channel < 0 || channel >= u.cfg.NumChannels {
+		panic(fmt.Sprintf("core: channel %d out of range [0,%d)", channel, u.cfg.NumChannels))
+	}
+	hdr := &pkt.Snap
+
+	// Read the target state before applying this packet: a snapshot
+	// triggered by this packet must not include its effects (Figure 3
+	// saves state before the final update; see also the proof sketch).
+	preState := u.metric.Read()
+
+	oldSID := u.sid
+	oldLS := u.lastSeen[channel]
+
+	// Resolve the wire ID against this channel's last-seen entry — the
+	// reference that makes rollover detection possible (Section 5.3).
+	psid := u.unwrap(hdr.ID, oldLS)
+	if psid > u.lastSeen[channel] {
+		u.lastSeen[channel] = psid
+	}
+
+	switch {
+	case psid > u.sid:
+		// New snapshot: save local state for epoch psid. The hardware
+		// writes exactly one slot per packet, so epochs skipped over
+		// (oldSID+1 .. psid-1) are left unsaved; the control plane
+		// recovers them (without channel state) or marks them
+		// inconsistent (with channel state), per Figure 7.
+		s := &u.snaps[psid%uint64(u.cfg.MaxID)]
+		s.id = psid
+		s.valid = true
+		s.value = preState
+		u.sid = psid
+	case psid < u.sid && u.cfg.ChannelState && hdr.Type == packet.TypeData:
+		// In-flight packet: absorb into the *current* snapshot's
+		// channel state. Ideally every epoch in (psid, sid] would
+		// absorb it, but the ASIC performs one stateful update per
+		// register array per packet; intermediate epochs are the
+		// inconsistent ones the control plane tracks.
+		s := &u.snaps[u.sid%uint64(u.cfg.MaxID)]
+		if s.valid && s.id == u.sid {
+			s.value = u.metric.Absorb(s.value, pkt)
+		}
+	}
+
+	// Update the target state. Initiation messages are control traffic:
+	// they are never counted (Section 6).
+	if hdr.Type == packet.TypeData {
+		u.metric.Update(pkt)
+	}
+
+	// Stamp the outgoing header with the (possibly advanced) local ID.
+	hdr.ID = u.wrap(u.sid)
+
+	n := Notification{
+		Channel:     channel,
+		OldSID:      u.wrap(oldSID),
+		NewSID:      u.wrap(u.sid),
+		OldLastSeen: u.wrap(oldLS),
+		NewLastSeen: u.wrap(u.lastSeen[channel]),
+	}
+	return n, n.SIDChanged() || n.LastSeenChanged()
+}
+
+// Register read-back interface: the control plane reads these over PCIe
+// in hardware (Section 7.2), or directly in emulation.
+
+// RegCurrentSID returns the wrapped current snapshot ID register.
+func (u *Unit) RegCurrentSID() uint32 { return u.wrap(u.sid) }
+
+// RegLastSeen returns the wrapped last-seen register for a channel.
+func (u *Unit) RegLastSeen(ch int) uint32 { return u.wrap(u.lastSeen[ch]) }
+
+// RegSnapshot returns the snapshot value recorded for the (unwrapped)
+// snapshot ID, and whether the register slot actually holds that
+// snapshot (a slot is invalid when the epoch was skipped, never
+// initiated, or already overwritten by a later lap).
+func (u *Unit) RegSnapshot(id uint64) (uint64, bool) {
+	s := u.snaps[id%uint64(u.cfg.MaxID)]
+	if !s.valid || s.id != id {
+		return 0, false
+	}
+	return s.value, true
+}
+
+// CurrentSID returns the unit's unwrapped snapshot ID. Emulation-side
+// observability only; hardware exposes just the wrapped register.
+func (u *Unit) CurrentSID() uint64 { return u.sid }
+
+// LastSeenUnwrapped returns the unit's unwrapped last-seen entry.
+// Emulation-side observability only.
+func (u *Unit) LastSeenUnwrapped(ch int) uint64 { return u.lastSeen[ch] }
+
+// MinLastSeen returns the smallest last-seen ID across channels,
+// excluding the control plane pseudo-channel, which participates only in
+// rollover detection (Section 6). Snapshots up to this ID are complete
+// at this unit (Figure 3, line 12).
+func (u *Unit) MinLastSeen() uint64 {
+	min := uint64(1<<63 - 1)
+	found := false
+	for ch, ls := range u.lastSeen {
+		if ch == u.cfg.CPChannel {
+			continue
+		}
+		found = true
+		if ls < min {
+			min = ls
+		}
+	}
+	if !found {
+		return u.sid
+	}
+	return min
+}

@@ -1,0 +1,9 @@
+package core
+
+// Test-only exports of the wraparound arithmetic.
+
+// WrapForTest exposes wrap.
+func (u *Unit) WrapForTest(id uint64) uint32 { return u.wrap(id) }
+
+// UnwrapForTest exposes unwrap.
+func (u *Unit) UnwrapForTest(wire uint32, ref uint64) uint64 { return u.unwrap(wire, ref) }

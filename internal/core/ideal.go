@@ -1,0 +1,94 @@
+package core
+
+import (
+	"speedlight/internal/packet"
+)
+
+// IdealUnit is the idealized per-processing-unit snapshot algorithm of
+// Figure 3: unbounded snapshot IDs, loop-through of skipped epochs, and
+// unbounded snapshot storage. It cannot run on a line-rate ASIC, but it
+// defines the semantics the hardware-approximate Unit must match in the
+// cases the control plane reports as consistent. Tests use it as a
+// differential oracle.
+type IdealUnit struct {
+	metric       Metric
+	channelState bool
+
+	sid      uint64
+	lastSeen map[int]uint64
+	snaps    map[uint64]uint64
+}
+
+// NewIdealUnit creates an idealized unit. channelState selects between
+// the onReceiveCS and onReceiveNoCS variants of Figure 3.
+func NewIdealUnit(metric Metric, channelState bool) *IdealUnit {
+	return &IdealUnit{
+		metric:       metric,
+		channelState: channelState,
+		lastSeen:     make(map[int]uint64),
+		snaps:        make(map[uint64]uint64),
+	}
+}
+
+// OnPacket processes a packet arriving on the given channel, following
+// Figure 3 line by line. Snapshot IDs are unwrapped: the ideal algorithm
+// has no register-width limits.
+func (u *IdealUnit) OnPacket(pkt *packet.Packet, channel int) {
+	if !pkt.HasSnap {
+		panic("core: IdealUnit.OnPacket without snapshot header")
+	}
+	psid := uint64(pkt.Snap.ID)
+	state := u.metric.Read()
+
+	if psid > u.sid {
+		// New snapshot: every epoch between the local ID and the
+		// packet's ID snapshots the same local state (lines 4-6).
+		for i := u.sid + 1; i <= psid; i++ {
+			u.snaps[i] = state
+		}
+		u.sid = psid
+	} else if psid < u.sid && u.channelState && pkt.Snap.Type == packet.TypeData {
+		// In-flight packet: update channel state of every snapshot the
+		// packet's send precedes (lines 9-10).
+		for i := psid + 1; i <= u.sid; i++ {
+			u.snaps[i] = u.metric.Absorb(u.snaps[i], pkt)
+		}
+	}
+	if u.channelState {
+		if psid > u.lastSeen[channel] {
+			u.lastSeen[channel] = psid
+		}
+	}
+
+	// Update state and stamp the outgoing ID (lines 13, 20).
+	if pkt.Snap.Type == packet.TypeData {
+		u.metric.Update(pkt)
+	}
+	pkt.Snap.ID = uint32(u.sid)
+}
+
+// SID returns the unit's current snapshot ID.
+func (u *IdealUnit) SID() uint64 { return u.sid }
+
+// Snapshot returns the recorded value for a snapshot ID.
+func (u *IdealUnit) Snapshot(id uint64) (uint64, bool) {
+	v, ok := u.snaps[id]
+	return v, ok
+}
+
+// MinLastSeen returns the smallest last-seen ID over the channels that
+// have delivered at least one packet; snapshots up to it are complete
+// (Figure 3, line 12). It returns the current SID when channel state is
+// disabled or nothing has been received.
+func (u *IdealUnit) MinLastSeen() uint64 {
+	if !u.channelState || len(u.lastSeen) == 0 {
+		return u.sid
+	}
+	min := uint64(1<<63 - 1)
+	for _, ls := range u.lastSeen {
+		if ls < min {
+			min = ls
+		}
+	}
+	return min
+}

@@ -1,0 +1,131 @@
+package counters
+
+import (
+	"testing"
+
+	"speedlight/internal/packet"
+)
+
+func TestPacketCount(t *testing.T) {
+	var c PacketCount
+	if c.Read() != 0 {
+		t.Error("initial count nonzero")
+	}
+	p := &packet.Packet{Size: 100}
+	for i := 0; i < 5; i++ {
+		c.Update(p)
+	}
+	if c.Read() != 5 {
+		t.Errorf("count = %d", c.Read())
+	}
+	if got := c.Absorb(10, p); got != 11 {
+		t.Errorf("Absorb = %d, want 11", got)
+	}
+}
+
+func TestByteCount(t *testing.T) {
+	var c ByteCount
+	c.Update(&packet.Packet{Size: 100})
+	c.Update(&packet.Packet{Size: 1500})
+	if c.Read() != 1600 {
+		t.Errorf("bytes = %d", c.Read())
+	}
+	if got := c.Absorb(50, &packet.Packet{Size: 9000}); got != 9050 {
+		t.Errorf("Absorb = %d", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(42)
+	if g.Read() != 42 {
+		t.Errorf("gauge = %d", g.Read())
+	}
+	g.Update(&packet.Packet{}) // no effect
+	if g.Read() != 42 {
+		t.Error("Update changed gauge")
+	}
+	if g.Absorb(42, &packet.Packet{}) != 42 {
+		t.Error("Absorb changed gauge snapshot")
+	}
+}
+
+func TestEWMAFirstPacketSetsBaseline(t *testing.T) {
+	now := int64(0)
+	c := NewEWMAInterarrival(func() int64 { return now })
+	c.Update(&packet.Packet{})
+	if c.Read() != 0 {
+		t.Error("EWMA nonzero after single packet")
+	}
+}
+
+func TestEWMAUniformArrivalsConverge(t *testing.T) {
+	now := int64(0)
+	c := NewEWMAInterarrival(func() int64 { return now })
+	// Packets every 1000 ns. The EWMA should converge toward 1000.
+	for i := 0; i < 101; i++ {
+		c.Update(&packet.Packet{})
+		now += 1000
+	}
+	got := int64(c.Read())
+	if got < 900 || got > 1100 {
+		t.Errorf("EWMA = %d, want ~1000", got)
+	}
+}
+
+func TestEWMAUpdatesEveryOtherPacket(t *testing.T) {
+	now := int64(0)
+	c := NewEWMAInterarrival(func() int64 { return now })
+	c.Update(&packet.Packet{}) // baseline
+	now += 500
+	c.Update(&packet.Packet{}) // 1st interarrival: phase A, no EWMA change
+	if c.Read() != 0 {
+		t.Errorf("EWMA changed on phase-A packet: %d", c.Read())
+	}
+	now += 700
+	c.Update(&packet.Packet{}) // 2nd interarrival: phase B, EWMA updates
+	// avg = (500+700)/2 = 600; ewma = 0/2 + 600/2 = 300.
+	if c.Read() != 300 {
+		t.Errorf("EWMA = %d, want 300", c.Read())
+	}
+}
+
+func TestEWMADecayHalf(t *testing.T) {
+	// After a regime change, the EWMA should move halfway toward the
+	// new pair average on each update.
+	now := int64(0)
+	c := NewEWMAInterarrival(func() int64 { return now })
+	for i := 0; i < 41; i++ { // 40 interarrivals of 100ns
+		c.Update(&packet.Packet{})
+		now += 100
+	}
+	before := int64(c.Read())
+	// Two interarrivals of 1000 ns: one EWMA update toward 1000.
+	now += 900 // already advanced 100 after last Update
+	c.Update(&packet.Packet{})
+	now += 1000
+	c.Update(&packet.Packet{})
+	after := int64(c.Read())
+	want := before/2 + 1000/2
+	if diff := after - want; diff < -2 || diff > 2 {
+		t.Errorf("after = %d, want ~%d (before=%d)", after, want, before)
+	}
+}
+
+func TestEWMAAbsorbIsIdentity(t *testing.T) {
+	c := NewEWMAInterarrival(func() int64 { return 0 })
+	if c.Absorb(777, &packet.Packet{}) != 777 {
+		t.Error("EWMA Absorb must not change the snapshot")
+	}
+}
+
+func TestNull(t *testing.T) {
+	var n Null
+	n.Update(&packet.Packet{})
+	if n.Read() != 0 {
+		t.Error("Null must read 0")
+	}
+	if n.Absorb(5, &packet.Packet{}) != 5 {
+		t.Error("Null Absorb must be identity")
+	}
+}

@@ -1,0 +1,151 @@
+package dataplane
+
+import (
+	"testing"
+
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/packet"
+	"speedlight/internal/routing"
+	"speedlight/internal/topology"
+)
+
+func TestIngressOnlyProcessesWithoutForwarding(t *testing.T) {
+	s := testSwitch(t, nil)
+	// A marker-style packet without a route: IngressOnly must still run
+	// the unit and tag the internal channel.
+	pkt := &packet.Packet{DstHost: 0xFFFFFFFF, Size: 64}
+	s.IngressOnly(pkt, 1, 0)
+	if !pkt.HasSnap {
+		t.Fatal("header not added")
+	}
+	if pkt.Snap.Channel != 1 {
+		t.Errorf("channel = %d, want ingress port 1", pkt.Snap.Channel)
+	}
+	m := s.Port(1).IngressUnit.Metric().(*counters.PacketCount)
+	if m.Read() != 1 {
+		t.Errorf("counter = %d, want 1 (markers are real traffic)", m.Read())
+	}
+	// With a header already present, the epoch it carries is processed.
+	adv := &packet.Packet{
+		DstHost: 0xFFFFFFFF, Size: 64,
+		HasSnap: true,
+		Snap:    packet.SnapshotHeader{Type: packet.TypeData, ID: 5},
+	}
+	s.IngressOnly(adv, 1, 0)
+	if got := s.Port(1).IngressUnit.CurrentSID(); got != 5 {
+		t.Errorf("sid = %d, want 5", got)
+	}
+}
+
+func TestIngressFromCPUsesCPChannel(t *testing.T) {
+	s := testSwitch(t, nil)
+	ing := s.Port(2).IngressUnit
+	pkt := &packet.Packet{DstHost: 0xFFFFFFFF, Size: 64}
+	s.IngressFromCP(pkt, 2, 0)
+	// The CP channel's last-seen entry moved; the external one did not
+	// (the CPU must not forge the upstream neighbor's progress).
+	if got := ing.LastSeenUnwrapped(ing.Config().CPChannel); got != 0 {
+		// Epoch 0 carried; no advance expected, but the channel was the
+		// CP one — verify by advancing the unit first.
+		t.Logf("lastSeen[cp] = %d", got)
+	}
+	s.InitiateIngress(3, 2, 0)
+	fresh := &packet.Packet{DstHost: 0xFFFFFFFF, Size: 64}
+	s.IngressFromCP(fresh, 2, 0)
+	if fresh.Snap.ID != 3 {
+		t.Errorf("CP-injected packet stamped %d, want current epoch 3", fresh.Snap.ID)
+	}
+	if got := ing.LastSeenUnwrapped(0); got != 0 {
+		t.Errorf("external lastSeen = %d: CP injection forged upstream progress", got)
+	}
+	if fresh.Snap.Channel != 2 {
+		t.Errorf("channel = %d, want 2", fresh.Snap.Channel)
+	}
+}
+
+func TestStampCPEgress(t *testing.T) {
+	s := testSwitch(t, nil)
+	pkt := &packet.Packet{DstHost: 0xFFFFFFFF, Size: 64}
+	s.StampCPEgress(pkt, 1)
+	if !pkt.HasSnap {
+		t.Fatal("header not added")
+	}
+	if int(pkt.Snap.Channel) != s.NumPorts()*s.NumCoS() {
+		t.Errorf("channel = %d, want CPU pseudo-channel %d", pkt.Snap.Channel, s.NumPorts()*s.NumCoS())
+	}
+	// The egress unit accepts it on the CPU channel without advancing.
+	res := s.Egress(pkt, 1, 0)
+	if res.Drop {
+		t.Error("CPU-injected data packet dropped")
+	}
+}
+
+func TestSnapshotDisabledForwarding(t *testing.T) {
+	s, err := New(Config{
+		Node: 7, NumPorts: 3, MaxID: 16,
+		SnapshotDisabled: true,
+		Metrics:          func(UnitID) core.Metric { return &counters.PacketCount{} },
+		FIB: &routing.FIB{
+			Node: 7, Version: 1,
+			NextHops: map[topology.HostID][]int{10: {2}},
+		},
+		Balancer: routing.ECMP{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A packet with an existing header passes untouched.
+	pkt := &packet.Packet{
+		DstHost: 10,
+		HasSnap: true,
+		Snap:    packet.SnapshotHeader{Type: packet.TypeData, ID: 9, Channel: 4},
+	}
+	res := s.Ingress(pkt, 0, 0)
+	if res.Drop || res.EgressPort != 2 {
+		t.Fatalf("forwarding broken: %+v", res)
+	}
+	if egr := s.Egress(pkt, 2, 0); egr.Drop || egr.StripHeader {
+		t.Errorf("disabled egress touched the packet: %+v", egr)
+	}
+	if pkt.Snap.ID != 9 || pkt.Snap.Channel != 4 {
+		t.Errorf("header mutated in partial deployment: %+v", pkt.Snap)
+	}
+	if s.Port(0).IngressUnit.CurrentSID() != 0 {
+		t.Error("disabled switch advanced its snapshot state")
+	}
+	// Unroutable drops; recirculation also takes the plain path.
+	if res := s.Ingress(&packet.Packet{DstHost: 99}, 0, 0); !res.Drop {
+		t.Error("unroutable not dropped")
+	}
+	s2, err := New(Config{
+		Node: 8, NumPorts: 2, MaxID: 16,
+		SnapshotDisabled: true, Recirculation: true,
+		Metrics: func(UnitID) core.Metric { return &counters.PacketCount{} },
+		FIB: &routing.FIB{
+			Node: 8, Version: 1,
+			NextHops: map[topology.HostID][]int{10: {1}},
+		},
+		Balancer: routing.ECMP{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := &packet.Packet{DstHost: 10, HasSnap: true}
+	if res := s2.Recirculate(rp, 0, 0); res.Drop || res.EgressPort != 1 {
+		t.Errorf("disabled recirculation forwarding: %+v", res)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := testSwitch(t, nil)
+	if s.NumCoS() != 1 {
+		t.Errorf("NumCoS = %d", s.NumCoS())
+	}
+	if s.Config().Node != 1 {
+		t.Errorf("Config().Node = %d", s.Config().Node)
+	}
+	if Egress.String() != "egress" || Ingress.String() != "ingress" {
+		t.Error("Direction strings")
+	}
+}

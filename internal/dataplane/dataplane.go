@@ -1,0 +1,556 @@
+// Package dataplane models a Speedlight-enabled switch data plane: per
+// port, an ingress and an egress processing unit (core.Unit), forwarding
+// with pluggable load balancing, snapshot header insertion and removal
+// at the network edge, the control-plane initiation path
+// (CPU→ingress→egress, Section 6), and the bounded, lossy notification
+// channel to the switch CPU (Section 7.2).
+//
+// The package is runtime-agnostic: it owns no clocks or queues. The
+// emulation harnesses decide when packets arrive, when egress units run
+// (after queueing), and when the CPU drains notifications; they pass
+// virtual time in only so notifications can be timestamped, mirroring
+// the paper's synchronization measurement (Section 8.1).
+package dataplane
+
+import (
+	"fmt"
+
+	"speedlight/internal/core"
+	"speedlight/internal/packet"
+	"speedlight/internal/routing"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// Direction distinguishes ingress from egress processing units.
+type Direction int
+
+const (
+	// Ingress is the receive-side processing unit of a port.
+	Ingress Direction = iota
+	// Egress is the transmit-side processing unit of a port.
+	Egress
+)
+
+func (d Direction) String() string {
+	if d == Ingress {
+		return "ingress"
+	}
+	return "egress"
+}
+
+// UnitID names one processing unit in the network.
+type UnitID struct {
+	Node topology.NodeID
+	Port int
+	Dir  Direction
+}
+
+func (u UnitID) String() string {
+	return fmt.Sprintf("sw%d/p%d/%s", u.Node, u.Port, u.Dir)
+}
+
+// CPUNotification is a data-plane notification annotated with its
+// origin and export time, as delivered to the switch CPU.
+type CPUNotification struct {
+	Unit UnitID
+	core.Notification
+	// Exported is the virtual time the data plane emitted the
+	// notification.
+	Exported sim.Time
+}
+
+// MetricFactory builds the snapshot target metric for one processing
+// unit. Factories let experiments choose what to measure per unit
+// (packet counters, EWMA interarrival, queue depth gauges, ...).
+type MetricFactory func(id UnitID) core.Metric
+
+// Config describes one switch's data plane.
+type Config struct {
+	Node     topology.NodeID
+	NumPorts int
+
+	// NumCoS is the number of Class-of-Service levels. Each class is an
+	// independent FIFO logical channel in the snapshot model (Section
+	// 4.1): an ingress unit has one external channel per class, an
+	// egress unit one channel per (ingress port, class) pair. Zero
+	// means 1 (no service classes).
+	NumCoS int
+
+	// Recirculation adds the footnote-2 internal channel: a packet that
+	// finishes egress processing may re-enter the same port's ingress
+	// unit (P4 recirculate). The channel is modeled exactly like any
+	// other FIFO logical channel, with its own last-seen entry.
+	Recirculation bool
+
+	// Snapshot protocol parameters shared by all units.
+	MaxID        uint32
+	WrapAround   bool
+	ChannelState bool
+
+	// Metrics builds each unit's snapshot target. Required.
+	Metrics MetricFactory
+
+	// NotifCapacity bounds the CPU notification queue; further
+	// notifications are dropped (and counted), modelling the raw-socket
+	// receive buffer of Section 7.2. Zero means a default of 4096.
+	NotifCapacity int
+
+	// OnNotify, when set, observes every notification synchronously at
+	// export time, before queueing and possible drops. Emulations use
+	// it to timestamp protocol progress the way the paper's Section 8.1
+	// experiment tags notifications in the data plane.
+	OnNotify func(CPUNotification)
+
+	// FIB and Balancer control forwarding. Both required for switches
+	// that forward (pure unit tests may omit them and drive units
+	// directly).
+	FIB      *routing.FIB
+	Balancer routing.Balancer
+
+	// EdgePorts marks ports that face hosts: the snapshot header is
+	// added on ingress and stripped on egress there (partial
+	// deployment, Sections 5.1 and 10).
+	EdgePorts map[int]bool
+
+	// SnapshotDisabled turns the switch into a plain forwarder for
+	// partial deployment (Section 10): packets are routed but snapshot
+	// headers pass through untouched, preserving in-flight epoch
+	// information for the snapshot-enabled devices downstream.
+	SnapshotDisabled bool
+}
+
+// Port holds the two processing units of one switch port.
+type Port struct {
+	IngressUnit *core.Unit
+	EgressUnit  *core.Unit
+}
+
+// Switch is one switch's data plane.
+type Switch struct {
+	cfg   Config
+	ports []*Port
+
+	notifs     []CPUNotification
+	notifDrops uint64
+	notifCap   int
+}
+
+// New builds a switch data plane.
+func New(cfg Config) (*Switch, error) {
+	if cfg.NumPorts < 1 {
+		return nil, fmt.Errorf("dataplane: switch %d has %d ports", cfg.Node, cfg.NumPorts)
+	}
+	if cfg.Metrics == nil {
+		return nil, fmt.Errorf("dataplane: switch %d missing metric factory", cfg.Node)
+	}
+	cap := cfg.NotifCapacity
+	if cap <= 0 {
+		cap = 4096
+	}
+	if cfg.NumCoS <= 0 {
+		cfg.NumCoS = 1
+	}
+	if cfg.NumCoS > 16 {
+		return nil, fmt.Errorf("dataplane: NumCoS %d exceeds the header's 4-bit class space", cfg.NumCoS)
+	}
+	s := &Switch{cfg: cfg, notifCap: cap}
+	for p := 0; p < cfg.NumPorts; p++ {
+		// An ingress unit's upstream channels are the external
+		// neighbor's CoS sub-channels, optionally the recirculation
+		// channel from the port's own egress unit, and the CPU
+		// pseudo-channel.
+		ingChans := cfg.NumCoS + 1
+		if cfg.Recirculation {
+			ingChans++
+		}
+		ingCfg := core.Config{
+			MaxID:        cfg.MaxID,
+			WrapAround:   cfg.WrapAround,
+			ChannelState: cfg.ChannelState,
+			NumChannels:  ingChans,
+			CPChannel:    ingChans - 1,
+		}
+		// An egress unit's upstream neighbors are the (ingress port,
+		// class) sub-channels of every port, plus the CPU.
+		egrCfg := core.Config{
+			MaxID:        cfg.MaxID,
+			WrapAround:   cfg.WrapAround,
+			ChannelState: cfg.ChannelState,
+			NumChannels:  cfg.NumPorts*cfg.NumCoS + 1,
+			CPChannel:    cfg.NumPorts * cfg.NumCoS,
+		}
+		ing, err := core.NewUnit(ingCfg, cfg.Metrics(UnitID{cfg.Node, p, Ingress}))
+		if err != nil {
+			return nil, err
+		}
+		egr, err := core.NewUnit(egrCfg, cfg.Metrics(UnitID{cfg.Node, p, Egress}))
+		if err != nil {
+			return nil, err
+		}
+		s.ports = append(s.ports, &Port{IngressUnit: ing, EgressUnit: egr})
+	}
+	return s, nil
+}
+
+// ingressChannel returns the ingress-unit channel for a packet's class.
+func (s *Switch) ingressChannel(cos uint8) int {
+	c := int(cos)
+	if c >= s.cfg.NumCoS {
+		c = s.cfg.NumCoS - 1
+	}
+	return c
+}
+
+// internalChannel returns the egress-unit channel for a packet arriving
+// from an ingress port on a class.
+func (s *Switch) internalChannel(port int, cos uint8) uint16 {
+	c := int(cos)
+	if c >= s.cfg.NumCoS {
+		c = s.cfg.NumCoS - 1
+	}
+	return uint16(port*s.cfg.NumCoS + c)
+}
+
+// ingressCPChannel is the CPU pseudo-channel index at ingress units
+// (always the last channel).
+func (s *Switch) ingressCPChannel() int {
+	if s.cfg.Recirculation {
+		return s.cfg.NumCoS + 1
+	}
+	return s.cfg.NumCoS
+}
+
+// ingressRecircChannel is the recirculation channel index at ingress
+// units, or -1 when recirculation is disabled.
+func (s *Switch) ingressRecircChannel() int {
+	if !s.cfg.Recirculation {
+		return -1
+	}
+	return s.cfg.NumCoS
+}
+
+// NumCoS returns the switch's class-of-service count.
+func (s *Switch) NumCoS() int { return s.cfg.NumCoS }
+
+// Node returns the switch's node ID.
+func (s *Switch) Node() topology.NodeID { return s.cfg.Node }
+
+// NumPorts returns the switch's port count.
+func (s *Switch) NumPorts() int { return s.cfg.NumPorts }
+
+// Config returns the switch configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Port returns the processing units of a port.
+func (s *Switch) Port(p int) *Port { return s.ports[p] }
+
+// Unit returns the processing unit named by id, which must belong to
+// this switch.
+func (s *Switch) Unit(id UnitID) *core.Unit {
+	if id.Node != s.cfg.Node {
+		panic(fmt.Sprintf("dataplane: unit %v not on switch %d", id, s.cfg.Node))
+	}
+	if id.Dir == Ingress {
+		return s.ports[id.Port].IngressUnit
+	}
+	return s.ports[id.Port].EgressUnit
+}
+
+// UnitIDs lists every processing unit of this switch.
+func (s *Switch) UnitIDs() []UnitID {
+	out := make([]UnitID, 0, 2*s.cfg.NumPorts)
+	for p := 0; p < s.cfg.NumPorts; p++ {
+		out = append(out, UnitID{s.cfg.Node, p, Ingress}, UnitID{s.cfg.Node, p, Egress})
+	}
+	return out
+}
+
+// pushNotif appends a notification, dropping it if the CPU queue is
+// full. Without channel state the last-seen machinery is compiled out
+// (the "-" items of Section 5.2), so only snapshot ID changes are
+// exported.
+func (s *Switch) pushNotif(n CPUNotification) {
+	if !s.cfg.ChannelState && !n.SIDChanged() {
+		return
+	}
+	if s.cfg.OnNotify != nil {
+		s.cfg.OnNotify(n)
+	}
+	if len(s.notifs) >= s.notifCap {
+		s.notifDrops++
+		return
+	}
+	s.notifs = append(s.notifs, n)
+}
+
+// PopNotif removes and returns the oldest pending notification.
+func (s *Switch) PopNotif() (CPUNotification, bool) {
+	if len(s.notifs) == 0 {
+		return CPUNotification{}, false
+	}
+	n := s.notifs[0]
+	s.notifs = s.notifs[1:]
+	return n, true
+}
+
+// PendingNotifs returns the number of queued notifications.
+func (s *Switch) PendingNotifs() int { return len(s.notifs) }
+
+// NotifDrops returns how many notifications were dropped at the full
+// CPU queue.
+func (s *Switch) NotifDrops() uint64 { return s.notifDrops }
+
+// IngressResult is the outcome of ingress processing.
+type IngressResult struct {
+	// EgressPort is the chosen output port.
+	EgressPort int
+	// Drop is set when the packet has no route.
+	Drop bool
+}
+
+// Ingress processes a packet arriving from the wire (or from a host, on
+// an edge port) at the given port and selects its egress port. The
+// packet's snapshot header is added if absent and its Channel field is
+// rewritten to the ingress port number — the upstream neighbor
+// identifier the egress unit will use (Section 5.1).
+func (s *Switch) Ingress(pkt *packet.Packet, port int, now sim.Time) IngressResult {
+	if s.cfg.SnapshotDisabled {
+		return s.forwardOnly(pkt, now)
+	}
+	if !pkt.HasSnap {
+		// First snapshot-enabled device on the path: add the header,
+		// carrying this unit's current epoch so that edge traffic
+		// neither initiates nor appears in-flight.
+		pkt.HasSnap = true
+		pkt.Snap = packet.SnapshotHeader{
+			Type: packet.TypeData,
+			ID:   s.ports[port].IngressUnit.RegCurrentSID(),
+		}
+	}
+	ch := s.ingressChannel(pkt.CoS)
+	pkt.Snap.Channel = uint16(ch)
+	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, ch)
+	if changed {
+		s.pushNotif(CPUNotification{
+			Unit:         UnitID{s.cfg.Node, port, Ingress},
+			Notification: notif,
+			Exported:     now,
+		})
+	}
+
+	// Forwarding lookup.
+	if s.cfg.FIB == nil || s.cfg.Balancer == nil {
+		return IngressResult{Drop: true}
+	}
+	group := s.cfg.FIB.Ports(topology.HostID(pkt.DstHost))
+	if len(group) == 0 {
+		return IngressResult{Drop: true}
+	}
+	out := s.cfg.Balancer.Pick(pkt, group, now)
+
+	// Tag the packet with its upstream (ingress port, class) channel
+	// for the egress unit's last-seen array.
+	pkt.Snap.Channel = s.internalChannel(port, pkt.CoS)
+	return IngressResult{EgressPort: out}
+}
+
+// forwardOnly routes a packet without snapshot processing (partial
+// deployment).
+func (s *Switch) forwardOnly(pkt *packet.Packet, now sim.Time) IngressResult {
+	if s.cfg.FIB == nil || s.cfg.Balancer == nil {
+		return IngressResult{Drop: true}
+	}
+	group := s.cfg.FIB.Ports(topology.HostID(pkt.DstHost))
+	if len(group) == 0 {
+		return IngressResult{Drop: true}
+	}
+	return IngressResult{EgressPort: s.cfg.Balancer.Pick(pkt, group, now)}
+}
+
+// EgressResult is the outcome of egress processing.
+type EgressResult struct {
+	// StripHeader is set when the next hop is a host: the caller must
+	// clear the snapshot header before delivery.
+	StripHeader bool
+	// Drop is set for control messages that terminate here (initiation
+	// packets are consumed at egress, Section 6).
+	Drop bool
+}
+
+// Egress processes a packet leaving through the given port, after any
+// queueing. The packet's Channel field identifies the ingress port it
+// came from (or the CPU pseudo-channel, for control-plane-injected
+// traffic). On edge ports the caller must strip the header afterwards,
+// as instructed by the result.
+func (s *Switch) Egress(pkt *packet.Packet, port int, now sim.Time) EgressResult {
+	if s.cfg.SnapshotDisabled {
+		return EgressResult{}
+	}
+	channel := int(pkt.Snap.Channel)
+	if channel < 0 || channel > s.cfg.NumPorts*s.cfg.NumCoS {
+		panic(fmt.Sprintf("dataplane: egress channel %d out of range on switch %d", channel, s.cfg.Node))
+	}
+	notif, changed := s.ports[port].EgressUnit.OnPacket(pkt, channel)
+	if changed {
+		s.pushNotif(CPUNotification{
+			Unit:         UnitID{s.cfg.Node, port, Egress},
+			Notification: notif,
+			Exported:     now,
+		})
+	}
+	if pkt.Snap.Type == packet.TypeInitiation {
+		// Initiations travel CPU→ingress→egress and are then dropped.
+		return EgressResult{Drop: true}
+	}
+	// On the wire to the next device, the receiving ingress unit
+	// derives its channel from the packet's class; the field itself is
+	// cleared.
+	pkt.Snap.Channel = 0
+	if s.cfg.EdgePorts[port] {
+		return EgressResult{StripHeader: true}
+	}
+	return EgressResult{}
+}
+
+// Recirculate re-enters a packet into a port's ingress unit on the
+// recirculation channel after its egress processing (footnote 2 of the
+// paper: recirculation is just another FIFO logical channel). The
+// caller must preserve per-channel order: recirculated packets re-enter
+// in the order they left the egress unit. The packet is counted again
+// by the ingress metric — it really does traverse the pipeline twice —
+// and a fresh forwarding decision is returned.
+func (s *Switch) Recirculate(pkt *packet.Packet, port int, now sim.Time) IngressResult {
+	if !s.cfg.Recirculation {
+		panic(fmt.Sprintf("dataplane: switch %d has no recirculation channel", s.cfg.Node))
+	}
+	if s.cfg.SnapshotDisabled {
+		return s.forwardOnly(pkt, now)
+	}
+	ch := s.ingressRecircChannel()
+	pkt.Snap.Channel = uint16(ch)
+	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, ch)
+	if changed {
+		s.pushNotif(CPUNotification{
+			Unit:         UnitID{s.cfg.Node, port, Ingress},
+			Notification: notif,
+			Exported:     now,
+		})
+	}
+	if s.cfg.FIB == nil || s.cfg.Balancer == nil {
+		return IngressResult{Drop: true}
+	}
+	group := s.cfg.FIB.Ports(topology.HostID(pkt.DstHost))
+	if len(group) == 0 {
+		return IngressResult{Drop: true}
+	}
+	out := s.cfg.Balancer.Pick(pkt, group, now)
+	pkt.Snap.Channel = s.internalChannel(port, pkt.CoS)
+	return IngressResult{EgressPort: out}
+}
+
+// InitiationPacket builds the control plane's initiation message for a
+// snapshot ID (already wrapped to the wire form by the caller's control
+// plane).
+func InitiationPacket(wireID uint32) *packet.Packet {
+	return &packet.Packet{
+		HasSnap: true,
+		Snap:    packet.SnapshotHeader{Type: packet.TypeInitiation, ID: wireID},
+	}
+}
+
+// IngressOnly runs a packet through a port's ingress unit without a
+// forwarding lookup. Emulations use it for traffic that bypasses the
+// FIB, such as the marker broadcasts the control plane injects to force
+// snapshot ID propagation when data traffic is absent (Section 6,
+// liveness).
+func (s *Switch) IngressOnly(pkt *packet.Packet, port int, now sim.Time) {
+	if !pkt.HasSnap {
+		pkt.HasSnap = true
+		pkt.Snap = packet.SnapshotHeader{
+			Type: packet.TypeData,
+			ID:   s.ports[port].IngressUnit.RegCurrentSID(),
+		}
+	}
+	ch := s.ingressChannel(pkt.CoS)
+	pkt.Snap.Channel = uint16(ch)
+	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, ch)
+	if changed {
+		s.pushNotif(CPUNotification{
+			Unit:         UnitID{s.cfg.Node, port, Ingress},
+			Notification: notif,
+			Exported:     now,
+		})
+	}
+	pkt.Snap.Channel = s.internalChannel(port, pkt.CoS)
+}
+
+// IngressFromCP runs a control-plane-injected packet through a port's
+// ingress unit on the CPU pseudo-channel — the same path initiations
+// take (Figure 6), but for arbitrary CP traffic such as the marker
+// broadcasts of Section 6. The header is added if missing, carrying the
+// unit's current epoch; afterwards the packet is tagged with the
+// ingress port for egress-unit processing. Injecting on the CPU channel
+// (rather than the external one) matters: it must not forge the
+// upstream neighbor's progress in the last-seen array.
+func (s *Switch) IngressFromCP(pkt *packet.Packet, port int, now sim.Time) {
+	if !pkt.HasSnap {
+		pkt.HasSnap = true
+		pkt.Snap = packet.SnapshotHeader{
+			Type: packet.TypeData,
+			ID:   s.ports[port].IngressUnit.RegCurrentSID(),
+		}
+	}
+	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, s.ingressCPChannel())
+	if changed {
+		s.pushNotif(CPUNotification{
+			Unit:         UnitID{s.cfg.Node, port, Ingress},
+			Notification: notif,
+			Exported:     now,
+		})
+	}
+	pkt.Snap.Channel = s.internalChannel(port, pkt.CoS)
+}
+
+// StampCPEgress prepares a control-plane-injected packet for the CPU
+// egress path ("not shown" in the paper's Figure 5): the packet will
+// enter the egress unit on the CPU pseudo-channel, carrying the current
+// snapshot ID so it neither initiates nor appears in flight.
+func (s *Switch) StampCPEgress(pkt *packet.Packet, port int) {
+	if !pkt.HasSnap {
+		pkt.HasSnap = true
+		pkt.Snap = packet.SnapshotHeader{
+			Type: packet.TypeData,
+			ID:   s.ports[port].EgressUnit.RegCurrentSID(),
+		}
+	}
+	pkt.Snap.Channel = uint16(s.cfg.NumPorts * s.cfg.NumCoS)
+}
+
+// InitiateIngress runs a control-plane initiation message through a
+// port's ingress unit (step CPU→ingress of Figure 6). It returns one
+// initiation packet per class of service, which the caller must pass
+// through the port's egress path — through the same per-class FIFO
+// queues as data traffic, or the egress unit could see an initiation
+// ahead of older in-flight packets. One marker per FIFO channel is
+// exactly what the snapshot algorithm requires (Section 4.1's CoS
+// sub-channels are independent FIFO channels).
+func (s *Switch) InitiateIngress(wireID uint32, port int, now sim.Time) []*packet.Packet {
+	pkt := InitiationPacket(wireID)
+	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, s.ingressCPChannel())
+	if changed {
+		s.pushNotif(CPUNotification{
+			Unit:         UnitID{s.cfg.Node, port, Ingress},
+			Notification: notif,
+			Exported:     now,
+		})
+	}
+	out := make([]*packet.Packet, s.cfg.NumCoS)
+	for cos := 0; cos < s.cfg.NumCoS; cos++ {
+		cp := pkt.Clone()
+		cp.CoS = uint8(cos)
+		cp.Snap.Channel = s.internalChannel(port, uint8(cos))
+		out[cos] = cp
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package dataplane
+
+import (
+	"testing"
+
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/packet"
+	"speedlight/internal/routing"
+	"speedlight/internal/topology"
+)
+
+func recircSwitch(t *testing.T) *Switch {
+	t.Helper()
+	s, err := New(Config{
+		Node:          1,
+		NumPorts:      2,
+		Recirculation: true,
+		MaxID:         64,
+		WrapAround:    true,
+		ChannelState:  true,
+		Metrics:       func(UnitID) core.Metric { return &counters.PacketCount{} },
+		FIB: &routing.FIB{
+			Node: 1, Version: 1,
+			NextHops: map[topology.HostID][]int{10: {1}},
+		},
+		Balancer: routing.ECMP{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRecirculationChannelLayout(t *testing.T) {
+	s := recircSwitch(t)
+	ing := s.Port(0).IngressUnit
+	// 1 external CoS channel + recirc + CPU.
+	if got := ing.Config().NumChannels; got != 3 {
+		t.Errorf("ingress channels = %d, want 3", got)
+	}
+	if got := ing.Config().CPChannel; got != 2 {
+		t.Errorf("CP channel = %d, want 2", got)
+	}
+	if got := s.ingressRecircChannel(); got != 1 {
+		t.Errorf("recirc channel = %d, want 1", got)
+	}
+}
+
+func TestRecirculatePanicsWhenDisabled(t *testing.T) {
+	s := testSwitch(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Recirculate on a non-recirculating switch did not panic")
+		}
+	}()
+	s.Recirculate(&packet.Packet{HasSnap: true}, 0, 0)
+}
+
+func TestRecirculatedPacketCountedTwice(t *testing.T) {
+	s := recircSwitch(t)
+	pkt := &packet.Packet{DstHost: 10, Size: 100}
+	res := s.Ingress(pkt, 0, 0)
+	if res.Drop {
+		t.Fatal("drop")
+	}
+	s.Egress(pkt, res.EgressPort, 0)
+	// The pipeline decides to recirculate (e.g. a second lookup).
+	res = s.Recirculate(pkt, res.EgressPort, 0)
+	if res.Drop {
+		t.Fatal("recirculated packet dropped")
+	}
+	s.Egress(pkt, res.EgressPort, 0)
+
+	ing0 := s.Port(0).IngressUnit.Metric().(*counters.PacketCount)
+	ing1 := s.Port(1).IngressUnit.Metric().(*counters.PacketCount)
+	egr1 := s.Port(1).EgressUnit.Metric().(*counters.PacketCount)
+	if ing0.Read() != 1 {
+		t.Errorf("port0 ingress = %d, want 1", ing0.Read())
+	}
+	if ing1.Read() != 1 {
+		t.Errorf("port1 ingress (recirc) = %d, want 1", ing1.Read())
+	}
+	if egr1.Read() != 2 {
+		t.Errorf("port1 egress = %d, want 2 (both passes)", egr1.Read())
+	}
+}
+
+func TestRecirculationCarriesEpochAndAbsorbsInFlight(t *testing.T) {
+	s := recircSwitch(t)
+	ing1 := s.Port(1).IngressUnit
+
+	// An old-epoch packet completes egress processing at port 1, about
+	// to recirculate.
+	old := &packet.Packet{DstHost: 10, Size: 100}
+	res := s.Ingress(old, 0, 0)
+	s.Egress(old, res.EgressPort, 0)
+
+	// Meanwhile the ingress unit of port 1 advances to epoch 1 via the
+	// CPU; the recirculating packet (still epoch 0) becomes in-flight
+	// on the recirculation channel.
+	s.InitiateIngress(1, 1, 0)
+	if v, ok := ing1.RegSnapshot(1); !ok || v != 0 {
+		t.Fatalf("snapshot at recirc ingress = (%d,%v)", v, ok)
+	}
+	s.Recirculate(old, 1, 0)
+	if v, _ := ing1.RegSnapshot(1); v != 1 {
+		t.Errorf("in-flight recirculated packet not absorbed: snapshot = %d", v)
+	}
+	// The in-flight packet was stamped before the epoch advanced, so
+	// the recirculation channel's last-seen entry stays at 0 ...
+	if got := ing1.LastSeenUnwrapped(s.ingressRecircChannel()); got != 0 {
+		t.Errorf("recirc lastSeen = %d, want 0 (packet carried the old epoch)", got)
+	}
+	// ... until a packet that egressed after the advance recirculates.
+	// (First let the egress unit itself advance: the earlier initiation
+	// only reached the ingress unit.)
+	for _, ip := range s.InitiateIngress(1, 0, 0) {
+		s.Egress(ip, 1, 0)
+	}
+	fresh := &packet.Packet{DstHost: 10, Size: 100}
+	res = s.Ingress(fresh, 0, 0)
+	s.Egress(fresh, res.EgressPort, 0) // egress stamps the current epoch
+	s.Recirculate(fresh, 1, 0)
+	if got := ing1.LastSeenUnwrapped(s.ingressRecircChannel()); got != 1 {
+		t.Errorf("recirc lastSeen = %d, want 1 after a fresh-epoch recirculation", got)
+	}
+}
+
+func TestRecirculationEpochPropagation(t *testing.T) {
+	// A new epoch reaches the egress unit first (via another port's
+	// traffic); a recirculating packet then carries it into the ingress
+	// unit — initiation path (2) of Figure 6, through the recirc channel.
+	s := recircSwitch(t)
+	pkt := &packet.Packet{DstHost: 10, Size: 100}
+	res := s.Ingress(pkt, 0, 0)
+
+	// Egress port 1 learns epoch 3 from the CPU path of port 1's
+	// initiation before our packet egresses.
+	for _, ip := range s.InitiateIngress(3, 1, 0) {
+		s.Egress(ip, 1, 0)
+	}
+	// Our packet egresses (stamped with epoch 3 on the way out) and
+	// recirculates into port 1's ingress unit, advancing it.
+	s.Egress(pkt, res.EgressPort, 0)
+	if pkt.Snap.ID != 3 {
+		t.Fatalf("egress stamp = %d, want 3", pkt.Snap.ID)
+	}
+	before := s.Port(1).IngressUnit.CurrentSID()
+	if before != 3 {
+		// Already advanced by its own initiation; use port 0 instead to
+		// observe propagation: recirculate into port 0.
+		s.Recirculate(pkt, 0, 0)
+		if got := s.Port(0).IngressUnit.CurrentSID(); got != 3 {
+			t.Errorf("recirculation did not propagate the epoch: sid = %d", got)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const sampleN = 20000
+
+func sampleMean(d Dist, seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	var sum float64
+	for i := 0; i < sampleN; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / sampleN
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{V: 3.5}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 3.5 {
+			t.Fatal("Constant must always return V")
+		}
+	}
+	if d.Mean() != 3.5 {
+		t.Error("Mean mismatch")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 4}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(r)
+		if v < 2 || v >= 4 {
+			t.Fatalf("sample %v out of [2,4)", v)
+		}
+	}
+	if got := sampleMean(d, 3); math.Abs(got-3) > 0.05 {
+		t.Errorf("empirical mean %v, want ~3", got)
+	}
+	if d.Mean() != 3 {
+		t.Error("Mean mismatch")
+	}
+}
+
+func TestNormal(t *testing.T) {
+	d := Normal{Mu: 10, Sigma: 2}
+	if got := sampleMean(d, 4); math.Abs(got-10) > 0.1 {
+		t.Errorf("empirical mean %v, want ~10", got)
+	}
+	if d.Mean() != 10 {
+		t.Error("Mean mismatch")
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	d := LogNormal{Mu: 1, Sigma: 0.5}
+	want := math.Exp(1 + 0.125)
+	if got := sampleMean(d, 5); math.Abs(got-want)/want > 0.05 {
+		t.Errorf("empirical mean %v, want ~%v", got, want)
+	}
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 1000; i++ {
+		if d.Sample(r) <= 0 {
+			t.Fatal("lognormal sample must be positive")
+		}
+	}
+}
+
+func TestLogNormalFromMedianP99(t *testing.T) {
+	d := LogNormalFromMedianP99(6.4, 22)
+	// Median of lognormal is exp(mu).
+	if got := math.Exp(d.Mu); math.Abs(got-6.4) > 1e-9 {
+		t.Errorf("median %v, want 6.4", got)
+	}
+	// Empirical p99 should be near 22.
+	r := rand.New(rand.NewSource(7))
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = d.Sample(r)
+	}
+	e := NewEmpirical(samples)
+	if got := e.Quantile(0.99); math.Abs(got-22)/22 > 0.1 {
+		t.Errorf("p99 %v, want ~22", got)
+	}
+}
+
+func TestLogNormalFromMedianP99Degenerate(t *testing.T) {
+	d := LogNormalFromMedianP99(5, 3) // p99 < median: degenerate
+	if d.Sigma != 0 {
+		t.Errorf("expected sigma 0, got %v", d.Sigma)
+	}
+	r := rand.New(rand.NewSource(8))
+	if got := d.Sample(r); math.Abs(got-5) > 1e-9 {
+		t.Errorf("degenerate sample %v, want 5", got)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	d := Exponential{Rate: 4}
+	if got := sampleMean(d, 9); math.Abs(got-0.25) > 0.01 {
+		t.Errorf("empirical mean %v, want ~0.25", got)
+	}
+	if d.Mean() != 0.25 {
+		t.Error("Mean mismatch")
+	}
+}
+
+func TestPareto(t *testing.T) {
+	d := Pareto{Xm: 1, Alpha: 3}
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 1000; i++ {
+		if d.Sample(r) < 1 {
+			t.Fatal("Pareto sample below Xm")
+		}
+	}
+	if got, want := d.Mean(), 1.5; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 0.9}.Mean(), 1) {
+		t.Error("Mean should diverge for Alpha <= 1")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	d := Truncated{D: Normal{Mu: 0, Sigma: 100}, Lo: -1, Hi: 1}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(r)
+		if v < -1 || v > 1 {
+			t.Fatalf("sample %v escaped bounds", v)
+		}
+	}
+	if got := (Truncated{D: Constant{V: -5}, Lo: 0, Hi: 10}).Mean(); got != 0 {
+		t.Errorf("clamped mean %v, want 0", got)
+	}
+	if got := (Truncated{D: Constant{V: 50}, Lo: 0, Hi: 10}).Mean(); got != 10 {
+		t.Errorf("clamped mean %v, want 10", got)
+	}
+}
+
+func TestShifted(t *testing.T) {
+	d := Shifted{D: Constant{V: 2}, Offset: 3}
+	r := rand.New(rand.NewSource(12))
+	if d.Sample(r) != 5 {
+		t.Error("Shifted sample mismatch")
+	}
+	if d.Mean() != 5 {
+		t.Error("Shifted mean mismatch")
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5}
+	e := NewEmpirical(samples)
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		v := e.Sample(r)
+		if v < 1 || v > 5 {
+			t.Fatalf("sample %v outside data range", v)
+		}
+	}
+	if e.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3", e.Mean())
+	}
+	if e.Quantile(0) != 1 || e.Quantile(1) != 5 {
+		t.Error("Quantile endpoints wrong")
+	}
+	if got := e.Quantile(0.5); got != 3 {
+		t.Errorf("median %v, want 3", got)
+	}
+}
+
+func TestEmpiricalSingleSample(t *testing.T) {
+	e := NewEmpirical([]float64{7})
+	r := rand.New(rand.NewSource(14))
+	if e.Sample(r) != 7 {
+		t.Error("single-sample empirical must return that sample")
+	}
+	if e.Quantile(0.3) != 7 {
+		t.Error("quantile of single sample must be the sample")
+	}
+}
+
+func TestEmpiricalPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEmpirical(nil) did not panic")
+		}
+	}()
+	NewEmpirical(nil)
+}
+
+func TestEmpiricalMatchesSource(t *testing.T) {
+	// Sampling from an empirical distribution of normal draws should
+	// approximately reproduce the normal's mean.
+	r := rand.New(rand.NewSource(15))
+	src := make([]float64, 10000)
+	for i := range src {
+		src[i] = 42 + 5*r.NormFloat64()
+	}
+	e := NewEmpirical(src)
+	if got := sampleMean(e, 16); math.Abs(got-42) > 0.5 {
+		t.Errorf("empirical-of-normal mean %v, want ~42", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Identical seeds must give identical streams for every distribution.
+	dists := []Dist{
+		Constant{V: 1},
+		Uniform{Lo: 0, Hi: 1},
+		Normal{Mu: 0, Sigma: 1},
+		LogNormal{Mu: 0, Sigma: 1},
+		Exponential{Rate: 1},
+		Pareto{Xm: 1, Alpha: 2},
+		Truncated{D: Normal{Mu: 0, Sigma: 1}, Lo: -1, Hi: 1},
+		Shifted{D: Exponential{Rate: 2}, Offset: 1},
+		NewEmpirical([]float64{1, 2, 3}),
+	}
+	for _, d := range dists {
+		r1 := rand.New(rand.NewSource(77))
+		r2 := rand.New(rand.NewSource(77))
+		for i := 0; i < 100; i++ {
+			if d.Sample(r1) != d.Sample(r2) {
+				t.Fatalf("%T not deterministic", d)
+			}
+		}
+	}
+}

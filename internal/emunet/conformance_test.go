@@ -1,0 +1,125 @@
+package emunet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"speedlight/internal/dataplane"
+	"speedlight/internal/packet"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// TestRandomizedConformance sweeps randomized configurations — fabric
+// dimensions, channel state, CoS levels, link loss, notification
+// capacity, traffic intensity — and checks the protocol's end-to-end
+// guarantees on each: every scheduled snapshot completes (liveness
+// through the recovery machinery), assembled snapshots cover every
+// registered unit, and per-unit consistent counter values never
+// regress across the snapshot sequence (causal consistency implies a
+// monotone cut sequence for monotone state).
+func TestRandomizedConformance(t *testing.T) {
+	r := rand.New(rand.NewSource(20260706))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		leaves := 2 + r.Intn(2)
+		spines := 1 + r.Intn(3)
+		hostsPer := 1 + r.Intn(3)
+		cfgMut := Config{
+			Seed:          r.Int63(),
+			MaxID:         uint32(16 << r.Intn(3)),
+			WrapAround:    r.Intn(2) == 0,
+			ChannelState:  r.Intn(2) == 0,
+			NumCoS:        1 + r.Intn(3),
+			LinkLossProb:  float64(r.Intn(3)) * 0.03,
+			NotifCapacity: []int{0, 64, 1024}[r.Intn(3)],
+			RetryAfter:    2 * sim.Millisecond,
+		}
+		interval := sim.Duration(2+r.Intn(10)) * sim.Microsecond
+		name := fmt.Sprintf("trial%d_l%d_s%d_h%d_cs%v_cos%d_loss%.2f",
+			trial, leaves, spines, hostsPer, cfgMut.ChannelState, cfgMut.NumCoS, cfgMut.LinkLossProb)
+		t.Run(name, func(t *testing.T) {
+			ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+				Leaves: leaves, Spines: spines, HostsPerLeaf: hostsPer,
+				HostLinkLatency:   sim.Microsecond,
+				FabricLinkLatency: sim.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := cfgMut
+			cfg.Topo = ls.Topology
+			n, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Randomized traffic across hosts and classes.
+			eng := n.Engine()
+			tr := eng.NewRand()
+			hosts := ls.Hosts
+			var seq uint16
+			if len(hosts) > 1 {
+				eng.NewTicker(interval, func() {
+					src := hosts[tr.Intn(len(hosts))]
+					dst := hosts[tr.Intn(len(hosts))]
+					if src.ID == dst.ID {
+						return
+					}
+					seq++
+					n.InjectFromHost(src.ID, &packet.Packet{
+						DstHost: uint32(dst.ID),
+						SrcPort: 1000 + seq,
+						DstPort: 80,
+						Proto:   6,
+						Size:    uint32(100 + tr.Intn(1400)),
+						CoS:     uint8(tr.Intn(cfg.NumCoS)),
+					})
+				})
+			}
+			n.RunFor(2 * sim.Millisecond)
+
+			const snapshots = 4
+			scheduled := 0
+			for i := 0; i < snapshots; i++ {
+				n.RunFor(2 * sim.Millisecond)
+				if _, err := n.ScheduleSnapshot(eng.Now().Add(sim.Millisecond)); err == nil {
+					scheduled++
+				}
+			}
+			n.RunFor(80 * sim.Millisecond)
+
+			snaps := n.Snapshots()
+			if len(snaps) != scheduled {
+				t.Fatalf("completed %d of %d snapshots (drops: wire=%d notif=%d)",
+					len(snaps), scheduled, n.WireDrops(), n.NotifDropsTotal())
+			}
+			wantUnits := 0
+			for _, sw := range ls.Switches {
+				wantUnits += 2 * len(sw.Ports)
+			}
+			last := map[dataplane.UnitID]uint64{}
+			for _, g := range snaps {
+				if len(g.Excluded) != 0 {
+					t.Errorf("snapshot %d excluded devices: %v", g.ID, g.Excluded)
+				}
+				if len(g.Results) != wantUnits {
+					t.Errorf("snapshot %d has %d results, want %d", g.ID, len(g.Results), wantUnits)
+				}
+				for u, res := range g.Results {
+					if !res.Consistent {
+						continue
+					}
+					if res.Value < last[u] {
+						t.Errorf("unit %v regressed: %d -> %d", u, last[u], res.Value)
+					}
+					last[u] = res.Value
+				}
+			}
+		})
+	}
+}

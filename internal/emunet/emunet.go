@@ -1,0 +1,842 @@
+// Package emunet assembles the full Speedlight system on the
+// discrete-event simulator: switches (data plane + control plane +
+// PTP-disciplined clock), links with propagation and serialization
+// delay, bounded egress queues, the lossy notification path to each
+// switch CPU with a modeled per-notification service time, and a
+// snapshot observer connected over the network.
+//
+// This is the stand-in for the paper's Wedge100BF testbed (and for the
+// large-network simulation behind its Figure 11). All randomness comes
+// from the engine's seed; runs are reproducible.
+package emunet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"speedlight/internal/clock"
+	"speedlight/internal/control"
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/dist"
+	"speedlight/internal/observer"
+	"speedlight/internal/packet"
+	"speedlight/internal/routing"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// BroadcastHost is the destination address of control-plane marker
+// broadcasts. Markers advance snapshot IDs across every channel of the
+// receiving device and are then dropped (single-hop scope), providing
+// the liveness mechanism of Section 6 for traffic-free channels.
+const BroadcastHost = topology.HostID(0xFFFFFFFF)
+
+// Config parameterizes an emulated network.
+type Config struct {
+	// Topo is the network topology. Required.
+	Topo *topology.Topology
+	// Seed drives all randomness.
+	Seed int64
+
+	// Snapshot protocol parameters.
+	MaxID        uint32
+	WrapAround   bool
+	ChannelState bool
+
+	// NumCoS is the number of Class-of-Service levels (strict priority;
+	// higher class wins). Each class is an independent FIFO logical
+	// channel in the snapshot model. Zero means 1.
+	NumCoS int
+
+	// Metrics selects each unit's snapshot target. Nil defaults to
+	// per-unit packet counters. The factory may return nil for "use the
+	// default for this unit".
+	Metrics func(net *Network, id dataplane.UnitID) core.Metric
+
+	// NewBalancer builds each switch's load balancer. Nil defaults to
+	// ECMP.
+	NewBalancer func(node topology.NodeID, r *rand.Rand) routing.Balancer
+
+	// Clock is the control planes' synchronization quality. The zero
+	// value defaults to clock.PTP().
+	Clock clock.Config
+
+	// CPNotifLatency is the data-plane-to-CPU delivery latency of a
+	// notification (DMA + kernel). Default: ~10 µs lognormal.
+	CPNotifLatency dist.Dist
+	// CPServiceTime is the control plane's per-notification processing
+	// time — the bottleneck behind the paper's Figure 10. Default:
+	// ~110 µs lognormal (calibrated to ~70 snapshots/s at 64 ports).
+	CPServiceTime dist.Dist
+	// InitiationLatency is the delay between a control plane's local
+	// deadline and the initiation reaching the data plane (scheduler
+	// wakeup + driver). Default: ~2 µs lognormal with a 15 µs p99.
+	InitiationLatency dist.Dist
+	// ObserverLatency is the control-plane-to-observer result delivery
+	// time. Default: 50 µs constant.
+	ObserverLatency dist.Dist
+
+	// LinkRateBps is the transmission rate of every link. Default
+	// 25 Gb/s (the testbed's server links).
+	LinkRateBps float64
+	// QueueCapacity bounds each egress queue, in packets. Default 512.
+	QueueCapacity int
+	// NotifCapacity bounds each switch CPU's notification socket
+	// buffer. Default 4096.
+	NotifCapacity int
+
+	// RetryAfter / ExcludeAfter configure the observer's recovery
+	// timers (zero keeps the defaults: 5 ms / 50 ms). Negative disables.
+	RetryAfter   sim.Duration
+	ExcludeAfter sim.Duration
+
+	// LinkLossProb drops each switch-to-switch wire transmission with
+	// this probability (failure injection). The snapshot protocol is
+	// designed to survive loss: IDs piggyback on every packet and the
+	// control planes re-initiate and poll (Section 6).
+	LinkLossProb float64
+
+	// SnapshotDisabled lists switches that forward traffic but do not
+	// participate in snapshots (partial deployment, Section 10).
+	SnapshotDisabled map[topology.NodeID]bool
+
+	// OnDeliver, when set, observes every packet delivered to a host.
+	OnDeliver func(pkt *packet.Packet, host topology.HostID, now sim.Time)
+
+	// OnProgress, when set, observes every progress-relevant data-plane
+	// notification (the ones entering synchronization windows), keyed by
+	// the unwrapped snapshot ID it advances. Experiments use it to
+	// collect per-unit timing distributions.
+	OnProgress func(id uint64, at sim.Time)
+
+	// OnInject, when set, observes every host packet injection at its
+	// injection time — e.g., to record a workload as a replayable
+	// trace.
+	OnInject func(pkt *packet.Packet, host topology.HostID, at sim.Time)
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxID == 0 {
+		c.MaxID = 256
+	}
+	if c.NumCoS <= 0 {
+		c.NumCoS = 1
+	}
+	if c.Clock.ResidualOffset == nil {
+		c.Clock = clock.PTP()
+	}
+	if c.CPNotifLatency == nil {
+		c.CPNotifLatency = dist.LogNormalFromMedianP99(10_000, 40_000)
+	}
+	if c.CPServiceTime == nil {
+		c.CPServiceTime = dist.LogNormalFromMedianP99(110_000, 200_000)
+	}
+	if c.InitiationLatency == nil {
+		c.InitiationLatency = dist.LogNormalFromMedianP99(2_000, 15_000)
+	}
+	if c.ObserverLatency == nil {
+		c.ObserverLatency = dist.Constant{V: 50_000}
+	}
+	if c.LinkRateBps == 0 {
+		c.LinkRateBps = 25e9
+	}
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 512
+	}
+	if c.NotifCapacity == 0 {
+		c.NotifCapacity = 4096
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 5 * sim.Millisecond
+	}
+	if c.ExcludeAfter == 0 {
+		c.ExcludeAfter = 50 * sim.Millisecond
+	}
+}
+
+// queuedPkt is one packet waiting in an egress queue.
+type queuedPkt struct {
+	pkt *packet.Packet
+}
+
+// portQueue is one egress port's set of per-class FIFO queues with a
+// single strict-priority transmitter: within a class order holds, but
+// a higher class's packets overtake lower ones — exactly the CoS
+// channel model of Section 4.1.
+type portQueue struct {
+	perCoS      [][]queuedPkt
+	txScheduled bool
+	drops       uint64
+}
+
+func (q *portQueue) length() int {
+	n := 0
+	for _, items := range q.perCoS {
+		n += len(items)
+	}
+	return n
+}
+
+// head returns the highest-priority non-empty class, or -1.
+func (q *portQueue) head() int {
+	for cos := len(q.perCoS) - 1; cos >= 0; cos-- {
+		if len(q.perCoS[cos]) > 0 {
+			return cos
+		}
+	}
+	return -1
+}
+
+// EmuSwitch is one emulated switch: data plane, control plane, clock,
+// and per-port egress queues.
+type EmuSwitch struct {
+	Node   topology.NodeID
+	DP     *dataplane.Switch
+	CP     *control.Plane
+	Clock  *clock.Clock
+	queues []*portQueue
+
+	cpBusy bool // notification processing loop active
+	rng    *rand.Rand
+}
+
+// QueueLen returns the occupancy of an egress queue in packets, summed
+// over service classes.
+func (s *EmuSwitch) QueueLen(port int) int { return s.queues[port].length() }
+
+// QueueDrops returns packets dropped at a full egress queue.
+func (s *EmuSwitch) QueueDrops(port int) uint64 { return s.queues[port].drops }
+
+// syncWindow tracks the earliest and latest notification timestamps
+// observed for one snapshot ID (the paper's synchronization metric,
+// Section 8.1).
+type syncWindow struct {
+	min, max sim.Time
+	count    int
+	// first and last identify the earliest and latest contributing
+	// notifications, for diagnosing stragglers.
+	first, last SyncContributor
+}
+
+// SyncContributor identifies one notification that entered a snapshot's
+// synchronization window.
+type SyncContributor struct {
+	Unit    dataplane.UnitID
+	Channel int // -1 for a snapshot ID advance
+	At      sim.Time
+}
+
+// Network is the emulated Speedlight deployment.
+type Network struct {
+	cfg      Config
+	eng      *sim.Engine
+	topo     *topology.Topology
+	fibs     map[topology.NodeID]*routing.FIB
+	utilized map[topology.NodeID]map[[2]int]bool
+	sws      map[topology.NodeID]*EmuSwitch
+	obs      *observer.Observer
+	done     []*observer.GlobalSnapshot
+	syncs    map[uint64]*syncWindow
+	gauges   map[dataplane.UnitID]*counters.Gauge
+	// wireDrops counts packets lost to injected link failures.
+	wireDrops uint64
+	// gateSets mirrors each unit's completion-gating channels, used to
+	// filter synchronization recording to progress-relevant
+	// notifications.
+	gateSets map[dataplane.UnitID]map[int]bool
+}
+
+// New builds and wires the emulated network.
+func New(cfg Config) (*Network, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("emunet: nil topology")
+	}
+	cfg.setDefaults()
+	eng := sim.NewEngine(cfg.Seed)
+
+	fibs, err := routing.ComputeFIBs(cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Network{
+		cfg:      cfg,
+		eng:      eng,
+		topo:     cfg.Topo,
+		fibs:     fibs,
+		utilized: routing.UtilizedPairs(cfg.Topo, fibs),
+		sws:      make(map[topology.NodeID]*EmuSwitch),
+		syncs:    make(map[uint64]*syncWindow),
+		gauges:   make(map[dataplane.UnitID]*counters.Gauge),
+		gateSets: make(map[dataplane.UnitID]map[int]bool),
+	}
+
+	obs, err := observer.New(observer.Config{
+		MaxID:        cfg.MaxID,
+		WrapAround:   cfg.WrapAround,
+		RetryAfter:   nonNeg(cfg.RetryAfter),
+		ExcludeAfter: nonNeg(cfg.ExcludeAfter),
+		OnComplete:   func(g *observer.GlobalSnapshot) { n.done = append(n.done, g) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.obs = obs
+
+	for _, swSpec := range cfg.Topo.Switches {
+		if err := n.buildSwitch(swSpec); err != nil {
+			return nil, err
+		}
+	}
+
+	// Register snapshot-enabled switches with the observer and start
+	// their clock discipline tickers, in topology order for
+	// deterministic event sequencing.
+	for _, swSpec := range cfg.Topo.Switches {
+		es := n.sws[swSpec.ID]
+		if !cfg.SnapshotDisabled[swSpec.ID] {
+			n.obs.Register(swSpec.ID, es.DP.UnitIDs())
+		}
+		eng.NewTicker(sim.Duration(es.Clock.SyncInterval()), func() {
+			es.Clock.Sync(eng.Now())
+		})
+	}
+
+	// Observer recovery ticker.
+	if cfg.RetryAfter > 0 || cfg.ExcludeAfter > 0 {
+		eng.NewTicker(sim.Millisecond, func() { n.handleTimeouts() })
+	}
+
+	return n, nil
+}
+
+func nonNeg(d sim.Duration) sim.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func (n *Network) buildSwitch(spec *topology.Switch) error {
+	cfg := n.cfg
+	node := spec.ID
+	es := &EmuSwitch{Node: node, rng: n.eng.NewRand()}
+
+	edge := map[int]bool{}
+	for p, peer := range spec.Ports {
+		if peer.Kind == topology.PeerHost {
+			edge[p] = true
+		}
+	}
+	var balancer routing.Balancer = routing.ECMP{}
+	if cfg.NewBalancer != nil {
+		balancer = cfg.NewBalancer(node, n.eng.NewRand())
+	}
+	metrics := func(id dataplane.UnitID) core.Metric {
+		if cfg.Metrics != nil {
+			if m := cfg.Metrics(n, id); m != nil {
+				return m
+			}
+		}
+		return &counters.PacketCount{}
+	}
+	dp, err := dataplane.New(dataplane.Config{
+		Node:          node,
+		NumPorts:      len(spec.Ports),
+		MaxID:         cfg.MaxID,
+		WrapAround:    cfg.WrapAround,
+		ChannelState:  cfg.ChannelState,
+		NumCoS:        cfg.NumCoS,
+		Metrics:       metrics,
+		NotifCapacity: cfg.NotifCapacity,
+		// Record synchronization windows at export time, while the
+		// unit's unwrapped state still matches the notification. Only
+		// progress-relevant notifications count: snapshot ID advances,
+		// and last-seen advances on channels that gate completion
+		// (structurally idle channels only ever advance via recovery
+		// markers, long after the snapshot instant).
+		OnNotify: func(notif dataplane.CPUNotification) {
+			unit := es.DP.Unit(notif.Unit)
+			if notif.SIDChanged() {
+				n.recordSync(unit.CurrentSID(), notif.Exported, notif.Unit, -1)
+			} else if notif.LastSeenChanged() && n.gateSets[notif.Unit][notif.Channel] {
+				n.recordSync(unit.LastSeenUnwrapped(notif.Channel), notif.Exported, notif.Unit, notif.Channel)
+			}
+		},
+		FIB:              n.fibs[node],
+		Balancer:         balancer,
+		EdgePorts:        edge,
+		SnapshotDisabled: cfg.SnapshotDisabled[node],
+	})
+	if err != nil {
+		return err
+	}
+	es.DP = dp
+
+	baseGates := n.completionChannels(spec)
+	recordingGates := func(id dataplane.UnitID) []int {
+		chans := baseGates(id)
+		set := make(map[int]bool, len(chans))
+		for _, ch := range chans {
+			set[ch] = true
+		}
+		n.gateSets[id] = set
+		return chans
+	}
+	cp, err := control.New(control.Config{
+		Switch:             dp,
+		CompletionChannels: recordingGates,
+		OnResult: func(res control.Result) {
+			lat := sim.Duration(cfg.ObserverLatency.Sample(es.rng))
+			n.eng.After(lat, func() { n.obs.OnResult(res, n.eng.Now()) })
+		},
+	})
+	if err != nil {
+		return err
+	}
+	es.CP = cp
+	es.Clock = clock.New(cfg.Clock, n.eng.NewRand())
+
+	es.queues = make([]*portQueue, len(spec.Ports))
+	for i := range es.queues {
+		es.queues[i] = &portQueue{perCoS: make([][]queuedPkt, cfg.NumCoS)}
+	}
+	n.sws[node] = es
+	return nil
+}
+
+// completionChannels decides which upstream channels gate snapshot
+// completion (channel-state variant), implementing the paper's
+// Section 6 "removal of non-utilized upstream neighbors": switch-facing
+// ingress units gate on their external channel; host-facing ingress
+// units gate on nothing (hosts cannot carry markers); egress units gate
+// on the internal channels some forwarding path actually uses (exact,
+// from FIB path enumeration) plus their own port, which the initiation
+// path refreshes every epoch.
+func (n *Network) completionChannels(spec *topology.Switch) func(dataplane.UnitID) []int {
+	numCoS := n.cfg.NumCoS
+	return func(id dataplane.UnitID) []int {
+		if id.Dir == dataplane.Ingress {
+			if spec.Ports[id.Port].Kind == topology.PeerSwitch {
+				chans := make([]int, numCoS)
+				for c := range chans {
+					chans[c] = c
+				}
+				return chans
+			}
+			return []int{}
+		}
+		used := n.utilized[spec.ID]
+		var chans []int
+		for p := range spec.Ports {
+			if p != id.Port && !used[[2]int{p, id.Port}] {
+				continue
+			}
+			for c := 0; c < numCoS; c++ {
+				chans = append(chans, p*numCoS+c)
+			}
+		}
+		sort.Ints(chans)
+		return chans
+	}
+}
+
+// Engine exposes the simulation engine for workload drivers and tests.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Topo returns the network topology.
+func (n *Network) Topo() *topology.Topology { return n.topo }
+
+// Switch returns one emulated switch.
+func (n *Network) Switch(node topology.NodeID) *EmuSwitch { return n.sws[node] }
+
+// Unit returns a processing unit anywhere in the network.
+func (n *Network) Unit(id dataplane.UnitID) *core.Unit {
+	return n.sws[id.Node].DP.Unit(id)
+}
+
+// Gauge returns the queue-depth gauge registered for a unit, creating
+// it on first use. Metric factories use this to wire egress queue depth
+// into snapshots.
+func (n *Network) Gauge(id dataplane.UnitID) *counters.Gauge {
+	g, ok := n.gauges[id]
+	if !ok {
+		g = &counters.Gauge{}
+		n.gauges[id] = g
+	}
+	return g
+}
+
+// Snapshots returns the global snapshots completed so far.
+func (n *Network) Snapshots() []*observer.GlobalSnapshot { return n.done }
+
+// Observer exposes the snapshot observer.
+func (n *Network) Observer() *observer.Observer { return n.obs }
+
+// NotifDropsTotal sums dropped notifications across all switches.
+func (n *Network) NotifDropsTotal() uint64 {
+	var total uint64
+	for _, es := range n.sws {
+		total += es.DP.NotifDrops()
+	}
+	return total
+}
+
+// WireDrops returns packets lost to injected link loss.
+func (n *Network) WireDrops() uint64 { return n.wireDrops }
+
+// QueueDropsTotal sums packets dropped at full egress queues.
+func (n *Network) QueueDropsTotal() uint64 {
+	var total uint64
+	for _, es := range n.sws {
+		for p := range es.queues {
+			total += es.queues[p].drops
+		}
+	}
+	return total
+}
+
+// SyncSpread returns the synchronization of snapshot id: the difference
+// between the earliest and latest data-plane notification timestamps
+// carrying that ID (Section 8.1). The second result is false when no
+// notifications for the ID were observed.
+func (n *Network) SyncSpread(id uint64) (sim.Duration, bool) {
+	w, ok := n.syncs[id]
+	if !ok || w.count == 0 {
+		return 0, false
+	}
+	return w.max.Sub(w.min), true
+}
+
+// recordSync folds a notification timestamp into the snapshot's
+// synchronization window.
+func (n *Network) recordSync(id uint64, at sim.Time, unit dataplane.UnitID, channel int) {
+	if debugSync != nil {
+		debugSync(id, at, unit, channel)
+	}
+	if n.cfg.OnProgress != nil {
+		n.cfg.OnProgress(id, at)
+	}
+	c := SyncContributor{Unit: unit, Channel: channel, At: at}
+	w, ok := n.syncs[id]
+	if !ok {
+		w = &syncWindow{min: at, max: at, first: c, last: c}
+		n.syncs[id] = w
+	}
+	if at < w.min {
+		w.min = at
+		w.first = c
+	}
+	if at > w.max {
+		w.max = at
+		w.last = c
+	}
+	w.count++
+}
+
+// debugSync, when non-nil, observes every sync record (tests only).
+var debugSync func(id uint64, at sim.Time, unit dataplane.UnitID, channel int)
+
+// SyncDetail returns the earliest and latest notifications contributing
+// to a snapshot's synchronization window, for diagnosing stragglers.
+func (n *Network) SyncDetail(id uint64) (first, last SyncContributor, ok bool) {
+	w, found := n.syncs[id]
+	if !found || w.count == 0 {
+		return SyncContributor{}, SyncContributor{}, false
+	}
+	return w.first, w.last, true
+}
+
+// serialization returns the transmission time of a packet on the link
+// behind one of a switch's egress ports (per-link rates override the
+// network default).
+func (n *Network) serialization(es *EmuSwitch, port int, size uint32) sim.Duration {
+	if size == 0 {
+		size = 64
+	}
+	rate := n.cfg.LinkRateBps
+	if peer := n.topo.Peer(es.Node, port); peer.RateBps > 0 {
+		rate = peer.RateBps
+	}
+	return sim.DurationOfSeconds(float64(size) * 8 / rate)
+}
+
+// InjectFromHost delivers a packet from a host into its leaf switch at
+// the current virtual time plus the host link latency.
+func (n *Network) InjectFromHost(host topology.HostID, pkt *packet.Packet) {
+	h := n.topo.Host(host)
+	if h == nil {
+		panic(fmt.Sprintf("emunet: unknown host %d", host))
+	}
+	pkt.SrcHost = uint32(host)
+	if n.cfg.OnInject != nil {
+		n.cfg.OnInject(pkt, host, n.eng.Now())
+	}
+	n.eng.After(sim.Duration(h.Latency), func() {
+		n.arrive(n.sws[h.Node], pkt, h.Port)
+	})
+}
+
+// arrive handles a packet arriving at a switch port from the wire.
+func (n *Network) arrive(es *EmuSwitch, pkt *packet.Packet, port int) {
+	now := n.eng.Now()
+	if topology.HostID(pkt.DstHost) == BroadcastHost {
+		// Marker broadcast from a neighbor: refresh this port's external
+		// channel, then die. Internal channels are refreshed by this
+		// device's own CP-injected markers, so no re-flood is needed —
+		// which also rules out flooding loops.
+		es.DP.IngressOnly(pkt, port, now)
+		n.drainNotifs(es)
+		return
+	}
+	res := es.DP.Ingress(pkt, port, now)
+	n.drainNotifs(es)
+	if res.Drop {
+		return
+	}
+	n.enqueue(es, pkt, res.EgressPort)
+}
+
+// enqueue places a packet into an egress queue, dropping at capacity,
+// and starts the transmitter if idle.
+func (n *Network) enqueue(es *EmuSwitch, pkt *packet.Packet, port int) {
+	q := es.queues[port]
+	if q.length() >= n.cfg.QueueCapacity {
+		q.drops++
+		return
+	}
+	cos := int(pkt.CoS)
+	if cos >= len(q.perCoS) {
+		cos = len(q.perCoS) - 1
+	}
+	q.perCoS[cos] = append(q.perCoS[cos], queuedPkt{pkt: pkt})
+	n.setDepthGauge(es, port)
+	if !q.txScheduled {
+		q.txScheduled = true
+		n.scheduleTx(es, port)
+	}
+}
+
+// scheduleTx transmits the head-of-line packet of a queue.
+func (n *Network) scheduleTx(es *EmuSwitch, port int) {
+	q := es.queues[port]
+	cos := q.head()
+	if cos < 0 {
+		q.txScheduled = false
+		return
+	}
+	head := q.perCoS[cos][0]
+	n.eng.After(n.serialization(es, port, head.pkt.Size), func() {
+		q.perCoS[cos] = q.perCoS[cos][1:]
+		n.setDepthGauge(es, port)
+		n.transmit(es, head.pkt, port)
+		n.scheduleTx(es, port)
+	})
+}
+
+// transmit runs the egress unit and delivers the packet to the port's
+// peer.
+func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
+	now := n.eng.Now()
+	isBroadcast := topology.HostID(pkt.DstHost) == BroadcastHost
+	res := es.DP.Egress(pkt, port, now)
+	n.drainNotifs(es)
+	if res.Drop {
+		return
+	}
+	if isBroadcast {
+		// Locally injected markers cross one wire hop to refresh the
+		// neighbor's external channel; they are pointless toward hosts.
+		// Like data, they are subject to injected wire loss — the next
+		// recovery round resends them.
+		peer := n.topo.Peer(es.Node, port)
+		if peer.Kind != topology.PeerSwitch {
+			return
+		}
+		if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
+			n.wireDrops++
+			return
+		}
+		next := n.sws[peer.Node]
+		n.eng.After(sim.Duration(peer.Latency), func() {
+			n.arrive(next, pkt, peer.Port)
+		})
+		return
+	}
+	peer := n.topo.Peer(es.Node, port)
+	switch peer.Kind {
+	case topology.PeerSwitch:
+		if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
+			n.wireDrops++
+			return
+		}
+		next := n.sws[peer.Node]
+		n.eng.After(sim.Duration(peer.Latency), func() {
+			n.arrive(next, pkt, peer.Port)
+		})
+	case topology.PeerHost:
+		if res.StripHeader {
+			pkt.HasSnap = false
+			pkt.Snap = packet.SnapshotHeader{}
+		}
+		host := peer.Host
+		n.eng.After(sim.Duration(peer.Latency), func() {
+			if n.cfg.OnDeliver != nil {
+				n.cfg.OnDeliver(pkt, host, n.eng.Now())
+			}
+		})
+	}
+}
+
+// setDepthGauge mirrors an egress queue's occupancy into the registered
+// gauge, if any.
+func (n *Network) setDepthGauge(es *EmuSwitch, port int) {
+	id := dataplane.UnitID{Node: es.Node, Port: port, Dir: dataplane.Egress}
+	if g, ok := n.gauges[id]; ok {
+		g.Set(uint64(es.queues[port].length()))
+	}
+}
+
+// drainNotifs moves data-plane notifications toward the switch CPU: if
+// the control plane is idle, start its processing loop. The data
+// plane's bounded queue is the socket buffer; the loop drains it one
+// notification per service time, so a sustained notification rate above
+// the service rate builds the queue up and eventually drops (Figure 10).
+func (n *Network) drainNotifs(es *EmuSwitch) {
+	if es.cpBusy || es.DP.PendingNotifs() == 0 {
+		return
+	}
+	es.cpBusy = true
+	lat := sim.Duration(n.cfg.CPNotifLatency.Sample(es.rng))
+	n.eng.After(lat, func() { n.cpProcessOne(es) })
+}
+
+// cpProcessOne handles one notification and reschedules itself while
+// work remains.
+func (n *Network) cpProcessOne(es *EmuSwitch) {
+	notif, ok := es.DP.PopNotif()
+	if !ok {
+		es.cpBusy = false
+		return
+	}
+	es.CP.HandleNotification(notif, n.eng.Now())
+	svc := sim.Duration(n.cfg.CPServiceTime.Sample(es.rng))
+	n.eng.After(svc, func() { n.cpProcessOne(es) })
+}
+
+// ScheduleSnapshot asks the observer to start a snapshot at the given
+// local-clock deadline on every control plane. Each control plane fires
+// when its own clock reads the deadline — clock error plus scheduling
+// jitter is exactly what the synchronization experiments measure.
+func (n *Network) ScheduleSnapshot(localDeadline sim.Time) (uint64, error) {
+	id, err := n.obs.Begin(n.eng.Now())
+	if err != nil {
+		return 0, err
+	}
+	for _, swSpec := range n.topo.Switches {
+		if n.cfg.SnapshotDisabled[swSpec.ID] {
+			continue
+		}
+		es := n.sws[swSpec.ID]
+		trueAt := es.Clock.TrueAtLocal(localDeadline)
+		if trueAt < n.eng.Now() {
+			trueAt = n.eng.Now()
+		}
+		jitter := sim.Duration(n.cfg.InitiationLatency.Sample(es.rng))
+		n.eng.Schedule(trueAt.Add(jitter), func() { n.initiate(es, id) })
+	}
+	return id, nil
+}
+
+// ScheduleSnapshotSingle is the single-initiator ablation: only the
+// given switch's control plane initiates; every other device learns the
+// new epoch from the snapshot IDs piggybacked on transit traffic, as in
+// a classical single-initiator Chandy-Lamport run. Consistency is
+// unaffected; what degrades is synchronization, which now includes the
+// propagation time of the epoch through the network — the comparison
+// that motivates the paper's multi-initiator design.
+func (n *Network) ScheduleSnapshotSingle(node topology.NodeID, localDeadline sim.Time) (uint64, error) {
+	id, err := n.obs.Begin(n.eng.Now())
+	if err != nil {
+		return 0, err
+	}
+	es, ok := n.sws[node]
+	if !ok || n.cfg.SnapshotDisabled[node] {
+		return 0, fmt.Errorf("emunet: switch %d cannot initiate", node)
+	}
+	trueAt := es.Clock.TrueAtLocal(localDeadline)
+	if trueAt < n.eng.Now() {
+		trueAt = n.eng.Now()
+	}
+	jitter := sim.Duration(n.cfg.InitiationLatency.Sample(es.rng))
+	n.eng.Schedule(trueAt.Add(jitter), func() { n.initiate(es, id) })
+	return id, nil
+}
+
+// initiate runs a control-plane snapshot initiation on one switch:
+// every ingress unit processes the initiation message, which then
+// follows the same egress queues as data traffic (FIFO order matters;
+// Section 6).
+func (n *Network) initiate(es *EmuSwitch, id uint64) {
+	inits := es.CP.Initiate(id, n.eng.Now())
+	n.drainNotifs(es)
+	for _, init := range inits {
+		n.enqueue(es, init.Pkt, init.Port)
+	}
+}
+
+// handleTimeouts drives the observer's retry/exclusion logic and relays
+// recovery actions: re-initiation, a register poll to recover dropped
+// notifications, and (in the channel-state variant) a marker broadcast
+// to force ID propagation on idle channels.
+func (n *Network) handleTimeouts() {
+	now := n.eng.Now()
+	for _, act := range n.obs.CheckTimeouts(now) {
+		for _, node := range act.Retry {
+			es := n.sws[node]
+			n.initiate(es, act.SnapshotID)
+			es.CP.Poll(now)
+			if n.cfg.ChannelState {
+				n.injectMarkers(es)
+			}
+		}
+	}
+}
+
+// injectMarkers injects one marker broadcast per ingress unit via the
+// CPU pseudo-channel and floods it through the real egress queues: the
+// FIFO queues guarantee any genuinely in-flight packets are seen first,
+// so the marker's ID advance is truthful on every internal channel. Each
+// egress copy then crosses one wire hop, refreshing the neighbors'
+// external channels (Section 6 liveness).
+func (n *Network) injectMarkers(es *EmuSwitch) {
+	now := n.eng.Now()
+	for port := 0; port < es.DP.NumPorts(); port++ {
+		for cos := 0; cos < es.DP.NumCoS(); cos++ {
+			m := &packet.Packet{DstHost: uint32(BroadcastHost), Size: 64, CoS: uint8(cos)}
+			es.DP.IngressFromCP(m, port, now)
+			n.drainNotifs(es)
+			for e := 0; e < es.DP.NumPorts(); e++ {
+				n.enqueue(es, m.Clone(), e)
+			}
+		}
+	}
+}
+
+// RunFor advances the emulation.
+func (n *Network) RunFor(d sim.Duration) { n.eng.RunFor(d) }
+
+// SetDebugSync installs a test-only observer of sync records. The unit
+// argument is passed as a fmt.Stringer to keep the hook signature loose.
+func SetDebugSync(fn func(id uint64, at sim.Time, unit interface{ String() string }, channel int)) {
+	if fn == nil {
+		debugSync = nil
+		return
+	}
+	debugSync = func(id uint64, at sim.Time, unit dataplane.UnitID, channel int) {
+		fn(id, at, unit, channel)
+	}
+}

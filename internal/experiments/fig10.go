@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"speedlight/internal/emunet"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// Fig10Config parameterizes the snapshot-rate experiment.
+type Fig10Config struct {
+	// PortCounts are the router sizes to sweep (paper: 4..64).
+	PortCounts []int
+	// TrialDuration is how long each candidate rate is sustained.
+	TrialDuration sim.Duration
+	Seed          int64
+}
+
+func (c *Fig10Config) defaults() {
+	if len(c.PortCounts) == 0 {
+		c.PortCounts = []int{4, 8, 16, 32, 64}
+	}
+	if c.TrialDuration == 0 {
+		c.TrialDuration = 500 * sim.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Fig10Point is one measurement: the maximum sustained snapshot rate
+// for a router with the given port count.
+type Fig10Point struct {
+	Ports     int
+	MaxRateHz float64
+}
+
+// Fig10Result holds the rate-versus-ports sweep.
+type Fig10Result struct {
+	Points []Fig10Point
+}
+
+// Fig10 measures the maximum sustained snapshot frequency before
+// notification-queue buildup, for a single switch with a range of port
+// counts and no channel state (Section 8.2). The bottleneck is the
+// control plane's per-notification processing latency: each snapshot
+// produces two notifications per port (ingress and egress snapshot ID
+// advances), so the sustainable rate falls inversely with port count.
+func Fig10(cfg Fig10Config) *Fig10Result {
+	cfg.defaults()
+	res := &Fig10Result{}
+	for _, ports := range cfg.PortCounts {
+		rate := maxSustainedRate(ports, cfg)
+		res.Points = append(res.Points, Fig10Point{Ports: ports, MaxRateHz: rate})
+	}
+	return res
+}
+
+// starTopo builds one switch with a host on every port.
+func starTopo(ports int) *topology.Topology {
+	b := topology.NewBuilder()
+	sw := b.AddSwitch(ports)
+	for p := 0; p < ports; p++ {
+		b.AttachHost(sw, p, sim.Microsecond)
+	}
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// sustains reports whether a switch with the given port count can take
+// snapshots at rateHz without notification loss or queue buildup.
+func sustains(ports int, rateHz float64, cfg Fig10Config) bool {
+	n, err := emunet.New(emunet.Config{
+		Topo: starTopo(ports),
+		Seed: cfg.Seed,
+		// Unbounded ID space isolates the CP bottleneck from the
+		// observer's rollover window.
+		MaxID:        1 << 20,
+		WrapAround:   false,
+		ChannelState: false,
+		RetryAfter:   -1,
+		ExcludeAfter: -1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	period := sim.DurationOfSeconds(1 / rateHz)
+	tick := n.Engine().NewTicker(period, func() {
+		// Errors cannot occur without the wraparound window.
+		if _, err := n.ScheduleSnapshot(n.Engine().Now()); err != nil {
+			panic(err)
+		}
+	})
+	n.RunFor(cfg.TrialDuration)
+	tick.Stop()
+	if n.NotifDropsTotal() > 0 {
+		return false
+	}
+	// Sustained operation also means the CPU queue keeps up: after the
+	// load stops, at most the final snapshot's worth may linger.
+	pending := n.Switch(0).DP.PendingNotifs()
+	return pending <= 2*ports
+}
+
+// maxSustainedRate binary-searches the highest sustainable rate to ~5%.
+func maxSustainedRate(ports int, cfg Fig10Config) float64 {
+	lo, hi := 1.0, 50_000.0
+	if !sustains(ports, lo, cfg) {
+		return 0
+	}
+	for hi/lo > 1.05 {
+		mid := math.Sqrt(lo * hi) // geometric midpoint: the sweep is log-scale
+		if sustains(ports, mid, cfg) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Figure renders the sweep in the paper's form.
+func (r *Fig10Result) Figure() *Figure {
+	f := &Figure{
+		Title:  "Figure 10: max sustained snapshot rate vs ports per router",
+		XLabel: "ports per router",
+		YLabel: "max rate (Hz)",
+	}
+	s := Series{Name: "max sustained rate"}
+	for _, p := range r.Points {
+		s.Points = append(s.Points, Point{X: float64(p.Ports), Y: p.MaxRateHz})
+	}
+	f.Series = append(f.Series, s)
+	for _, p := range r.Points {
+		if p.Ports == 64 {
+			f.Notes = append(f.Notes, fmt.Sprintf(
+				"64-port rate: %.0f Hz (paper: >70 Hz; bottleneck is control-plane processing)", p.MaxRateHz))
+		}
+	}
+	return f
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+
+	"speedlight/internal/analysis"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/emunet"
+	"speedlight/internal/observer"
+	"speedlight/internal/polling"
+	"speedlight/internal/sim"
+	"speedlight/internal/stats"
+	"speedlight/internal/topology"
+	"speedlight/internal/workload"
+)
+
+// Fig12Config parameterizes the load-balancing experiment.
+type Fig12Config struct {
+	// Samples is the number of snapshots (and poll sweeps) per job
+	// execution.
+	Samples int
+	// Runs is the number of independent job executions pooled per
+	// combination. ECMP's imbalance depends on how the jobs' flow
+	// tuples happen to hash, so a campaign observes several executions
+	// (the paper's workloads likewise ran repeatedly during
+	// measurement).
+	Runs int
+	Seed int64
+}
+
+func (c *Fig12Config) defaults() {
+	if c.Samples == 0 {
+		c.Samples = 60
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Fig12Series names one (balancer, method) combination's distribution
+// of uplink-load standard deviations.
+type Fig12Series struct {
+	Balancer string // "ecmp" or "flowlet"
+	Method   string // "snapshots" or "polling"
+	CDF      *stats.CDF
+}
+
+// Fig12Workload holds one application's four series.
+type Fig12Workload struct {
+	Workload string
+	Series   []Fig12Series
+}
+
+// Fig12Result holds the three sub-figures.
+type Fig12Result struct {
+	Workloads []Fig12Workload
+}
+
+// Fig12 evaluates load balancing the way Section 8.3 does: under each
+// workload and balancing algorithm it takes a series of snapshots of
+// the EWMA of packet interarrival time on every uplink, computes the
+// standard deviation across the uplinks of each leaf at each instant
+// (uplinks are compared only to other uplinks of the same switch), and
+// plots the CDF of those deviations — alongside the same analysis done
+// with asynchronous polling.
+func Fig12(cfg Fig12Config) *Fig12Result {
+	cfg.defaults()
+	res := &Fig12Result{}
+	apps := []string{"hadoop", "graphx", "memcache"}
+	for _, app := range apps {
+		wl := Fig12Workload{Workload: app}
+		for _, balancer := range []string{"ecmp", "flowlet"} {
+			var snapStd, pollStd []float64
+			for run := 0; run < cfg.Runs; run++ {
+				runCfg := cfg
+				runCfg.Seed = cfg.Seed + int64(run)*101
+				s, p := fig12Run(app, balancer, runCfg)
+				snapStd = append(snapStd, s...)
+				pollStd = append(pollStd, p...)
+			}
+			wl.Series = append(wl.Series,
+				Fig12Series{Balancer: balancer, Method: "snapshots", CDF: stats.NewCDF(snapStd)},
+				Fig12Series{Balancer: balancer, Method: "polling", CDF: stats.NewCDF(pollStd)},
+			)
+		}
+		res.Workloads = append(res.Workloads, wl)
+	}
+	return res
+}
+
+// fig12Run measures one (workload, balancer) combination with both
+// methods over the same run, returning per-instant uplink standard
+// deviations in microseconds.
+func fig12Run(app, balancer string, cfg Fig12Config) (snapStd, pollStd []float64) {
+	var net *emunet.Network
+	var ls *topology.LeafSpine
+	mod := func(c *emunet.Config) {
+		c.Metrics = ewmaMetrics
+		if balancer == "flowlet" {
+			c.NewBalancer = flowletFactory(100 * sim.Microsecond)
+		}
+	}
+	net, ls = testbedNet(cfg.Seed, false, mod)
+
+	hosts := hostIDs(net)
+	var wl workload.App
+	switch app {
+	case "hadoop":
+		// The paper runs 10 mappers and 8 reducers across 6 servers:
+		// every host both maps and reduces, so shuffle fetches cross
+		// the fabric in both directions.
+		wl = &workload.Terasort{Net: net, Mappers: hosts, Reducers: hosts}
+	case "graphx":
+		wl = &workload.PageRank{Net: net, Workers: hosts[1:]} // host 0 is the master
+	case "memcache":
+		wl = &workload.Memcache{Net: net, Clients: hosts[:1], Servers: hosts[1:]}
+	default:
+		panic("unknown workload " + app)
+	}
+	wl.Start()
+	net.RunFor(5 * sim.Millisecond) // warm up EWMAs
+
+	// The units under study: uplink egress units, grouped per leaf.
+	groups := uplinkGroups(net, ls)
+	var flat []dataplane.UnitID
+	for _, g := range groups {
+		flat = append(flat, g...)
+	}
+
+	poller := polling.New(net, polling.Config{})
+	// A real polling framework sweeps every counter in the network; the
+	// uplink readings land at whatever instants the sweep reaches them
+	// (the full-sequence spread the paper measures at 2.6 ms median).
+	sweep := allUnits(net)
+	completed := map[uint64]*observer.GlobalSnapshot{}
+	before := len(net.Snapshots())
+
+	const gap = sim.Millisecond
+	var ids []uint64
+	for i := 0; i < cfg.Samples; i++ {
+		// One snapshot and one poll sweep per instant, over the same
+		// live traffic.
+		net.Engine().After(gap, func() {
+			if id, err := net.ScheduleSnapshot(net.Engine().Now().Add(200 * sim.Microsecond)); err == nil {
+				ids = append(ids, id)
+			}
+			poller.PollAll(sweep, func(s []polling.Sample) {
+				pollStd = append(pollStd, groupStddevs(groups, samplesByUnit(s))...)
+			})
+		})
+		net.RunFor(gap)
+	}
+	net.RunFor(50 * sim.Millisecond)
+	wl.Stop()
+
+	for _, g := range net.Snapshots()[before:] {
+		if _, seen := completed[g.ID]; !seen {
+			completed[g.ID] = g
+		}
+	}
+	var done []*observer.GlobalSnapshot
+	for _, id := range ids {
+		if g, ok := completed[id]; ok {
+			done = append(done, g)
+		}
+	}
+	snapStd = analysis.ImbalanceSamples(done, groups, 0.001) // ns -> µs
+	return snapStd, pollStd
+}
+
+// uplinkGroups returns, per leaf, its uplink egress units.
+func uplinkGroups(net *emunet.Network, ls *topology.LeafSpine) [][]dataplane.UnitID {
+	var groups [][]dataplane.UnitID
+	for _, leaf := range ls.Leaves {
+		var g []dataplane.UnitID
+		for _, port := range ls.UplinkPorts(leaf) {
+			g = append(g, dataplane.UnitID{Node: leaf, Port: port, Dir: dataplane.Egress})
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// samplesByUnit converts poll samples to a per-unit value map in
+// microseconds.
+func samplesByUnit(s []polling.Sample) map[dataplane.UnitID]float64 {
+	out := make(map[dataplane.UnitID]float64, len(s))
+	for _, smp := range s {
+		out[smp.Unit] = float64(smp.Value) / 1000
+	}
+	return out
+}
+
+// groupStddevs computes the per-group standard deviation of the units'
+// values; groups with missing values are skipped.
+func groupStddevs(groups [][]dataplane.UnitID, values map[dataplane.UnitID]float64) []float64 {
+	var out []float64
+	for _, g := range groups {
+		var xs []float64
+		for _, u := range g {
+			if v, ok := values[u]; ok {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == len(g) && len(xs) > 1 {
+			out = append(out, stats.PopStddev(xs))
+		}
+	}
+	return out
+}
+
+// Figures renders one figure per workload, in the paper's form.
+func (r *Fig12Result) Figures() []*Figure {
+	var out []*Figure
+	for _, wl := range r.Workloads {
+		f := &Figure{
+			Title:  fmt.Sprintf("Figure 12 (%s): stddev of uplink load balancing", wl.Workload),
+			XLabel: "standard deviation of uplink EWMA interarrival (us)",
+			YLabel: "CDF",
+		}
+		for _, s := range wl.Series {
+			ser := Series{Name: fmt.Sprintf("%s %s", s.Balancer, s.Method)}
+			for _, p := range s.CDF.Points(20) {
+				ser.Points = append(ser.Points, Point{X: p.X, Y: p.F})
+			}
+			f.Series = append(f.Series, ser)
+			f.Notes = append(f.Notes, fmt.Sprintf("%s %s: stddev p50 %.2f us, p75 %.2f us (n=%d)",
+				s.Balancer, s.Method, s.CDF.Median(), s.CDF.Quantile(0.75), s.CDF.N()))
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Median returns the median stddev for one combination, for tests and
+// summaries.
+func (r *Fig12Result) Median(workload, balancer, method string) (float64, bool) {
+	return r.Quantile(workload, balancer, method, 0.5)
+}
+
+// Quantile returns the q-th quantile of the stddev distribution for one
+// combination.
+func (r *Fig12Result) Quantile(workload, balancer, method string, q float64) (float64, bool) {
+	for _, wl := range r.Workloads {
+		if wl.Workload != workload {
+			continue
+		}
+		for _, s := range wl.Series {
+			if s.Balancer == balancer && s.Method == method {
+				return s.CDF.Quantile(q), true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+
+	"speedlight/internal/resources"
+)
+
+// Table1 regenerates the paper's Table 1: resource usage of the
+// Speedlight data plane on the Tofino for the three build variants,
+// snapshotting the given number of ports (the paper uses 64).
+func Table1(ports int) *Table {
+	rows := resources.Table1(ports)
+	t := &Table{
+		Title: fmt.Sprintf("Table 1: Speedlight data plane resource usage (%d ports)", ports),
+		Header: []string{"Resource", rows[0].Variant.String(), rows[1].Variant.String(),
+			rows[2].Variant.String()},
+	}
+	cell := func(f func(resources.Usage) string) []string {
+		return []string{f(rows[0]), f(rows[1]), f(rows[2])}
+	}
+	add := func(name string, f func(resources.Usage) string) {
+		t.Rows = append(t.Rows, append([]string{name}, cell(f)...))
+	}
+	add("Stateless ALUs", func(u resources.Usage) string { return fmt.Sprintf("%d", u.StatelessALUs) })
+	add("Stateful ALUs", func(u resources.Usage) string { return fmt.Sprintf("%d", u.StatefulALUs) })
+	add("Logical Table IDs", func(u resources.Usage) string { return fmt.Sprintf("%d", u.LogicalTables) })
+	add("Conditional Table Gateways", func(u resources.Usage) string { return fmt.Sprintf("%d", u.Gateways) })
+	add("Physical Stages", func(u resources.Usage) string { return fmt.Sprintf("%d", u.Stages) })
+	add("SRAM", func(u resources.Usage) string { return fmt.Sprintf("%.0fKB", u.SRAMKB) })
+	add("TCAM", func(u resources.Usage) string { return fmt.Sprintf("%.0fKB", u.TCAMKB) })
+
+	ev := resources.Estimate(resources.ChannelState, 14)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("14-port wraparound+channel-state build (Section 8 config): %.0fKB SRAM, %.0fKB TCAM",
+			ev.SRAMKB, ev.TCAMKB),
+		fmt.Sprintf("heaviest dedicated-resource use at 64 ports: %.1f%% of the Tofino (paper: <25%%)",
+			resources.FractionOfTofino(resources.Estimate(resources.ChannelState, ports))*100))
+	return t
+}

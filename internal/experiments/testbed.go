@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/emunet"
+	"speedlight/internal/routing"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// testbedTopo builds the paper's testbed fabric (Figure 8): two leaves
+// and two spines carved as four virtual switches, six servers.
+func testbedTopo() *topology.LeafSpine {
+	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 3,
+		HostLinkLatency:   sim.Microsecond,
+		FabricLinkLatency: sim.Microsecond,
+		// The testbed pairs 25 GbE server links with 100 GbE fabric
+		// links (Section 8).
+		HostRateBps:   25e9,
+		FabricRateBps: 100e9,
+	})
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return ls
+}
+
+// testbedNet builds an emulated network over the testbed topology.
+func testbedNet(seed int64, channelState bool, mod func(*emunet.Config)) (*emunet.Network, *topology.LeafSpine) {
+	ls := testbedTopo()
+	cfg := emunet.Config{
+		Topo:         ls.Topology,
+		Seed:         seed,
+		MaxID:        256,
+		WrapAround:   true,
+		ChannelState: channelState,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	n, err := emunet.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n, ls
+}
+
+// ewmaMetrics is a metric factory that attaches an EWMA interarrival
+// counter (Section 8's primary counter) to every egress unit and a
+// packet counter to every ingress unit.
+func ewmaMetrics(net *emunet.Network, id dataplane.UnitID) core.Metric {
+	if id.Dir == dataplane.Egress {
+		eng := net.Engine()
+		return counters.NewEWMAInterarrival(func() int64 { return int64(eng.Now()) })
+	}
+	return &counters.PacketCount{}
+}
+
+// flowletFactory builds flowlet balancers with the paper's typical gap.
+func flowletFactory(gap sim.Duration) func(topology.NodeID, *rand.Rand) routing.Balancer {
+	return func(_ topology.NodeID, r *rand.Rand) routing.Balancer {
+		return routing.NewFlowlet(gap, r)
+	}
+}
+
+// allUnits lists every processing unit in the network, in topology
+// order.
+func allUnits(n *emunet.Network) []dataplane.UnitID {
+	var out []dataplane.UnitID
+	for _, sw := range n.Topo().Switches {
+		out = append(out, n.Switch(sw.ID).DP.UnitIDs()...)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// Package export serializes snapshot campaign results and experiment
+// figures to CSV and JSON, for analysis outside the repository
+// (spreadsheets, gnuplot, pandas).
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"speedlight/internal/dataplane"
+	"speedlight/internal/experiments"
+	"speedlight/internal/observer"
+)
+
+// SnapshotRow is one unit's value in one snapshot, flattened for
+// serialization.
+type SnapshotRow struct {
+	SnapshotID uint64 `json:"snapshot_id"`
+	Switch     int    `json:"switch"`
+	Port       int    `json:"port"`
+	Direction  string `json:"direction"`
+	Value      uint64 `json:"value"`
+	Consistent bool   `json:"consistent"`
+	// ScheduledNs and CompletedNs bracket the snapshot in virtual time.
+	ScheduledNs int64 `json:"scheduled_ns"`
+	CompletedNs int64 `json:"completed_ns"`
+}
+
+// Rows flattens global snapshots into deterministic, sorted rows.
+func Rows(snaps []*observer.GlobalSnapshot) []SnapshotRow {
+	var rows []SnapshotRow
+	for _, g := range snaps {
+		units := make([]dataplane.UnitID, 0, len(g.Results))
+		for u := range g.Results {
+			units = append(units, u)
+		}
+		sort.Slice(units, func(a, b int) bool {
+			x, y := units[a], units[b]
+			if x.Node != y.Node {
+				return x.Node < y.Node
+			}
+			if x.Port != y.Port {
+				return x.Port < y.Port
+			}
+			return x.Dir < y.Dir
+		})
+		for _, u := range units {
+			res := g.Results[u]
+			rows = append(rows, SnapshotRow{
+				SnapshotID:  g.ID,
+				Switch:      int(u.Node),
+				Port:        u.Port,
+				Direction:   u.Dir.String(),
+				Value:       res.Value,
+				Consistent:  res.Consistent,
+				ScheduledNs: int64(g.ScheduledAt),
+				CompletedNs: int64(g.CompletedAt),
+			})
+		}
+	}
+	return rows
+}
+
+// SnapshotsCSV writes flattened snapshots as CSV with a header row.
+func SnapshotsCSV(w io.Writer, snaps []*observer.GlobalSnapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"snapshot_id", "switch", "port", "direction", "value",
+		"consistent", "scheduled_ns", "completed_ns",
+	}); err != nil {
+		return err
+	}
+	for _, r := range Rows(snaps) {
+		if err := cw.Write([]string{
+			fmt.Sprint(r.SnapshotID), fmt.Sprint(r.Switch), fmt.Sprint(r.Port),
+			r.Direction, fmt.Sprint(r.Value), fmt.Sprint(r.Consistent),
+			fmt.Sprint(r.ScheduledNs), fmt.Sprint(r.CompletedNs),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SnapshotsJSON writes flattened snapshots as a JSON array.
+func SnapshotsJSON(w io.Writer, snaps []*observer.GlobalSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Rows(snaps))
+}
+
+// FigureCSV writes an experiment figure's series as long-form CSV
+// (series, x, y).
+func FigureCSV(w io.Writer, f *experiments.Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", f.XLabel, f.YLabel}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if err := cw.Write([]string{
+				s.Name,
+				fmt.Sprintf("%g", p.X),
+				fmt.Sprintf("%g", p.Y),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TableCSV writes an experiment table as CSV.
+func TableCSV(w io.Writer, t *experiments.Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

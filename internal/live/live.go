@@ -1,0 +1,515 @@
+// Package live runs a Speedlight deployment as real concurrent Go:
+// every switch is a goroutine owning its data plane and control plane,
+// links are channels between switch goroutines, and the snapshot
+// observer runs in its own goroutine with wall-clock initiation timers.
+//
+// The protocol logic is exactly the same state-machine code the
+// discrete-event simulation drives (internal/core, internal/control,
+// internal/observer); this runtime demonstrates it under genuine
+// asynchrony — goroutine scheduling, real queueing in channels, and
+// wall-clock time — the way a deployment across real switch CPUs would
+// run it. Experiments use the simulator for reproducibility; this
+// package is the "production shaped" engine.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"speedlight/internal/control"
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/observer"
+	"speedlight/internal/packet"
+	"speedlight/internal/routing"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// Config parameterizes a live network.
+type Config struct {
+	// Topo is the network topology. Required.
+	Topo *topology.Topology
+
+	// Snapshot protocol parameters (defaults: 256, wraparound on,
+	// channel state off).
+	MaxID        uint32
+	WrapAround   bool
+	ChannelState bool
+
+	// Metrics builds each unit's snapshot target; nil defaults to
+	// packet counters.
+	Metrics func(id dataplane.UnitID) core.Metric
+
+	// InboxDepth bounds each switch's event inbox. Default 4096.
+	InboxDepth int
+
+	// OnDeliver observes packets reaching hosts. Called from switch
+	// goroutines; must be safe for concurrent use.
+	OnDeliver func(pkt *packet.Packet, host topology.HostID)
+
+	// RetryEvery re-initiates incomplete snapshots (liveness). Default
+	// 20ms; negative disables.
+	RetryEvery time.Duration
+}
+
+// event is one unit of work for a switch goroutine.
+type event struct {
+	kind eventKind
+	pkt  *packet.Packet
+	port int
+	// initiation
+	snapshotID uint64
+	// markers asks the initiation to also inject marker broadcasts, the
+	// Section 6 liveness mechanism for traffic-free channels (used on
+	// recovery retries in channel-state mode).
+	markers bool
+	// poll request
+	done chan struct{}
+}
+
+type eventKind int
+
+const (
+	evPacket eventKind = iota
+	evInitiate
+	evPoll
+)
+
+// liveSwitch is one switch goroutine's state.
+type liveSwitch struct {
+	node  topology.NodeID
+	dp    *dataplane.Switch
+	cp    *control.Plane
+	inbox chan event
+}
+
+// Network is a running live deployment.
+type Network struct {
+	cfg  Config
+	topo *topology.Topology
+	sws  map[topology.NodeID]*liveSwitch
+
+	obs       *observer.Observer
+	obsEvents chan obsEvent
+
+	started time.Time
+	wg      sync.WaitGroup
+	stop    chan struct{}
+	stopped sync.Once
+
+	mu   sync.Mutex
+	done []*observer.GlobalSnapshot
+	subs map[uint64]chan *observer.GlobalSnapshot
+}
+
+// obsEvent is work for the observer goroutine.
+type obsEvent struct {
+	kind   obsKind
+	result control.Result
+	begin  chan beginReply
+}
+
+type obsKind int
+
+const (
+	obsResult obsKind = iota
+	obsBegin
+	obsTick
+)
+
+type beginReply struct {
+	id  uint64
+	err error
+}
+
+// New builds a live network. Call Start to launch its goroutines.
+func New(cfg Config) (*Network, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("live: nil topology")
+	}
+	if cfg.MaxID == 0 {
+		cfg.MaxID = 256
+	}
+	if cfg.InboxDepth == 0 {
+		cfg.InboxDepth = 4096
+	}
+	if cfg.RetryEvery == 0 {
+		cfg.RetryEvery = 20 * time.Millisecond
+	}
+	fibs, err := routing.ComputeFIBs(cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+
+	n := &Network{
+		cfg:       cfg,
+		topo:      cfg.Topo,
+		sws:       make(map[topology.NodeID]*liveSwitch),
+		obsEvents: make(chan obsEvent, 1024),
+		stop:      make(chan struct{}),
+		subs:      make(map[uint64]chan *observer.GlobalSnapshot),
+	}
+
+	obs, err := observer.New(observer.Config{
+		MaxID:      cfg.MaxID,
+		WrapAround: cfg.WrapAround,
+		RetryAfter: durToSim(cfg.RetryEvery),
+		OnComplete: n.onComplete,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.obs = obs
+
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = func(dataplane.UnitID) core.Metric { return &counters.PacketCount{} }
+	}
+	for _, spec := range cfg.Topo.Switches {
+		edge := map[int]bool{}
+		for p, peer := range spec.Ports {
+			if peer.Kind == topology.PeerHost {
+				edge[p] = true
+			}
+		}
+		dp, err := dataplane.New(dataplane.Config{
+			Node:         spec.ID,
+			NumPorts:     len(spec.Ports),
+			MaxID:        cfg.MaxID,
+			WrapAround:   cfg.WrapAround,
+			ChannelState: cfg.ChannelState,
+			Metrics:      metrics,
+			FIB:          fibs[spec.ID],
+			Balancer:     routing.ECMP{},
+			EdgePorts:    edge,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ls := &liveSwitch{
+			node:  spec.ID,
+			dp:    dp,
+			inbox: make(chan event, cfg.InboxDepth),
+		}
+		cp, err := control.New(control.Config{
+			Switch: dp,
+			OnResult: func(res control.Result) {
+				// Ship to the observer over its channel — the network
+				// path from switch CPU to observer host.
+				select {
+				case n.obsEvents <- obsEvent{kind: obsResult, result: res}:
+				case <-n.stop:
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		ls.cp = cp
+		n.sws[spec.ID] = ls
+		obs.Register(spec.ID, dp.UnitIDs())
+	}
+	return n, nil
+}
+
+func durToSim(d time.Duration) sim.Duration {
+	if d < 0 {
+		return 0
+	}
+	return sim.Duration(d.Nanoseconds())
+}
+
+// now returns wall time since Start as protocol time.
+func (n *Network) now() sim.Time {
+	return sim.Time(time.Since(n.started).Nanoseconds())
+}
+
+// Start launches the switch and observer goroutines.
+func (n *Network) Start() {
+	n.started = time.Now()
+	for _, ls := range n.sws {
+		ls := ls
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.runSwitch(ls)
+		}()
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.runObserver()
+	}()
+	if n.cfg.RetryEvery > 0 {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			t := time.NewTicker(n.cfg.RetryEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					select {
+					case n.obsEvents <- obsEvent{kind: obsTick}:
+					case <-n.stop:
+						return
+					}
+				case <-n.stop:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Stop terminates all goroutines. It is idempotent.
+func (n *Network) Stop() {
+	n.stopped.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+// runSwitch is one switch's event loop: the single goroutine that owns
+// both the data plane and the control plane state of the device, so
+// every unit stays linearizable.
+func (n *Network) runSwitch(ls *liveSwitch) {
+	for {
+		select {
+		case <-n.stop:
+			return
+		case ev := <-ls.inbox:
+			switch ev.kind {
+			case evPacket:
+				n.handlePacket(ls, ev.pkt, ev.port)
+			case evInitiate:
+				inits := ls.cp.Initiate(ev.snapshotID, n.now())
+				for _, init := range inits {
+					// The initiation continues through the egress unit
+					// of the same port, in order with data traffic
+					// (this goroutine is the FIFO).
+					n.handleEgress(ls, init.Pkt, init.Port)
+				}
+				n.drainNotifs(ls)
+				if ev.markers {
+					n.injectMarkers(ls)
+				}
+			case evPoll:
+				ls.cp.Poll(n.now())
+				if ev.done != nil {
+					close(ev.done)
+				}
+			}
+		}
+	}
+}
+
+// handlePacket runs a packet through ingress, forwarding and egress.
+func (n *Network) handlePacket(ls *liveSwitch, pkt *packet.Packet, port int) {
+	res := ls.dp.Ingress(pkt, port, n.now())
+	n.drainNotifs(ls)
+	if res.Drop {
+		return
+	}
+	n.handleEgress(ls, pkt, res.EgressPort)
+}
+
+// handleEgress runs egress processing and delivers to the peer.
+func (n *Network) handleEgress(ls *liveSwitch, pkt *packet.Packet, port int) {
+	res := ls.dp.Egress(pkt, port, n.now())
+	n.drainNotifs(ls)
+	if res.Drop {
+		return
+	}
+	peer := n.topo.Peer(ls.node, port)
+	switch peer.Kind {
+	case topology.PeerSwitch:
+		// Non-blocking: a full inbox is a full link buffer, and the
+		// packet is dropped — blocking here could deadlock a cycle of
+		// mutually full switches.
+		next := n.sws[peer.Node]
+		select {
+		case next.inbox <- event{kind: evPacket, pkt: pkt, port: peer.Port}:
+		default:
+		}
+	case topology.PeerHost:
+		if res.StripHeader {
+			pkt.HasSnap = false
+			pkt.Snap = packet.SnapshotHeader{}
+		}
+		if n.cfg.OnDeliver != nil {
+			n.cfg.OnDeliver(pkt, peer.Host)
+		}
+	}
+}
+
+// injectMarkers floods one marker broadcast per (ingress port, class)
+// through the switch and one wire hop outward, refreshing every FIFO
+// channel's snapshot ID (Section 6 liveness). The switch goroutine is
+// the FIFO, so ordering is inherently preserved.
+func (n *Network) injectMarkers(ls *liveSwitch) {
+	for port := 0; port < ls.dp.NumPorts(); port++ {
+		for cos := 0; cos < ls.dp.NumCoS(); cos++ {
+			m := &packet.Packet{DstHost: uint32(broadcastHost), Size: 64, CoS: uint8(cos)}
+			ls.dp.IngressFromCP(m, port, n.now())
+			n.drainNotifs(ls)
+			for e := 0; e < ls.dp.NumPorts(); e++ {
+				n.handleEgress(ls, m.Clone(), e)
+			}
+		}
+	}
+}
+
+// broadcastHost marks marker broadcasts; they die after one wire hop's
+// ingress processing (the FIB has no route for them).
+const broadcastHost = topology.HostID(0xFFFFFFFF)
+
+// drainNotifs feeds pending data-plane notifications to the local
+// control plane. Data and control plane share the switch goroutine, as
+// they share the switch in hardware.
+func (n *Network) drainNotifs(ls *liveSwitch) {
+	for {
+		notif, ok := ls.dp.PopNotif()
+		if !ok {
+			return
+		}
+		ls.cp.HandleNotification(notif, n.now())
+	}
+}
+
+// runObserver is the observer host's goroutine.
+func (n *Network) runObserver() {
+	for {
+		select {
+		case <-n.stop:
+			return
+		case ev := <-n.obsEvents:
+			switch ev.kind {
+			case obsResult:
+				n.obs.OnResult(ev.result, n.now())
+			case obsBegin:
+				id, err := n.obs.Begin(n.now())
+				ev.begin <- beginReply{id: id, err: err}
+			case obsTick:
+				for _, act := range n.obs.CheckTimeouts(n.now()) {
+					for _, node := range act.Retry {
+						// Non-blocking: if the switch is saturated, the
+						// next tick retries again. Blocking here could
+						// deadlock against a switch blocked on the
+						// observer channel.
+						ls := n.sws[node]
+						select {
+						case ls.inbox <- event{kind: evInitiate, snapshotID: act.SnapshotID,
+							markers: n.cfg.ChannelState}:
+						default:
+						}
+						select {
+						case ls.inbox <- event{kind: evPoll}:
+						default:
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// onComplete runs on the observer goroutine when a snapshot finishes.
+func (n *Network) onComplete(g *observer.GlobalSnapshot) {
+	n.mu.Lock()
+	n.done = append(n.done, g)
+	sub := n.subs[g.ID]
+	delete(n.subs, g.ID)
+	n.mu.Unlock()
+	if sub != nil {
+		sub <- g
+		close(sub)
+	}
+}
+
+// Inject sends a packet from a host into the network.
+func (n *Network) Inject(host topology.HostID, pkt *packet.Packet) error {
+	h := n.topo.Host(host)
+	if h == nil {
+		return fmt.Errorf("live: unknown host %d", host)
+	}
+	pkt.SrcHost = uint32(host)
+	ls := n.sws[h.Node]
+	select {
+	case ls.inbox <- event{kind: evPacket, pkt: pkt, port: h.Port}:
+		return nil
+	case <-n.stop:
+		return fmt.Errorf("live: network stopped")
+	}
+}
+
+// TakeSnapshot begins a network-wide snapshot after the given delay and
+// returns its ID and a channel that yields the assembled global
+// snapshot once complete.
+func (n *Network) TakeSnapshot(delay time.Duration) (uint64, <-chan *observer.GlobalSnapshot, error) {
+	reply := make(chan beginReply, 1)
+	select {
+	case n.obsEvents <- obsEvent{kind: obsBegin, begin: reply}:
+	case <-n.stop:
+		return 0, nil, fmt.Errorf("live: network stopped")
+	}
+	// The events channel is buffered, so the send can succeed even when
+	// the observer goroutine has already exited; the reply wait must
+	// also watch for shutdown.
+	var r beginReply
+	select {
+	case r = <-reply:
+	case <-n.stop:
+		return 0, nil, fmt.Errorf("live: network stopped")
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	sub := make(chan *observer.GlobalSnapshot, 1)
+	n.mu.Lock()
+	n.subs[r.id] = sub
+	n.mu.Unlock()
+
+	time.AfterFunc(delay, func() {
+		for _, spec := range n.topo.Switches {
+			ls := n.sws[spec.ID]
+			select {
+			case ls.inbox <- event{kind: evInitiate, snapshotID: r.id}:
+			case <-n.stop:
+			}
+		}
+	})
+	return r.id, sub, nil
+}
+
+// Snapshots returns the snapshots completed so far.
+func (n *Network) Snapshots() []*observer.GlobalSnapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*observer.GlobalSnapshot, len(n.done))
+	copy(out, n.done)
+	return out
+}
+
+// PollAll synchronously asks every switch control plane to poll its
+// registers (recovery path), returning when all have finished.
+func (n *Network) PollAll() {
+	var dones []chan struct{}
+	for _, spec := range n.topo.Switches {
+		done := make(chan struct{})
+		select {
+		case n.sws[spec.ID].inbox <- event{kind: evPoll, done: done}:
+			dones = append(dones, done)
+		case <-n.stop:
+			return
+		}
+	}
+	for _, d := range dones {
+		select {
+		case <-d:
+		case <-n.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package observer implements the snapshot observer: the host-side
+// component that schedules network-wide snapshots, assembles per-unit
+// results shipped by the switch control planes, detects global
+// completion, retries incomplete snapshots, and excludes failed devices
+// (Sections 3 and 6).
+//
+// The observer also enforces the no-lapping rule out-of-band: a new
+// snapshot may not start while an incomplete snapshot more than
+// MaxID-1 epochs behind is outstanding, or wrapped IDs would become
+// ambiguous (Section 5.3).
+package observer
+
+import (
+	"fmt"
+	"sort"
+
+	"speedlight/internal/control"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// GlobalSnapshot is an assembled network-wide snapshot.
+type GlobalSnapshot struct {
+	ID uint64
+	// Results holds one finished result per expected unit. Units of
+	// excluded devices are absent.
+	Results map[dataplane.UnitID]control.Result
+	// Excluded lists devices that timed out and were dropped from this
+	// snapshot (Section 6: "If a device fails, it may timeout and be
+	// excluded from the global snapshot").
+	Excluded []topology.NodeID
+	// Consistent reports whether every included unit's value is
+	// consistent.
+	Consistent bool
+	// ScheduledAt and CompletedAt bracket the snapshot's lifetime in
+	// observer (true) time.
+	ScheduledAt sim.Time
+	CompletedAt sim.Time
+}
+
+// Value returns a unit's recorded value.
+func (g *GlobalSnapshot) Value(id dataplane.UnitID) (uint64, bool) {
+	r, ok := g.Results[id]
+	if !ok || !r.Consistent {
+		return 0, false
+	}
+	return r.Value, true
+}
+
+// Config parameterizes an observer.
+type Config struct {
+	// MaxID mirrors the data plane's snapshot ID space, for no-lapping
+	// enforcement. Required when WrapAround.
+	MaxID      uint32
+	WrapAround bool
+	// RetryAfter is how long a snapshot may stay incomplete before the
+	// observer requests re-initiation. Zero disables retries.
+	RetryAfter sim.Duration
+	// ExcludeAfter is how long before missing devices are excluded and
+	// the snapshot finalized without them. Zero disables exclusion.
+	ExcludeAfter sim.Duration
+	// OnComplete receives each finalized global snapshot. Required.
+	OnComplete func(*GlobalSnapshot)
+}
+
+// pending tracks an in-progress snapshot.
+type pending struct {
+	snap    *GlobalSnapshot
+	missing map[dataplane.UnitID]bool
+	retried bool
+}
+
+// Observer assembles global snapshots. Like the other protocol
+// components it is a pure state machine driven by the harness.
+type Observer struct {
+	cfg Config
+
+	devices map[topology.NodeID][]dataplane.UnitID
+	nextID  uint64
+	pend    map[uint64]*pending
+	minOpen uint64 // lowest incomplete snapshot ID, for no-lapping
+}
+
+// New creates an observer.
+func New(cfg Config) (*Observer, error) {
+	if cfg.OnComplete == nil {
+		return nil, fmt.Errorf("observer: nil OnComplete")
+	}
+	if cfg.WrapAround && cfg.MaxID < 2 {
+		return nil, fmt.Errorf("observer: WrapAround requires MaxID >= 2")
+	}
+	return &Observer{
+		cfg:     cfg,
+		devices: make(map[topology.NodeID][]dataplane.UnitID),
+		pend:    make(map[uint64]*pending),
+	}, nil
+}
+
+// Register adds a device and its processing units to the observer's
+// active set. New devices must be registered before they are included in
+// the next snapshot (Section 6, node attachment). Registering mid-flight
+// does not change snapshots already in progress.
+func (o *Observer) Register(node topology.NodeID, units []dataplane.UnitID) {
+	o.devices[node] = append([]dataplane.UnitID(nil), units...)
+}
+
+// Unregister removes a device from the active set.
+func (o *Observer) Unregister(node topology.NodeID) {
+	delete(o.devices, node)
+}
+
+// Devices returns the registered device IDs in ascending order.
+func (o *Observer) Devices() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(o.devices))
+	for n := range o.devices {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CanStart reports whether starting one more snapshot would respect the
+// no-lapping rule: the span between the oldest incomplete snapshot and
+// the new ID must stay below MaxID-1.
+func (o *Observer) CanStart() bool {
+	if !o.cfg.WrapAround || len(o.pend) == 0 {
+		return true
+	}
+	oldest := o.oldestPending()
+	// Live IDs must stay within half the ID space: the data and control
+	// planes disambiguate rollover with serial-number arithmetic
+	// against their last-seen references (Section 5.3), and stale
+	// re-initiations (Section 6) must resolve as "behind", not as a
+	// forward lap.
+	return (o.nextID+1)-oldest <= uint64(o.cfg.MaxID)/2-1
+}
+
+func (o *Observer) oldestPending() uint64 {
+	oldest := uint64(1<<63 - 1)
+	for id := range o.pend {
+		if id < oldest {
+			oldest = id
+		}
+	}
+	return oldest
+}
+
+// Begin allocates the next snapshot ID and records the expected unit
+// set. The caller is responsible for telling every device control plane
+// to initiate the returned ID at the agreed time. Begin returns an
+// error when the no-lapping window is full.
+func (o *Observer) Begin(now sim.Time) (uint64, error) {
+	if !o.CanStart() {
+		return 0, fmt.Errorf("observer: snapshot window full (oldest incomplete %d, next %d, max %d)",
+			o.oldestPending(), o.nextID+1, o.cfg.MaxID)
+	}
+	o.nextID++
+	id := o.nextID
+	p := &pending{
+		snap: &GlobalSnapshot{
+			ID:          id,
+			Results:     make(map[dataplane.UnitID]control.Result),
+			ScheduledAt: now,
+		},
+		missing: make(map[dataplane.UnitID]bool),
+	}
+	for _, units := range o.devices {
+		for _, u := range units {
+			p.missing[u] = true
+		}
+	}
+	o.pend[id] = p
+	return id, nil
+}
+
+// Pending returns the number of snapshots still being assembled.
+func (o *Observer) Pending() int { return len(o.pend) }
+
+// OnResult ingests one per-unit result from a device control plane.
+// Results for unknown snapshots (e.g., from a device that attached
+// mid-epoch and jumped forward, Section 6) or already-excluded devices
+// are ignored.
+func (o *Observer) OnResult(res control.Result, now sim.Time) {
+	p, ok := o.pend[res.SnapshotID]
+	if !ok {
+		return
+	}
+	if !p.missing[res.Unit] {
+		return // duplicate or spurious
+	}
+	delete(p.missing, res.Unit)
+	p.snap.Results[res.Unit] = res
+	if len(p.missing) == 0 {
+		o.finalize(res.SnapshotID, now)
+	}
+}
+
+// finalize completes a snapshot and delivers it.
+func (o *Observer) finalize(id uint64, now sim.Time) {
+	p := o.pend[id]
+	delete(o.pend, id)
+	p.snap.CompletedAt = now
+	p.snap.Consistent = true
+	for _, r := range p.snap.Results {
+		if !r.Consistent {
+			p.snap.Consistent = false
+			break
+		}
+	}
+	sort.Slice(p.snap.Excluded, func(i, j int) bool { return p.snap.Excluded[i] < p.snap.Excluded[j] })
+	o.cfg.OnComplete(p.snap)
+}
+
+// Action is the observer's requested recovery step for a stalled
+// snapshot.
+type Action struct {
+	SnapshotID uint64
+	// Retry lists devices that should re-initiate the snapshot.
+	Retry []topology.NodeID
+	// Excluded lists devices dropped from the snapshot this call.
+	Excluded []topology.NodeID
+}
+
+// CheckTimeouts scans pending snapshots: those older than RetryAfter get
+// a retry request (once); those older than ExcludeAfter have their
+// missing devices excluded, which may finalize the snapshot. The caller
+// relays retry requests to the named control planes.
+func (o *Observer) CheckTimeouts(now sim.Time) []Action {
+	var actions []Action
+	ids := make([]uint64, 0, len(o.pend))
+	for id := range o.pend {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := o.pend[id]
+		age := now.Sub(p.snap.ScheduledAt)
+		var act Action
+		act.SnapshotID = id
+		if o.cfg.ExcludeAfter > 0 && age >= o.cfg.ExcludeAfter {
+			// Exclude every device still missing units.
+			missingDevs := map[topology.NodeID]bool{}
+			for u := range p.missing {
+				missingDevs[u.Node] = true
+			}
+			for dev := range missingDevs {
+				act.Excluded = append(act.Excluded, dev)
+				p.snap.Excluded = append(p.snap.Excluded, dev)
+				for u := range p.missing {
+					if u.Node == dev {
+						delete(p.missing, u)
+					}
+				}
+			}
+			sort.Slice(act.Excluded, func(i, j int) bool { return act.Excluded[i] < act.Excluded[j] })
+			if len(p.missing) == 0 {
+				o.finalize(id, now)
+			}
+		} else if o.cfg.RetryAfter > 0 && age >= o.cfg.RetryAfter && !p.retried {
+			p.retried = true
+			missingDevs := map[topology.NodeID]bool{}
+			for u := range p.missing {
+				missingDevs[u.Node] = true
+			}
+			for dev := range missingDevs {
+				act.Retry = append(act.Retry, dev)
+			}
+			sort.Slice(act.Retry, func(i, j int) bool { return act.Retry[i] < act.Retry[j] })
+		}
+		if len(act.Retry) > 0 || len(act.Excluded) > 0 {
+			actions = append(actions, act)
+		}
+	}
+	return actions
+}

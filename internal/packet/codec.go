@@ -1,0 +1,104 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Full-packet wire format, used by transports that carry emulated
+// packets as bytes (internal/wire's UDP data plane):
+//
+//	byte  0:     magic (0xA6)
+//	byte  1:     version (1)
+//	byte  2:     flags (bit 0: snapshot header present;
+//	             bits 4-7: class of service)
+//	byte  3:     protocol
+//	bytes 4-7:   source host
+//	bytes 8-11:  destination host
+//	bytes 12-13: source port
+//	bytes 14-15: destination port
+//	bytes 16-19: frame size
+//	bytes 20-27: sequence number
+//	bytes 28-35: snapshot header (iff flag bit 0), own codec
+//
+// The frame size field carries the emulated frame length; the encoded
+// message itself is fixed-size (no payload bytes are shipped).
+const (
+	pktMagic   = 0xA6
+	pktVersion = 1
+
+	flagHasSnap = 1 << 0
+
+	// PacketBaseLen is the encoded size without the snapshot header.
+	PacketBaseLen = 28
+	// PacketMaxLen is the encoded size with the snapshot header.
+	PacketMaxLen = PacketBaseLen + HeaderLen
+)
+
+// Codec errors for full packets.
+var (
+	ErrPacketShort      = errors.New("packet: buffer too short for packet")
+	ErrPacketBadMagic   = errors.New("packet: bad packet magic")
+	ErrPacketBadVersion = errors.New("packet: unsupported packet version")
+)
+
+// MarshalBinary encodes the packet.
+func (p *Packet) MarshalBinary() ([]byte, error) {
+	n := PacketBaseLen
+	if p.HasSnap {
+		n = PacketMaxLen
+	}
+	buf := make([]byte, n)
+	buf[0] = pktMagic
+	buf[1] = pktVersion
+	if p.HasSnap {
+		buf[2] |= flagHasSnap
+	}
+	buf[2] |= (p.CoS & 0x0f) << 4
+	buf[3] = p.Proto
+	binary.BigEndian.PutUint32(buf[4:8], p.SrcHost)
+	binary.BigEndian.PutUint32(buf[8:12], p.DstHost)
+	binary.BigEndian.PutUint16(buf[12:14], p.SrcPort)
+	binary.BigEndian.PutUint16(buf[14:16], p.DstPort)
+	binary.BigEndian.PutUint32(buf[16:20], p.Size)
+	binary.BigEndian.PutUint64(buf[20:28], p.Seq)
+	if p.HasSnap {
+		h, err := p.Snap.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		copy(buf[PacketBaseLen:], h)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a packet.
+func (p *Packet) UnmarshalBinary(data []byte) error {
+	if len(data) < PacketBaseLen {
+		return ErrPacketShort
+	}
+	if data[0] != pktMagic {
+		return ErrPacketBadMagic
+	}
+	if data[1] != pktVersion {
+		return fmt.Errorf("%w: %d", ErrPacketBadVersion, data[1])
+	}
+	p.Proto = data[3]
+	p.SrcHost = binary.BigEndian.Uint32(data[4:8])
+	p.DstHost = binary.BigEndian.Uint32(data[8:12])
+	p.SrcPort = binary.BigEndian.Uint16(data[12:14])
+	p.DstPort = binary.BigEndian.Uint16(data[14:16])
+	p.Size = binary.BigEndian.Uint32(data[16:20])
+	p.Seq = binary.BigEndian.Uint64(data[20:28])
+	p.CoS = data[2] >> 4
+	p.HasSnap = data[2]&flagHasSnap != 0
+	if p.HasSnap {
+		if len(data) < PacketMaxLen {
+			return ErrPacketShort
+		}
+		return p.Snap.UnmarshalBinary(data[PacketBaseLen:PacketMaxLen])
+	}
+	p.Snap = SnapshotHeader{}
+	return nil
+}

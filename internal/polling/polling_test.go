@@ -1,0 +1,101 @@
+package polling
+
+import (
+	"testing"
+
+	"speedlight/internal/dataplane"
+	"speedlight/internal/dist"
+	"speedlight/internal/emunet"
+	"speedlight/internal/packet"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+func testNet(t *testing.T) *emunet.Network {
+	t.Helper()
+	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		HostLinkLatency:   sim.Microsecond,
+		FabricLinkLatency: sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := emunet.New(emunet.Config{Topo: ls.Topology, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPollAllReadsEveryUnit(t *testing.T) {
+	n := testNet(t)
+	units := n.Switch(0).DP.UnitIDs()
+	p := New(n, Config{PerPoll: dist.Constant{V: 100_000}}) // 100 µs each
+	var got []Sample
+	p.PollAll(units, func(s []Sample) { got = s })
+	n.RunFor(10 * sim.Millisecond)
+	if len(got) != len(units) {
+		t.Fatalf("polled %d of %d units", len(got), len(units))
+	}
+	// Sequential constant-latency polls: spread = (n-1) * 100 µs.
+	want := sim.Duration(len(units)-1) * 100 * sim.Microsecond
+	if s := Spread(got); s != want {
+		t.Errorf("spread = %v µs, want %v µs", s.Micros(), want.Micros())
+	}
+}
+
+func TestPollsObserveLiveMutation(t *testing.T) {
+	// Values read mid-sequence reflect state at read time: polls of the
+	// same counter sequence see different values while traffic flows —
+	// the asynchrony the paper criticizes.
+	n := testNet(t)
+	// Steady traffic host0 -> host2 (cross fabric).
+	n.Engine().NewTicker(50*sim.Microsecond, func() {
+		n.InjectFromHost(0, &packet.Packet{DstHost: 2, Size: 1000, Proto: 6})
+	})
+	unit := dataplane.UnitID{Node: 0, Port: 0, Dir: dataplane.Ingress}
+	p := New(n, Config{PerPoll: dist.Constant{V: 500_000}}) // 0.5 ms
+	var got []Sample
+	p.PollAll([]dataplane.UnitID{unit, unit, unit, unit}, func(s []Sample) { got = s })
+	n.RunFor(10 * sim.Millisecond)
+	if len(got) != 4 {
+		t.Fatalf("polled %d", len(got))
+	}
+	if got[0].Value == got[3].Value {
+		t.Errorf("values did not advance across the sweep: %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].At <= got[i-1].At {
+			t.Error("polls not sequential in time")
+		}
+	}
+}
+
+func TestSpreadEmpty(t *testing.T) {
+	if Spread(nil) != 0 {
+		t.Error("empty spread should be 0")
+	}
+}
+
+func TestDefaultLatencyIsPlausible(t *testing.T) {
+	n := testNet(t)
+	p := New(n, Config{})
+	var got []Sample
+	// Poll all 24 units of the fabric (paper's testbed scale).
+	var units []dataplane.UnitID
+	for _, sw := range n.Topo().Switches {
+		units = append(units, n.Switch(sw.ID).DP.UnitIDs()...)
+	}
+	p.PollAll(units, func(s []Sample) { got = s })
+	n.RunFor(100 * sim.Millisecond)
+	if len(got) == 0 {
+		t.Fatal("no samples")
+	}
+	s := Spread(got)
+	// Paper: median full-sequence spread 2.6 ms. Anything in the
+	// millisecond range is the right order of magnitude.
+	if s < 500*sim.Microsecond || s > 20*sim.Millisecond {
+		t.Errorf("spread = %v ms, want millisecond scale", s.Seconds()*1000)
+	}
+}

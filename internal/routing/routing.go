@@ -1,0 +1,231 @@
+// Package routing computes forwarding state for emulated topologies and
+// implements the two load-balancing algorithms the paper deploys
+// alongside the snapshot logic (Section 8): flow-based ECMP and flowlet
+// switching.
+//
+// It also supports the Section 10 discussion of forwarding-state
+// snapshots: every FIB carries a version number that the data plane can
+// record into snapshotted state.
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"speedlight/internal/packet"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// FIB is one switch's forwarding table: for every destination host, the
+// set of ports on a shortest path, in ascending order. Version
+// identifies the table's revision for forwarding-state snapshots.
+type FIB struct {
+	Node    topology.NodeID
+	Version uint64
+	// NextHops[host] lists candidate egress ports (an ECMP group).
+	NextHops map[topology.HostID][]int
+}
+
+// Ports returns the ECMP group for a destination, or nil if unknown.
+func (f *FIB) Ports(dst topology.HostID) []int { return f.NextHops[dst] }
+
+// ComputeFIBs builds shortest-path ECMP forwarding tables for every
+// switch via breadth-first search over the switch graph.
+func ComputeFIBs(t *topology.Topology) (map[topology.NodeID]*FIB, error) {
+	n := len(t.Switches)
+	// dist[a][b]: hop distance between switches.
+	dist := make([][]int, n)
+	for i := range dist {
+		dist[i] = make([]int, n)
+		for j := range dist[i] {
+			dist[i][j] = -1
+		}
+		// BFS from switch i.
+		q := []int{i}
+		dist[i][i] = 0
+		for len(q) > 0 {
+			cur := q[0]
+			q = q[1:]
+			for _, peer := range t.Switches[cur].Ports {
+				if peer.Kind != topology.PeerSwitch {
+					continue
+				}
+				nb := int(peer.Node)
+				if dist[i][nb] < 0 {
+					dist[i][nb] = dist[i][cur] + 1
+					q = append(q, nb)
+				}
+			}
+		}
+	}
+
+	fibs := make(map[topology.NodeID]*FIB, n)
+	for _, sw := range t.Switches {
+		fib := &FIB{Node: sw.ID, Version: 1, NextHops: make(map[topology.HostID][]int)}
+		for _, h := range t.Hosts {
+			if h.Node == sw.ID {
+				// Directly attached.
+				fib.NextHops[h.ID] = []int{h.Port}
+				continue
+			}
+			// Candidate ports: neighbors minimizing distance to the
+			// host's switch.
+			best := -1
+			var ports []int
+			for p, peer := range sw.Ports {
+				if peer.Kind != topology.PeerSwitch {
+					continue
+				}
+				d := dist[int(peer.Node)][int(h.Node)]
+				if d < 0 {
+					continue
+				}
+				switch {
+				case best < 0 || d < best:
+					best = d
+					ports = []int{p}
+				case d == best:
+					ports = append(ports, p)
+				}
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("routing: host %d unreachable from switch %d", h.ID, sw.ID)
+			}
+			sort.Ints(ports)
+			fib.NextHops[h.ID] = ports
+		}
+		fibs[sw.ID] = fib
+	}
+	return fibs, nil
+}
+
+// Balancer picks one egress port from an ECMP group for a packet.
+// Implementations may keep per-flow state; they are driven from a single
+// logical thread per switch.
+type Balancer interface {
+	// Pick selects the egress port for pkt among the candidate ports at
+	// virtual time now.
+	Pick(pkt *packet.Packet, ports []int, now sim.Time) int
+	// Name identifies the algorithm in experiment output.
+	Name() string
+}
+
+// ECMP is classic flow-based equal-cost multipath (RFC 2992): the
+// packet's 5-tuple hash statically selects a member of the group, so a
+// flow never changes paths but large flows can collide.
+type ECMP struct{}
+
+// Pick implements Balancer.
+func (ECMP) Pick(pkt *packet.Packet, ports []int, _ sim.Time) int {
+	return ports[pkt.FlowHash()%uint64(len(ports))]
+}
+
+// Name implements Balancer.
+func (ECMP) Name() string { return "ecmp" }
+
+// Flowlet implements flowlet switching (Kandula et al.): bursts of a
+// flow separated by an idle gap longer than the flowlet timeout may be
+// re-routed independently without reordering packets. It balances load
+// at a finer granularity than ECMP, which Section 8.3 quantifies with
+// snapshots.
+type Flowlet struct {
+	// Gap is the inter-burst idle time that opens a new flowlet.
+	Gap sim.Duration
+	// R drives the new-flowlet path choice.
+	R *rand.Rand
+
+	entries map[uint64]*flowletEntry
+}
+
+type flowletEntry struct {
+	port     int
+	lastSeen sim.Time
+}
+
+// NewFlowlet creates a flowlet balancer with the given gap and
+// randomness source.
+func NewFlowlet(gap sim.Duration, r *rand.Rand) *Flowlet {
+	return &Flowlet{Gap: gap, R: r, entries: make(map[uint64]*flowletEntry)}
+}
+
+// Pick implements Balancer.
+func (f *Flowlet) Pick(pkt *packet.Packet, ports []int, now sim.Time) int {
+	key := pkt.FlowHash()
+	e, ok := f.entries[key]
+	if !ok {
+		e = &flowletEntry{port: -1}
+		f.entries[key] = e
+	}
+	stale := e.port < 0 || now.Sub(e.lastSeen) > f.Gap
+	if stale {
+		e.port = ports[f.R.Intn(len(ports))]
+	} else {
+		// The table stores the port number; validate it is still in
+		// the group (FIB updates can shrink groups).
+		valid := false
+		for _, p := range ports {
+			if p == e.port {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			e.port = ports[f.R.Intn(len(ports))]
+		}
+	}
+	e.lastSeen = now
+	return e.port
+}
+
+// Name implements Balancer.
+func (f *Flowlet) Name() string { return "flowlet" }
+
+// UtilizedPairs returns, for every switch, the set of (ingress port,
+// egress port) pairs that some host-to-host path actually traverses
+// under the given FIBs. Control planes use this to remove structurally
+// idle internal channels from snapshot-completion consideration — the
+// paper's Section 6 "removal of non-utilized upstream neighbors" (e.g.,
+// uplink-to-uplink channels in valley-free leaf-spine routing never
+// carry traffic).
+func UtilizedPairs(t *topology.Topology, fibs map[topology.NodeID]*FIB) map[topology.NodeID]map[[2]int]bool {
+	used := make(map[topology.NodeID]map[[2]int]bool, len(t.Switches))
+	for _, sw := range t.Switches {
+		used[sw.ID] = make(map[[2]int]bool)
+	}
+	type key struct {
+		node topology.NodeID
+		in   int
+		dst  topology.HostID
+	}
+	seen := make(map[key]bool)
+	var walk func(node topology.NodeID, in int, dst topology.HostID)
+	walk = func(node topology.NodeID, in int, dst topology.HostID) {
+		k := key{node, in, dst}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		fib := fibs[node]
+		if fib == nil {
+			return
+		}
+		for _, e := range fib.Ports(dst) {
+			used[node][[2]int{in, e}] = true
+			peer := t.Peer(node, e)
+			if peer.Kind == topology.PeerSwitch {
+				walk(peer.Node, peer.Port, dst)
+			}
+		}
+	}
+	for _, src := range t.Hosts {
+		for _, dst := range t.Hosts {
+			if src.ID == dst.ID {
+				continue
+			}
+			walk(src.Node, src.Port, dst.ID)
+		}
+	}
+	return used
+}

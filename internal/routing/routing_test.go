@@ -1,0 +1,237 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"speedlight/internal/packet"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+func leafSpine(t *testing.T) *topology.LeafSpine {
+	t.Helper()
+	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 3,
+		HostLinkLatency:   sim.Microsecond,
+		FabricLinkLatency: sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+func TestComputeFIBsLeafSpine(t *testing.T) {
+	ls := leafSpine(t)
+	fibs, err := ComputeFIBs(ls.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fibs) != 4 {
+		t.Fatalf("fibs = %d", len(fibs))
+	}
+	leaf0 := fibs[ls.Leaves[0]]
+	// Local host: single directly attached port.
+	localHost := ls.HostsOn(ls.Leaves[0])[0]
+	if got := leaf0.Ports(localHost.ID); len(got) != 1 || got[0] != localHost.Port {
+		t.Errorf("local next hop = %v", got)
+	}
+	// Remote host: both uplinks form the ECMP group.
+	remoteHost := ls.HostsOn(ls.Leaves[1])[0]
+	if got := leaf0.Ports(remoteHost.ID); len(got) != 2 {
+		t.Errorf("remote ECMP group = %v, want 2 uplinks", got)
+	}
+	// Spine: exactly one downlink to each host's leaf.
+	spine0 := fibs[ls.Spines[0]]
+	if got := spine0.Ports(remoteHost.ID); len(got) != 1 || got[0] != 1 {
+		t.Errorf("spine next hop = %v, want [1]", got)
+	}
+	if leaf0.Ports(99) != nil {
+		t.Error("unknown host should have no next hops")
+	}
+	if leaf0.Version == 0 {
+		t.Error("FIB version must start nonzero")
+	}
+}
+
+func TestComputeFIBsUnreachable(t *testing.T) {
+	b := topology.NewBuilder()
+	s0 := b.AddSwitch(2)
+	s1 := b.AddSwitch(2)
+	b.AttachHost(s0, 0, 0)
+	b.AttachHost(s1, 0, 0)
+	// No link between the switches.
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComputeFIBs(topo); err == nil {
+		t.Error("unreachable host not reported")
+	}
+}
+
+func TestECMPDeterministicPerFlow(t *testing.T) {
+	ports := []int{3, 4}
+	var e ECMP
+	p := &packet.Packet{SrcHost: 1, DstHost: 2, SrcPort: 1234, DstPort: 80, Proto: 6}
+	first := e.Pick(p, ports, 0)
+	for i := 0; i < 100; i++ {
+		if e.Pick(p, ports, sim.Time(i)) != first {
+			t.Fatal("ECMP changed port for same flow")
+		}
+	}
+	if e.Name() != "ecmp" {
+		t.Error("name")
+	}
+}
+
+func TestECMPSpreadsFlows(t *testing.T) {
+	ports := []int{0, 1, 2, 3}
+	var e ECMP
+	counts := make(map[int]int)
+	for i := 0; i < 4000; i++ {
+		p := &packet.Packet{SrcHost: uint32(i), DstHost: 2, SrcPort: uint16(i), DstPort: 80, Proto: 6}
+		counts[e.Pick(p, ports, 0)]++
+	}
+	for port, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("port %d got %d of 4000 flows", port, c)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d ports used", len(counts))
+	}
+}
+
+func TestFlowletStickyWithinGap(t *testing.T) {
+	f := NewFlowlet(100*sim.Microsecond, rand.New(rand.NewSource(1)))
+	ports := []int{0, 1, 2, 3}
+	p := &packet.Packet{SrcHost: 1, DstHost: 2, SrcPort: 7, DstPort: 80, Proto: 6}
+	first := f.Pick(p, ports, 0)
+	// Closely spaced packets stay on the same port.
+	for i := 1; i <= 50; i++ {
+		now := sim.Time(i) * sim.Time(sim.Microsecond)
+		if got := f.Pick(p, ports, now); got != first {
+			t.Fatalf("flowlet moved mid-burst at packet %d", i)
+		}
+	}
+	if f.Name() != "flowlet" {
+		t.Error("name")
+	}
+}
+
+func TestFlowletRepicksAfterGap(t *testing.T) {
+	f := NewFlowlet(10*sim.Microsecond, rand.New(rand.NewSource(2)))
+	ports := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	p := &packet.Packet{SrcHost: 1, DstHost: 2, SrcPort: 7, DstPort: 80, Proto: 6}
+	seen := map[int]bool{}
+	now := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		seen[f.Pick(p, ports, now)] = true
+		now = now.Add(sim.Duration(20 * sim.Microsecond)) // always exceeds the gap
+	}
+	if len(seen) < 3 {
+		t.Errorf("flowlet re-picking visited only %d ports in 200 gaps", len(seen))
+	}
+}
+
+func TestFlowletHandlesGroupShrink(t *testing.T) {
+	f := NewFlowlet(100*sim.Microsecond, rand.New(rand.NewSource(3)))
+	p := &packet.Packet{SrcHost: 1, DstHost: 2, SrcPort: 7, DstPort: 80, Proto: 6}
+	got := f.Pick(p, []int{5, 6}, 0)
+	if got != 5 && got != 6 {
+		t.Fatalf("pick outside group: %d", got)
+	}
+	// The group changes mid-burst; the stored port may be invalid.
+	got = f.Pick(p, []int{9}, 1)
+	if got != 9 {
+		t.Errorf("invalid stored port not re-picked: %d", got)
+	}
+}
+
+func TestFlowletDistinctFlowsIndependent(t *testing.T) {
+	f := NewFlowlet(100*sim.Microsecond, rand.New(rand.NewSource(4)))
+	ports := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		p := &packet.Packet{SrcHost: uint32(i), DstHost: 2, SrcPort: uint16(i), DstPort: 80, Proto: 6}
+		seen[f.Pick(p, ports, 0)] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("flows concentrated on %d ports", len(seen))
+	}
+}
+
+func TestComputeFIBsFatTree(t *testing.T) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{
+		K:                 4,
+		HostLinkLatency:   sim.Microsecond,
+		FabricLinkLatency: sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fibs, err := ComputeFIBs(ft.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fibs) != 20 {
+		t.Fatalf("fibs = %d", len(fibs))
+	}
+	// Hosts 0,1 hang off edge[0][0]; host 15 is in the last pod.
+	edge0 := fibs[ft.Edge[0][0]]
+	// Same-edge host: direct port.
+	if got := edge0.Ports(1); len(got) != 1 {
+		t.Errorf("same-edge next hops = %v", got)
+	}
+	// Cross-pod host: both agg uplinks are equal cost.
+	if got := edge0.Ports(15); len(got) != 2 {
+		t.Errorf("cross-pod ECMP group = %v, want 2 uplinks", got)
+	}
+	// Same-pod, different-edge host (host 2 on edge[0][1]): still both
+	// uplinks (paths via either agg).
+	if got := edge0.Ports(2); len(got) != 2 {
+		t.Errorf("same-pod ECMP group = %v", got)
+	}
+	// An agg switch reaching a remote pod uses both its core uplinks.
+	agg := fibs[ft.Agg[0][0]]
+	if got := agg.Ports(15); len(got) != 2 {
+		t.Errorf("agg cross-pod group = %v", got)
+	}
+	// A core switch has exactly one port per destination pod.
+	core := fibs[ft.Core[0]]
+	if got := core.Ports(15); len(got) != 1 {
+		t.Errorf("core next hops = %v", got)
+	}
+}
+
+func TestUtilizedPairsFatTreeValleyFree(t *testing.T) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fibs, err := ComputeFIBs(ft.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := UtilizedPairs(ft.Topology, fibs)
+	// Valley-free: at an edge switch, traffic never goes uplink to
+	// uplink (ports 2,3 are uplinks for k=4).
+	for pod := range ft.Edge {
+		for _, e := range ft.Edge[pod] {
+			for _, in := range []int{2, 3} {
+				for _, out := range []int{2, 3} {
+					if used[e][[2]int{in, out}] {
+						t.Errorf("edge %d: uplink-to-uplink pair (%d,%d) marked utilized", e, in, out)
+					}
+				}
+			}
+		}
+	}
+	// But host-to-uplink pairs are used.
+	e := ft.Edge[0][0]
+	if !used[e][[2]int{0, 2}] && !used[e][[2]int{0, 3}] {
+		t.Error("no host-to-uplink pair utilized at edge 0")
+	}
+}

@@ -1,0 +1,270 @@
+// Package sim implements the deterministic discrete-event simulation
+// engine that drives Speedlight's emulated networks.
+//
+// The paper evaluated Speedlight on a hardware testbed for small
+// topologies and in simulation for large ones (its Figure 11). Without a
+// Tofino, this repository runs every experiment on the engine here: a
+// classic event-heap simulator with virtual nanosecond time and fully
+// seeded randomness, so that any run is reproducible bit-for-bit from its
+// seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Micros returns the time as a float64 number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the time as a float64 number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns the duration as a float64 number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as a float64 number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// DurationOfSeconds converts a float64 second count to a Duration.
+func DurationOfSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// DurationOfMicros converts a float64 microsecond count to a Duration.
+func DurationOfMicros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// Event is a scheduled callback. Events are single-shot; cancel with
+// Engine.Cancel before they fire to suppress them.
+type Event struct {
+	at       Time
+	seq      uint64 // insertion order; breaks ties deterministically
+	fn       func()
+	index    int // heap index, -1 once popped or cancelled
+	canceled bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent
+// use; a simulation is a single logical thread of control that the
+// engine advances event by event.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	seedSrc *rand.Rand // derives seeds for component substreams
+	fired   uint64
+}
+
+// NewEngine returns an engine whose randomness derives entirely from
+// seed. Two engines built with the same seed and driven by the same
+// logic produce identical runs.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng: rand.New(rand.NewSource(seed)),
+		// The xor only decorrelates the substream-seed source from
+		// the main RNG stream.
+		seedSrc: rand.New(rand.NewSource(seed ^ 0x5eed_11a7)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's main random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// NewRand returns a fresh random stream seeded from the engine, for a
+// component that wants randomness independent of event interleaving.
+func (e *Engine) NewRand() *rand.Rand {
+	return rand.New(rand.NewSource(e.seedSrc.Int63()))
+}
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn at virtual time at. Scheduling in the past panics:
+// it always indicates a logic error in the simulation.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After runs fn d after the current time. Negative d schedules for now.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel suppresses a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.events, ev.index)
+}
+
+// Step executes the next event, advancing virtual time. It returns false
+// when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+// Events scheduled after t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		next, ok := e.peek()
+		if !ok || next > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// peek returns the time of the next uncancelled event.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}
+
+// Ticker repeatedly invokes a callback at a fixed period until stopped.
+type Ticker struct {
+	e      *Engine
+	period Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+func (e *Engine) NewTicker(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{e: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.e.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. The callback will not fire again.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.e.Cancel(t.ev)
+}

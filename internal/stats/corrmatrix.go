@@ -1,0 +1,65 @@
+package stats
+
+// CorrResult is one entry of a pairwise correlation analysis.
+type CorrResult struct {
+	I, J int     // indices of the two series
+	Rho  float64 // Spearman's rho
+	P    float64 // two-sided p-value
+}
+
+// Significant reports whether the correlation passes the cutoff alpha.
+func (c CorrResult) Significant(alpha float64) bool { return c.P < alpha }
+
+// CorrMatrix holds the pairwise Spearman correlation of a set of series.
+// It reproduces the analysis behind the paper's Figure 13: pairwise
+// correlation of per-port time series with a significance cutoff.
+type CorrMatrix struct {
+	N       int          // number of series
+	Rho     [][]float64  // Rho[i][j], symmetric, diagonal 1
+	P       [][]float64  // P[i][j], symmetric, diagonal 0
+	Results []CorrResult // upper-triangle results, i < j
+}
+
+// NewCorrMatrix computes all pairwise Spearman correlations between the
+// given equal-length series. Series shorter than 3 yield an error.
+func NewCorrMatrix(series [][]float64) (*CorrMatrix, error) {
+	n := len(series)
+	m := &CorrMatrix{
+		N:   n,
+		Rho: make([][]float64, n),
+		P:   make([][]float64, n),
+	}
+	for i := range m.Rho {
+		m.Rho[i] = make([]float64, n)
+		m.P[i] = make([]float64, n)
+		m.Rho[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			rho, p, err := Spearman(series[i], series[j])
+			if err != nil {
+				return nil, err
+			}
+			m.Rho[i][j], m.Rho[j][i] = rho, rho
+			m.P[i][j], m.P[j][i] = p, p
+			m.Results = append(m.Results, CorrResult{I: i, J: j, Rho: rho, P: p})
+		}
+	}
+	return m, nil
+}
+
+// SignificantPairs returns the upper-triangle pairs with p < alpha.
+func (m *CorrMatrix) SignificantPairs(alpha float64) []CorrResult {
+	var out []CorrResult
+	for _, r := range m.Results {
+		if r.Significant(alpha) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SignificantCount returns the number of significant upper-triangle pairs.
+func (m *CorrMatrix) SignificantCount(alpha float64) int {
+	return len(m.SignificantPairs(alpha))
+}

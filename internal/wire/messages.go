@@ -1,0 +1,171 @@
+// Package wire deploys Speedlight over real UDP sockets: every switch
+// is a socket-owning node exchanging encoded packets with its neighbors,
+// control planes ship results to an observer node over the same
+// network, and snapshot initiations arrive as datagrams — the shape of
+// an actual deployment, with the same protocol state machines the
+// simulator drives.
+//
+// The package exists for two reasons: it exercises the binary codecs
+// end-to-end through the kernel's loopback, and it demonstrates that
+// nothing in the protocol implementation depends on the simulator. UDP
+// may drop or reorder under load; the protocol's recovery machinery
+// (re-initiation, register polls) is expected to cope, exactly as it
+// must on a lossy ASIC-to-CPU path.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"speedlight/internal/control"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/packet"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// Message types on the wire.
+const (
+	// msgData carries an emulated packet between switches (or from a
+	// host into an edge port).
+	msgData = 0x01
+	// msgHostDeliver carries a packet from an edge switch to a host.
+	msgHostDeliver = 0x02
+	// msgInitiate asks a switch control plane to initiate a snapshot.
+	msgInitiate = 0x03
+	// msgResult ships one finished unit result to the observer.
+	msgResult = 0x04
+	// msgPoll asks a switch control plane to poll its registers.
+	msgPoll = 0x05
+)
+
+// Codec errors.
+var (
+	ErrMsgShort   = errors.New("wire: message too short")
+	ErrMsgUnknown = errors.New("wire: unknown message type")
+)
+
+// encodeData frames a packet arriving at a switch ingress port.
+func encodeData(port int, p *packet.Packet) ([]byte, error) {
+	pb, err := p.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 3+len(pb))
+	buf[0] = msgData
+	binary.BigEndian.PutUint16(buf[1:3], uint16(port))
+	copy(buf[3:], pb)
+	return buf, nil
+}
+
+// decodeData parses a msgData payload (after the type byte check).
+func decodeData(data []byte) (port int, p *packet.Packet, err error) {
+	if len(data) < 3 {
+		return 0, nil, ErrMsgShort
+	}
+	port = int(binary.BigEndian.Uint16(data[1:3]))
+	p = &packet.Packet{}
+	if err := p.UnmarshalBinary(data[3:]); err != nil {
+		return 0, nil, err
+	}
+	return port, p, nil
+}
+
+// encodeHostDeliver frames a packet delivered to a host.
+func encodeHostDeliver(host topology.HostID, p *packet.Packet) ([]byte, error) {
+	pb, err := p.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 5+len(pb))
+	buf[0] = msgHostDeliver
+	binary.BigEndian.PutUint32(buf[1:5], uint32(host))
+	copy(buf[5:], pb)
+	return buf, nil
+}
+
+func decodeHostDeliver(data []byte) (topology.HostID, *packet.Packet, error) {
+	if len(data) < 5 {
+		return 0, nil, ErrMsgShort
+	}
+	host := topology.HostID(binary.BigEndian.Uint32(data[1:5]))
+	p := &packet.Packet{}
+	if err := p.UnmarshalBinary(data[5:]); err != nil {
+		return 0, nil, err
+	}
+	return host, p, nil
+}
+
+// encodeInitiate frames a snapshot initiation command.
+func encodeInitiate(id uint64) []byte {
+	buf := make([]byte, 9)
+	buf[0] = msgInitiate
+	binary.BigEndian.PutUint64(buf[1:9], id)
+	return buf
+}
+
+func decodeInitiate(data []byte) (uint64, error) {
+	if len(data) < 9 {
+		return 0, ErrMsgShort
+	}
+	return binary.BigEndian.Uint64(data[1:9]), nil
+}
+
+// encodePoll frames a register-poll command.
+func encodePoll() []byte { return []byte{msgPoll} }
+
+// resultLen is the encoded size of a control.Result.
+const resultLen = 1 + 4 + 2 + 1 + 8 + 8 + 1 + 8
+
+// encodeResult frames one finished unit snapshot for the observer.
+func encodeResult(r control.Result) []byte {
+	buf := make([]byte, resultLen)
+	buf[0] = msgResult
+	binary.BigEndian.PutUint32(buf[1:5], uint32(r.Unit.Node))
+	binary.BigEndian.PutUint16(buf[5:7], uint16(r.Unit.Port))
+	if r.Unit.Dir == dataplane.Egress {
+		buf[7] = 1
+	}
+	binary.BigEndian.PutUint64(buf[8:16], r.SnapshotID)
+	binary.BigEndian.PutUint64(buf[16:24], r.Value)
+	if r.Consistent {
+		buf[24] = 1
+	}
+	binary.BigEndian.PutUint64(buf[25:33], uint64(r.ReadAt))
+	return buf
+}
+
+func decodeResult(data []byte) (control.Result, error) {
+	if len(data) < resultLen {
+		return control.Result{}, ErrMsgShort
+	}
+	dir := dataplane.Ingress
+	if data[7] == 1 {
+		dir = dataplane.Egress
+	}
+	return control.Result{
+		Unit: dataplane.UnitID{
+			Node: topology.NodeID(binary.BigEndian.Uint32(data[1:5])),
+			Port: int(binary.BigEndian.Uint16(data[5:7])),
+			Dir:  dir,
+		},
+		SnapshotID: binary.BigEndian.Uint64(data[8:16]),
+		Value:      binary.BigEndian.Uint64(data[16:24]),
+		Consistent: data[24] == 1,
+		ReadAt:     sim.Time(binary.BigEndian.Uint64(data[25:33])),
+	}, nil
+}
+
+// msgTypeOf returns the message type byte, validating length.
+func msgTypeOf(data []byte) (byte, error) {
+	if len(data) < 1 {
+		return 0, ErrMsgShort
+	}
+	switch data[0] {
+	case msgData, msgHostDeliver, msgInitiate, msgResult, msgPoll:
+		return data[0], nil
+	default:
+		return 0, fmt.Errorf("%w: 0x%02x", ErrMsgUnknown, data[0])
+	}
+}

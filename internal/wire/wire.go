@@ -1,0 +1,504 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"speedlight/internal/control"
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/observer"
+	"speedlight/internal/packet"
+	"speedlight/internal/routing"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// maxDatagram bounds received message size.
+const maxDatagram = 512
+
+// Config parameterizes a UDP deployment.
+type Config struct {
+	// Topo is the network topology. Required.
+	Topo *topology.Topology
+
+	// Snapshot protocol parameters (defaults: MaxID 256, wraparound on,
+	// channel state off).
+	MaxID        uint32
+	WrapAround   bool
+	ChannelState bool
+
+	// Metrics builds each unit's snapshot target; nil defaults to
+	// packet counters.
+	Metrics func(id dataplane.UnitID) core.Metric
+
+	// RetryEvery drives the observer's recovery loop. Default 50 ms.
+	RetryEvery time.Duration
+
+	// OnDeliver observes packets delivered to hosts. Called from the
+	// deployment's host-sink goroutine.
+	OnDeliver func(pkt *packet.Packet, host topology.HostID)
+}
+
+// switchNode is one switch bound to a UDP socket. A single goroutine
+// owns the data plane and control plane, preserving unit
+// linearizability; the socket provides per-sender FIFO on loopback.
+type switchNode struct {
+	node topology.NodeID
+	dp   *dataplane.Switch
+	cp   *control.Plane
+	conn *net.UDPConn
+	// peers and peerPort map an egress port to the neighbor switch's
+	// socket and to its ingress port number there.
+	peers    map[int]*net.UDPAddr
+	peerPort map[int]int
+	hosts    map[int]topology.HostID
+	sink     *net.UDPAddr // host deliveries
+	obs      *net.UDPAddr
+
+	channelState bool
+	started      time.Time
+}
+
+func (s *switchNode) now() sim.Time {
+	return sim.Time(time.Since(s.started).Nanoseconds())
+}
+
+// run is the switch's receive loop.
+func (s *switchNode) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed: shutdown
+		}
+		s.handle(buf[:n])
+	}
+}
+
+func (s *switchNode) handle(data []byte) {
+	typ, err := msgTypeOf(data)
+	if err != nil {
+		return // garbage datagram; a real device would count and drop
+	}
+	switch typ {
+	case msgData:
+		port, pkt, err := decodeData(data)
+		if err != nil || port < 0 || port >= s.dp.NumPorts() {
+			return
+		}
+		res := s.dp.Ingress(pkt, port, s.now())
+		s.drainNotifs()
+		if res.Drop {
+			return
+		}
+		s.egress(pkt, res.EgressPort)
+	case msgInitiate:
+		id, err := decodeInitiate(data)
+		if err != nil {
+			return
+		}
+		for _, init := range s.cp.Initiate(id, s.now()) {
+			s.egress(init.Pkt, init.Port)
+		}
+		s.drainNotifs()
+		if s.channelState {
+			s.injectMarkers()
+		}
+	case msgPoll:
+		s.cp.Poll(s.now())
+	}
+}
+
+// egress runs egress processing and forwards over the wire.
+func (s *switchNode) egress(pkt *packet.Packet, port int) {
+	res := s.dp.Egress(pkt, port, s.now())
+	s.drainNotifs()
+	if res.Drop {
+		return
+	}
+	if peer, ok := s.peers[port]; ok {
+		// The neighbor's ingress port is resolved at deployment time
+		// and encoded by the sender.
+		data, err := encodeData(s.peerPort[port], pkt)
+		if err != nil {
+			return
+		}
+		s.conn.WriteToUDP(data, peer)
+		return
+	}
+	if host, ok := s.hosts[port]; ok {
+		if res.StripHeader {
+			pkt.HasSnap = false
+			pkt.Snap = packet.SnapshotHeader{}
+		}
+		if data, err := encodeHostDeliver(host, pkt); err == nil {
+			s.conn.WriteToUDP(data, s.sink)
+		}
+	}
+}
+
+// broadcastHost marks marker broadcasts, which die after one wire
+// hop's ingress processing (no route exists for them).
+const broadcastHost = 0xFFFFFFFF
+
+// injectMarkers floods marker broadcasts across every (port, class)
+// FIFO channel and one hop outward — Section 6's liveness mechanism,
+// run with every initiation in channel-state mode since UDP deployments
+// may have idle channels.
+func (s *switchNode) injectMarkers() {
+	for port := 0; port < s.dp.NumPorts(); port++ {
+		for cos := 0; cos < s.dp.NumCoS(); cos++ {
+			m := &packet.Packet{DstHost: broadcastHost, Size: 64, CoS: uint8(cos)}
+			s.dp.IngressFromCP(m, port, s.now())
+			s.drainNotifs()
+			for e := 0; e < s.dp.NumPorts(); e++ {
+				s.egress(m.Clone(), e)
+			}
+		}
+	}
+}
+
+// drainNotifs feeds data-plane notifications to the control plane.
+func (s *switchNode) drainNotifs() {
+	for {
+		n, ok := s.dp.PopNotif()
+		if !ok {
+			return
+		}
+		s.cp.HandleNotification(n, s.now())
+	}
+}
+
+// Deployment is a running UDP deployment: one socket per switch, one
+// observer socket, and one host-sink socket.
+type Deployment struct {
+	cfg      Config
+	topo     *topology.Topology
+	switches map[topology.NodeID]*switchNode
+
+	obs      *observer.Observer
+	obsMu    sync.Mutex
+	obsConn  *net.UDPConn
+	obsAddrs map[topology.NodeID]*net.UDPAddr
+	subs     map[uint64]chan *observer.GlobalSnapshot
+	done     []*observer.GlobalSnapshot
+
+	sinkConn *net.UDPConn
+	hostConn *net.UDPConn // source socket for host injections
+	hostTo   map[topology.HostID]struct {
+		addr *net.UDPAddr
+		port int
+	}
+
+	started time.Time
+	wg      sync.WaitGroup
+	stopped sync.Once
+	closeCh chan struct{}
+}
+
+// Deploy binds all sockets on loopback and starts the node goroutines.
+func Deploy(cfg Config) (*Deployment, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("wire: nil topology")
+	}
+	if cfg.MaxID == 0 {
+		cfg.MaxID = 256
+	}
+	if cfg.RetryEvery == 0 {
+		cfg.RetryEvery = 50 * time.Millisecond
+	}
+	fibs, err := routing.ComputeFIBs(cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = func(dataplane.UnitID) core.Metric { return &counters.PacketCount{} }
+	}
+
+	d := &Deployment{
+		cfg:      cfg,
+		topo:     cfg.Topo,
+		switches: make(map[topology.NodeID]*switchNode),
+		obsAddrs: make(map[topology.NodeID]*net.UDPAddr),
+		subs:     make(map[uint64]chan *observer.GlobalSnapshot),
+		hostTo: make(map[topology.HostID]struct {
+			addr *net.UDPAddr
+			port int
+		}),
+		started: time.Now(),
+		closeCh: make(chan struct{}),
+	}
+
+	bind := func() (*net.UDPConn, error) {
+		return net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	}
+	if d.obsConn, err = bind(); err != nil {
+		return nil, err
+	}
+	if d.sinkConn, err = bind(); err != nil {
+		d.obsConn.Close()
+		return nil, err
+	}
+	if d.hostConn, err = bind(); err != nil {
+		d.obsConn.Close()
+		d.sinkConn.Close()
+		return nil, err
+	}
+
+	obs, err := observer.New(observer.Config{
+		MaxID:      cfg.MaxID,
+		WrapAround: cfg.WrapAround,
+		RetryAfter: sim.Duration(cfg.RetryEvery.Nanoseconds()),
+		OnComplete: d.onComplete,
+	})
+	if err != nil {
+		d.closeSockets()
+		return nil, err
+	}
+	d.obs = obs
+
+	// Build and bind every switch.
+	for _, spec := range cfg.Topo.Switches {
+		sn, err := d.buildSwitch(spec, fibs[spec.ID], metrics)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.switches[spec.ID] = sn
+		d.obsAddrs[spec.ID] = sn.conn.LocalAddr().(*net.UDPAddr)
+		obs.Register(spec.ID, sn.dp.UnitIDs())
+	}
+	// Resolve neighbor addresses now that everything is bound.
+	for _, spec := range cfg.Topo.Switches {
+		sn := d.switches[spec.ID]
+		for p, peer := range spec.Ports {
+			switch peer.Kind {
+			case topology.PeerSwitch:
+				sn.peers[p] = d.switches[peer.Node].conn.LocalAddr().(*net.UDPAddr)
+				sn.peerPort[p] = peer.Port
+			case topology.PeerHost:
+				sn.hosts[p] = peer.Host
+				d.hostTo[peer.Host] = struct {
+					addr *net.UDPAddr
+					port int
+				}{sn.conn.LocalAddr().(*net.UDPAddr), p}
+			}
+		}
+	}
+
+	// Launch goroutines.
+	for _, sn := range d.switches {
+		d.wg.Add(1)
+		go sn.run(&d.wg)
+	}
+	d.wg.Add(2)
+	go d.runObserver()
+	go d.runSink()
+	d.wg.Add(1)
+	go d.runRetries()
+	return d, nil
+}
+
+func (d *Deployment) buildSwitch(spec *topology.Switch, fib *routing.FIB,
+	metrics func(dataplane.UnitID) core.Metric) (*switchNode, error) {
+	edge := map[int]bool{}
+	for p, peer := range spec.Ports {
+		if peer.Kind == topology.PeerHost {
+			edge[p] = true
+		}
+	}
+	dp, err := dataplane.New(dataplane.Config{
+		Node:         spec.ID,
+		NumPorts:     len(spec.Ports),
+		MaxID:        d.cfg.MaxID,
+		WrapAround:   d.cfg.WrapAround,
+		ChannelState: d.cfg.ChannelState,
+		Metrics:      metrics,
+		FIB:          fib,
+		Balancer:     routing.ECMP{},
+		EdgePorts:    edge,
+	})
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	sn := &switchNode{
+		node:         spec.ID,
+		channelState: d.cfg.ChannelState,
+		dp:           dp,
+		conn:         conn,
+		peers:        make(map[int]*net.UDPAddr),
+		peerPort:     make(map[int]int),
+		hosts:        make(map[int]topology.HostID),
+		sink:         d.sinkConn.LocalAddr().(*net.UDPAddr),
+		obs:          d.obsConn.LocalAddr().(*net.UDPAddr),
+		started:      d.started,
+	}
+	cp, err := control.New(control.Config{
+		Switch: dp,
+		OnResult: func(res control.Result) {
+			// Ship over the wire to the observer.
+			sn.conn.WriteToUDP(encodeResult(res), sn.obs)
+		},
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sn.cp = cp
+	return sn, nil
+}
+
+// runObserver receives results on the observer socket.
+func (d *Deployment) runObserver() {
+	defer d.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := d.obsConn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		typ, err := msgTypeOf(buf[:n])
+		if err != nil || typ != msgResult {
+			continue
+		}
+		res, err := decodeResult(buf[:n])
+		if err != nil {
+			continue
+		}
+		d.obsMu.Lock()
+		d.obs.OnResult(res, d.now())
+		d.obsMu.Unlock()
+	}
+}
+
+// runSink receives host deliveries.
+func (d *Deployment) runSink() {
+	defer d.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := d.sinkConn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		typ, err := msgTypeOf(buf[:n])
+		if err != nil || typ != msgHostDeliver {
+			continue
+		}
+		host, pkt, err := decodeHostDeliver(buf[:n])
+		if err != nil {
+			continue
+		}
+		if d.cfg.OnDeliver != nil {
+			d.cfg.OnDeliver(pkt, host)
+		}
+	}
+}
+
+// runRetries drives the observer's recovery loop.
+func (d *Deployment) runRetries() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.RetryEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.closeCh:
+			return
+		case <-t.C:
+			d.obsMu.Lock()
+			acts := d.obs.CheckTimeouts(d.now())
+			d.obsMu.Unlock()
+			for _, act := range acts {
+				for _, node := range act.Retry {
+					addr := d.obsAddrs[node]
+					d.obsConn.WriteToUDP(encodeInitiate(act.SnapshotID), addr)
+					d.obsConn.WriteToUDP(encodePoll(), addr)
+				}
+			}
+		}
+	}
+}
+
+func (d *Deployment) now() sim.Time {
+	return sim.Time(time.Since(d.started).Nanoseconds())
+}
+
+// onComplete runs under obsMu.
+func (d *Deployment) onComplete(g *observer.GlobalSnapshot) {
+	d.done = append(d.done, g)
+	if sub, ok := d.subs[g.ID]; ok {
+		delete(d.subs, g.ID)
+		sub <- g
+		close(sub)
+	}
+}
+
+// Inject sends a packet from a host into its edge switch, over UDP.
+func (d *Deployment) Inject(host topology.HostID, pkt *packet.Packet) error {
+	dst, ok := d.hostTo[host]
+	if !ok {
+		return fmt.Errorf("wire: unknown host %d", host)
+	}
+	pkt.SrcHost = uint32(host)
+	data, err := encodeData(dst.port, pkt)
+	if err != nil {
+		return err
+	}
+	_, err = d.hostConn.WriteToUDP(data, dst.addr)
+	return err
+}
+
+// TakeSnapshot begins a snapshot, broadcasts initiations over UDP, and
+// returns a channel yielding the assembled global snapshot.
+func (d *Deployment) TakeSnapshot() (uint64, <-chan *observer.GlobalSnapshot, error) {
+	d.obsMu.Lock()
+	id, err := d.obs.Begin(d.now())
+	if err != nil {
+		d.obsMu.Unlock()
+		return 0, nil, err
+	}
+	sub := make(chan *observer.GlobalSnapshot, 1)
+	d.subs[id] = sub
+	d.obsMu.Unlock()
+
+	for _, addr := range d.obsAddrs {
+		d.obsConn.WriteToUDP(encodeInitiate(id), addr)
+	}
+	return id, sub, nil
+}
+
+// Snapshots returns the snapshots completed so far.
+func (d *Deployment) Snapshots() []*observer.GlobalSnapshot {
+	d.obsMu.Lock()
+	defer d.obsMu.Unlock()
+	out := make([]*observer.GlobalSnapshot, len(d.done))
+	copy(out, d.done)
+	return out
+}
+
+func (d *Deployment) closeSockets() {
+	d.obsConn.Close()
+	d.sinkConn.Close()
+	d.hostConn.Close()
+	for _, sn := range d.switches {
+		sn.conn.Close()
+	}
+}
+
+// Close shuts the deployment down and waits for its goroutines.
+func (d *Deployment) Close() {
+	d.stopped.Do(func() {
+		close(d.closeCh)
+		d.closeSockets()
+	})
+	d.wg.Wait()
+}

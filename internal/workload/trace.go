@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"speedlight/internal/emunet"
+	"speedlight/internal/packet"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// TraceEvent is one packet emission in a replayable traffic trace.
+type TraceEvent struct {
+	// At is the emission time as an offset from replay start.
+	At      sim.Duration
+	Src     topology.HostID
+	Dst     topology.HostID
+	SrcPort uint16
+	DstPort uint16
+	Size    uint32
+	CoS     uint8
+}
+
+// Replay injects a recorded trace into the network — the stand-in for
+// replaying a production packet trace against the emulated fabric.
+// Events are scheduled at their offsets relative to Start; with Loop
+// set, the trace repeats with that period.
+type Replay struct {
+	Net    *emunet.Network
+	Events []TraceEvent
+	// Loop, when positive, restarts the trace this long after each
+	// replay begins. It must be at least the last event's offset.
+	Loop sim.Duration
+
+	stopped bool
+}
+
+// Name implements App.
+func (r *Replay) Name() string { return "trace-replay" }
+
+// Start implements App.
+func (r *Replay) Start() {
+	r.stopped = false
+	// Schedule in time order; equal-time events keep trace order.
+	events := make([]TraceEvent, len(r.Events))
+	copy(events, r.Events)
+	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
+	r.playOnce(events)
+}
+
+func (r *Replay) playOnce(events []TraceEvent) {
+	if r.stopped {
+		return
+	}
+	eng := r.Net.Engine()
+	for _, ev := range events {
+		ev := ev
+		eng.After(ev.At, func() {
+			if r.stopped {
+				return
+			}
+			r.Net.InjectFromHost(ev.Src, &packet.Packet{
+				DstHost: uint32(ev.Dst),
+				SrcPort: ev.SrcPort,
+				DstPort: ev.DstPort,
+				Proto:   6,
+				Size:    ev.Size,
+				CoS:     ev.CoS,
+			})
+		})
+	}
+	if r.Loop > 0 {
+		eng.After(r.Loop, func() { r.playOnce(events) })
+	}
+}
+
+// Stop implements App.
+func (r *Replay) Stop() { r.stopped = true }
+
+// Trace CSV format: one event per row,
+//
+//	time_us,src,dst,src_port,dst_port,size,cos
+//
+// with a header row. time_us is a float64 offset in microseconds.
+
+// traceHeader is the canonical CSV header.
+var traceHeader = []string{"time_us", "src", "dst", "src_port", "dst_port", "size", "cos"}
+
+// WriteTraceCSV serializes a trace.
+func WriteTraceCSV(w io.Writer, events []TraceEvent) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(ev.At.Micros(), 'f', -1, 64),
+			strconv.FormatUint(uint64(ev.Src), 10),
+			strconv.FormatUint(uint64(ev.Dst), 10),
+			strconv.FormatUint(uint64(ev.SrcPort), 10),
+			strconv.FormatUint(uint64(ev.DstPort), 10),
+			strconv.FormatUint(uint64(ev.Size), 10),
+			strconv.FormatUint(uint64(ev.CoS), 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadTraceCSV parses a trace written by WriteTraceCSV (or by any tool
+// following the format).
+func LoadTraceCSV(r io.Reader) ([]TraceEvent, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if len(records[0]) != len(traceHeader) || records[0][0] != traceHeader[0] {
+		return nil, fmt.Errorf("workload: bad trace header %v", records[0])
+	}
+	var events []TraceEvent
+	for i, rec := range records[1:] {
+		if len(rec) != len(traceHeader) {
+			return nil, fmt.Errorf("workload: trace row %d has %d fields", i+2, len(rec))
+		}
+		us, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d time: %w", i+2, err)
+		}
+		ints := make([]uint64, 6)
+		for j := 1; j < 7; j++ {
+			v, err := strconv.ParseUint(rec[j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace row %d field %s: %w", i+2, traceHeader[j], err)
+			}
+			ints[j-1] = v
+		}
+		events = append(events, TraceEvent{
+			At:      sim.DurationOfMicros(us),
+			Src:     topology.HostID(ints[0]),
+			Dst:     topology.HostID(ints[1]),
+			SrcPort: uint16(ints[2]),
+			DstPort: uint16(ints[3]),
+			Size:    uint32(ints[4]),
+			CoS:     uint8(ints[5]),
+		})
+	}
+	return events, nil
+}

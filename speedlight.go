@@ -1,0 +1,297 @@
+// Package speedlight is a Go implementation of Synchronized Network
+// Snapshots (Yaseen, Sonchack, Liu — SIGCOMM 2018) and of Speedlight,
+// the paper's realization of them for programmable switches.
+//
+// A synchronized network snapshot is a set of per-processing-unit
+// measurements that is causally consistent (a modified multi-initiator
+// Chandy–Lamport protocol run in the switch data planes) and nearly
+// synchronous (PTP-coordinated initiation keeps all measurements within
+// tens of microseconds). Any value a data plane can read at line rate —
+// packet counters, byte counters, queue depth, EWMAs of packet timing —
+// can be snapshotted.
+//
+// This package is the high-level facade: it builds an emulated
+// leaf-spine network (there is no Tofino here; the data plane is a
+// faithful software model driven by a deterministic discrete-event
+// simulator), lets the caller inject traffic, and takes snapshots.
+//
+//	net, err := speedlight.New(speedlight.Config{
+//	        Fabric: speedlight.Fabric{Leaves: 2, Spines: 2, HostsPerLeaf: 3},
+//	})
+//	...
+//	net.Run(2 * time.Millisecond)
+//	snap, err := net.Snapshot()
+//	for _, v := range snap.Values { ... }
+//
+// The full machinery — the per-unit protocol state machines, the
+// control plane, the observer, the concurrent goroutine runtime, the
+// workload generators, and the harnesses that regenerate every table
+// and figure of the paper's evaluation — lives in the internal
+// packages; see DESIGN.md for the map.
+package speedlight
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/emunet"
+	"speedlight/internal/packet"
+	"speedlight/internal/routing"
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// HostID identifies a host in the fabric.
+type HostID uint32
+
+// Metric selects what each processing unit snapshots.
+type Metric int
+
+const (
+	// PacketCount counts packets per unit; with channel state enabled,
+	// in-flight packets are folded in so counts are conserved across
+	// the snapshot cut.
+	PacketCount Metric = iota
+	// ByteCount sums frame bytes per unit.
+	ByteCount
+	// EWMAInterarrival tracks the exponentially weighted moving average
+	// of packet interarrival time (the paper's Section 8 counter) on
+	// egress units, with packet counts on ingress units.
+	EWMAInterarrival
+	// QueueDepth snapshots the instantaneous egress queue occupancy.
+	QueueDepth
+)
+
+// Balancer selects the load-balancing algorithm the switches run.
+type Balancer int
+
+const (
+	// ECMP is flow-based equal-cost multipath.
+	ECMP Balancer = iota
+	// Flowlet is flowlet switching with a 100 µs gap.
+	Flowlet
+)
+
+// Fabric describes a leaf-spine network like the paper's testbed.
+type Fabric struct {
+	Leaves       int
+	Spines       int
+	HostsPerLeaf int
+}
+
+// Config parameterizes a network.
+type Config struct {
+	// Fabric is the topology. The zero value defaults to the paper's
+	// testbed: 2 leaves, 2 spines, 3 hosts per leaf.
+	Fabric Fabric
+	// Metric selects the snapshot target. Default PacketCount.
+	Metric Metric
+	// ChannelState enables in-flight packet recording.
+	ChannelState bool
+	// Balancer selects the load balancer. Default ECMP.
+	Balancer Balancer
+	// CoSLevels is the number of Class-of-Service levels (strict
+	// priority, each its own FIFO snapshot channel). Default 1.
+	CoSLevels int
+	// Seed makes runs reproducible. Default 1.
+	Seed int64
+}
+
+// UnitValue is one processing unit's recorded value in a snapshot.
+type UnitValue struct {
+	Switch     int
+	Port       int
+	Direction  string // "ingress" or "egress"
+	Value      uint64
+	Consistent bool
+}
+
+// Snapshot is an assembled network-wide snapshot.
+type Snapshot struct {
+	ID uint64
+	// Consistent reports whether every unit's value is consistent.
+	Consistent bool
+	// Values holds one entry per processing unit, ordered by switch,
+	// port, direction.
+	Values []UnitValue
+	// Sync is the measured synchronization of the snapshot: the spread
+	// between the earliest and latest data-plane notification
+	// timestamps carrying its ID.
+	Sync time.Duration
+}
+
+// Value returns the recorded value of one unit.
+func (s *Snapshot) Value(sw, port int, direction string) (uint64, bool) {
+	for _, v := range s.Values {
+		if v.Switch == sw && v.Port == port && v.Direction == direction && v.Consistent {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Network is an emulated Speedlight deployment.
+type Network struct {
+	cfg   Config
+	inner *emunet.Network
+	ls    *topology.LeafSpine
+}
+
+// New builds a network.
+func New(cfg Config) (*Network, error) {
+	if cfg.Fabric == (Fabric{}) {
+		cfg.Fabric = Fabric{Leaves: 2, Spines: 2, HostsPerLeaf: 3}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves:            cfg.Fabric.Leaves,
+		Spines:            cfg.Fabric.Spines,
+		HostsPerLeaf:      cfg.Fabric.HostsPerLeaf,
+		HostLinkLatency:   sim.Microsecond,
+		FabricLinkLatency: sim.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ecfg := emunet.Config{
+		Topo:         ls.Topology,
+		Seed:         cfg.Seed,
+		MaxID:        256,
+		WrapAround:   true,
+		ChannelState: cfg.ChannelState,
+		NumCoS:       cfg.CoSLevels,
+	}
+	ecfg.Metrics = func(net *emunet.Network, id dataplane.UnitID) core.Metric {
+		switch cfg.Metric {
+		case ByteCount:
+			return &counters.ByteCount{}
+		case EWMAInterarrival:
+			if id.Dir == dataplane.Egress {
+				eng := net.Engine()
+				return counters.NewEWMAInterarrival(func() int64 { return int64(eng.Now()) })
+			}
+			return &counters.PacketCount{}
+		case QueueDepth:
+			if id.Dir == dataplane.Egress {
+				return net.Gauge(id)
+			}
+			return &counters.PacketCount{}
+		default:
+			return &counters.PacketCount{}
+		}
+	}
+	if cfg.Balancer == Flowlet {
+		ecfg.NewBalancer = func(_ topology.NodeID, r *rand.Rand) routing.Balancer {
+			return routing.NewFlowlet(100*sim.Microsecond, r)
+		}
+	}
+	n, err := emunet.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{cfg: cfg, inner: n, ls: ls}, nil
+}
+
+// Hosts lists the fabric's host IDs.
+func (n *Network) Hosts() []HostID {
+	var out []HostID
+	for _, h := range n.ls.Hosts {
+		out = append(out, HostID(h.ID))
+	}
+	return out
+}
+
+// Send injects one packet from src to dst with the given frame size and
+// flow ports, at class of service 0.
+func (n *Network) Send(src, dst HostID, size int, srcPort, dstPort uint16) {
+	n.SendCoS(src, dst, size, srcPort, dstPort, 0)
+}
+
+// SendCoS injects one packet at the given class of service.
+func (n *Network) SendCoS(src, dst HostID, size int, srcPort, dstPort uint16, cos uint8) {
+	n.inner.InjectFromHost(topology.HostID(src), &packet.Packet{
+		DstHost: uint32(dst),
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Proto:   6,
+		Size:    uint32(size),
+		CoS:     cos,
+	})
+}
+
+// Run advances the emulation by d of virtual time.
+func (n *Network) Run(d time.Duration) {
+	n.inner.RunFor(sim.Duration(d.Nanoseconds()))
+}
+
+// Snapshot takes one synchronized network snapshot: it schedules the
+// snapshot one virtual millisecond out, advances the emulation until
+// the observer assembles it, and returns the global result.
+func (n *Network) Snapshot() (*Snapshot, error) {
+	eng := n.inner.Engine()
+	id, err := n.inner.ScheduleSnapshot(eng.Now().Add(sim.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	// Advance until this snapshot completes (bounded: recovery timers
+	// guarantee progress).
+	deadline := eng.Now().Add(2 * sim.Second)
+	for eng.Now() < deadline {
+		n.inner.RunFor(sim.Millisecond)
+		for _, g := range n.inner.Snapshots() {
+			if g.ID != id {
+				continue
+			}
+			snap := &Snapshot{ID: id, Consistent: g.Consistent}
+			if d, ok := n.inner.SyncSpread(id); ok {
+				snap.Sync = time.Duration(d)
+			}
+			for u, res := range g.Results {
+				snap.Values = append(snap.Values, UnitValue{
+					Switch:     int(u.Node),
+					Port:       u.Port,
+					Direction:  u.Dir.String(),
+					Value:      res.Value,
+					Consistent: res.Consistent,
+				})
+			}
+			sort.Slice(snap.Values, func(a, b int) bool {
+				x, y := snap.Values[a], snap.Values[b]
+				if x.Switch != y.Switch {
+					return x.Switch < y.Switch
+				}
+				if x.Port != y.Port {
+					return x.Port < y.Port
+				}
+				return x.Direction < y.Direction
+			})
+			return snap, nil
+		}
+	}
+	return nil, fmt.Errorf("speedlight: snapshot %d did not complete", id)
+}
+
+// Uplinks returns the uplink egress locations of a leaf switch, for
+// load-balance analyses.
+func (n *Network) Uplinks(leaf int) [][2]int {
+	var out [][2]int
+	for _, p := range n.ls.UplinkPorts(topology.NodeID(leaf)) {
+		out = append(out, [2]int{leaf, p})
+	}
+	return out
+}
+
+// NumSwitches returns the fabric's switch count (leaves then spines).
+func (n *Network) NumSwitches() int { return len(n.ls.Switches) }
+
+// Inner exposes the underlying emulation for advanced use: attaching
+// the workload generators, custom metrics, or direct engine access.
+// Most callers never need it.
+func (n *Network) Inner() *emunet.Network { return n.inner }
