@@ -18,6 +18,7 @@ import (
 	"speedlight/internal/emunet"
 	"speedlight/internal/export"
 	"speedlight/internal/sim"
+	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 	"speedlight/internal/workload"
 
@@ -39,6 +40,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "randomness seed")
 		verbose   = flag.Bool("verbose", false, "print every unit value")
 		csvPath   = flag.String("csv", "", "write all snapshot values to this CSV file")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve observability endpoints (/metrics, /debug/vars, /debug/pprof, /trace) on this address while the campaign runs")
+		traceOut = flag.String("trace-out", "", "write the campaign's Chrome trace_event JSON to this file (load in Perfetto)")
+		summary  = flag.Bool("summary", false, "print an end-of-run telemetry summary table")
 	)
 	flag.Parse()
 
@@ -46,6 +52,12 @@ func main() {
 		Fabric:       speedlight.Fabric{Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts},
 		ChannelState: *chanState,
 		Seed:         *seed,
+	}
+	// Any observability flag turns telemetry on; without them the run
+	// pays nothing.
+	if *metricsAddr != "" || *traceOut != "" || *summary {
+		cfg.Registry = telemetry.NewRegistry()
+		cfg.Tracer = telemetry.NewTracer(0)
 	}
 	switch *metric {
 	case "packets":
@@ -71,6 +83,16 @@ func main() {
 	net, err := speedlight.New(cfg)
 	if err != nil {
 		fatalf("building network: %v", err)
+	}
+
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, cfg.Registry, cfg.Tracer)
+		if err != nil {
+			fatalf("metrics server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /trace (Chrome)\n",
+			srv.Addr())
 	}
 
 	if app := buildWorkload(*wl, *tracePath, net); app != nil {
@@ -114,6 +136,27 @@ func main() {
 			fatalf("closing csv: %v", err)
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("creating %s: %v", *traceOut, err)
+		}
+		if err := cfg.Tracer.WriteChromeTrace(f); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing trace: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
+
+	if cfg.Registry != nil {
+		fmt.Println("\ntelemetry summary:")
+		if err := cfg.Registry.WriteSummary(os.Stdout); err != nil {
+			fatalf("writing summary: %v", err)
+		}
 	}
 }
 

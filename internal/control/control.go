@@ -52,6 +52,9 @@ type Config struct {
 	CompletionChannels func(id dataplane.UnitID) []int
 	// OnResult receives finished snapshots. Required.
 	OnResult func(Result)
+	// Telemetry receives the plane's metric updates. Nil disables
+	// instrumentation; one Telemetry may be shared across planes.
+	Telemetry *Telemetry
 }
 
 // unitState is the controller's view of one processing unit (the
@@ -68,6 +71,7 @@ type unitState struct {
 // Plane is one switch's snapshot control plane.
 type Plane struct {
 	cfg          Config
+	tel          *Telemetry
 	channelState bool
 	maxID        uint64
 	wrap         bool
@@ -89,10 +93,14 @@ func New(cfg Config) (*Plane, error) {
 	swCfg := cfg.Switch.Config()
 	p := &Plane{
 		cfg:          cfg,
+		tel:          cfg.Telemetry,
 		channelState: swCfg.ChannelState,
 		maxID:        uint64(swCfg.MaxID),
 		wrap:         swCfg.WrapAround,
 		units:        make(map[dataplane.UnitID]*unitState),
+	}
+	if p.tel == nil {
+		p.tel = nopTelemetry
 	}
 	for _, id := range cfg.Switch.UnitIDs() {
 		u := cfg.Switch.Unit(id)
@@ -168,6 +176,9 @@ type Initiation struct {
 func (p *Plane) Initiate(id uint64, now sim.Time) []Initiation {
 	if id > p.initiated {
 		p.initiated = id
+		p.tel.Initiations.Inc()
+	} else {
+		p.tel.ReInitiations.Inc()
 	}
 	sw := p.cfg.Switch
 	var out []Initiation
@@ -187,6 +198,7 @@ func (p *Plane) HandleNotification(n dataplane.CPUNotification, now sim.Time) {
 	if !ok {
 		return
 	}
+	p.tel.NotifsServiced.Inc()
 	if p.channelState {
 		p.onNotifyCS(st, n, now)
 	} else {
@@ -233,7 +245,7 @@ func (p *Plane) onNotifyNoCS(st *unitState, n dataplane.CPUNotification, now sim
 	// Ship in ascending snapshot order.
 	sort.Slice(batch, func(a, b int) bool { return batch[a].id < batch[b].id })
 	for _, f := range batch {
-		p.cfg.OnResult(Result{
+		p.emit(Result{
 			Unit:       st.id,
 			SnapshotID: f.id,
 			Value:      f.value,
@@ -301,15 +313,25 @@ func (p *Plane) readThrough(st *unitState, toRead uint64, now sim.Time) {
 			}
 		}
 		delete(st.inconsists, i)
-		p.cfg.OnResult(res)
+		p.emit(res)
 	}
 	st.lastRead = toRead
+}
+
+// emit counts and ships one finalized per-unit result.
+func (p *Plane) emit(res Result) {
+	p.tel.Results.Inc()
+	if !res.Consistent {
+		p.tel.ResultsInconsistent.Inc()
+	}
+	p.cfg.OnResult(res)
 }
 
 // Poll proactively reads every unit's registers and processes the state
 // as if freshly notified, recovering from dropped notifications
 // (Section 6). It is safe to call at any time.
 func (p *Plane) Poll(now sim.Time) {
+	p.tel.Polls.Inc()
 	for _, id := range p.cfg.Switch.UnitIDs() {
 		st := p.units[id]
 		u := p.cfg.Switch.Unit(id)

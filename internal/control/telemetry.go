@@ -1,0 +1,40 @@
+package control
+
+import "speedlight/internal/telemetry"
+
+// Telemetry is the control plane's metric set. Nil fields (or a nil
+// Config.Telemetry) are no-ops; one Telemetry may be shared by every
+// control plane of a network.
+type Telemetry struct {
+	// NotifsServiced counts data-plane notifications processed by
+	// HandleNotification — the per-notification work whose service time
+	// bounds snapshot rate (Figure 10).
+	NotifsServiced *telemetry.Counter
+	// Initiations counts first-time snapshot initiations;
+	// ReInitiations counts retransmissions of an already-initiated ID
+	// (the observer's Section 6 recovery path).
+	Initiations   *telemetry.Counter
+	ReInitiations *telemetry.Counter
+	// Polls counts register polls (dropped-notification recovery).
+	Polls *telemetry.Counter
+	// Results counts finished per-unit snapshots shipped to the
+	// observer; ResultsInconsistent counts the subset invalidated by
+	// skipped IDs or register reuse.
+	Results             *telemetry.Counter
+	ResultsInconsistent *telemetry.Counter
+}
+
+// NewTelemetry registers the control-plane metric families on reg and
+// returns the resolved handles. A nil registry yields no-op metrics.
+func NewTelemetry(reg *telemetry.Registry) *Telemetry {
+	return &Telemetry{
+		NotifsServiced:      reg.Counter("speedlight_cp_notifs_serviced_total", "data-plane notifications serviced"),
+		Initiations:         reg.Counter("speedlight_cp_initiations_total", "first-time snapshot initiations"),
+		ReInitiations:       reg.Counter("speedlight_cp_reinitiations_total", "snapshot re-initiations (recovery)"),
+		Polls:               reg.Counter("speedlight_cp_polls_total", "register polls (drop recovery)"),
+		Results:             reg.Counter("speedlight_cp_results_total", "per-unit snapshot results finalized"),
+		ResultsInconsistent: reg.Counter("speedlight_cp_results_inconsistent_total", "per-unit results finalized inconsistent"),
+	}
+}
+
+var nopTelemetry = &Telemetry{}

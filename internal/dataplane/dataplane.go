@@ -118,6 +118,11 @@ type Config struct {
 	// headers pass through untouched, preserving in-flight epoch
 	// information for the snapshot-enabled devices downstream.
 	SnapshotDisabled bool
+
+	// Telemetry receives the switch's metric updates. Nil disables
+	// instrumentation (every update degrades to one nil check). The
+	// same Telemetry may be shared across switches.
+	Telemetry *Telemetry
 }
 
 // Port holds the two processing units of one switch port.
@@ -130,6 +135,7 @@ type Port struct {
 type Switch struct {
 	cfg   Config
 	ports []*Port
+	tel   *Telemetry
 
 	notifs     []CPUNotification
 	notifDrops uint64
@@ -154,7 +160,10 @@ func New(cfg Config) (*Switch, error) {
 	if cfg.NumCoS > 16 {
 		return nil, fmt.Errorf("dataplane: NumCoS %d exceeds the header's 4-bit class space", cfg.NumCoS)
 	}
-	s := &Switch{cfg: cfg, notifCap: cap}
+	s := &Switch{cfg: cfg, notifCap: cap, tel: cfg.Telemetry}
+	if s.tel == nil {
+		s.tel = nopTelemetry
+	}
 	for p := 0; p < cfg.NumPorts; p++ {
 		// An ingress unit's upstream channels are the external
 		// neighbor's CoS sub-channels, optionally the recirculation
@@ -274,14 +283,22 @@ func (s *Switch) pushNotif(n CPUNotification) {
 	if !s.cfg.ChannelState && !n.SIDChanged() {
 		return
 	}
+	s.tel.NotifsGenerated.Inc()
+	if n.SIDChanged() && n.NewSID < n.OldSID {
+		// The wire ID wrapped (Section 5.3): unwrapped progress only
+		// ever moves forward, so a smaller new wire ID is a rollover.
+		s.tel.Rollovers.Inc()
+	}
 	if s.cfg.OnNotify != nil {
 		s.cfg.OnNotify(n)
 	}
 	if len(s.notifs) >= s.notifCap {
 		s.notifDrops++
+		s.tel.NotifsDropped.Inc()
 		return
 	}
 	s.notifs = append(s.notifs, n)
+	s.tel.NotifQueueHighWater.SetMax(int64(len(s.notifs)))
 }
 
 // PopNotif removes and returns the oldest pending notification.
@@ -315,6 +332,7 @@ type IngressResult struct {
 // rewritten to the ingress port number — the upstream neighbor
 // identifier the egress unit will use (Section 5.1).
 func (s *Switch) Ingress(pkt *packet.Packet, port int, now sim.Time) IngressResult {
+	s.tel.PacketsIngress.Inc()
 	if s.cfg.SnapshotDisabled {
 		return s.forwardOnly(pkt, now)
 	}
@@ -384,6 +402,7 @@ type EgressResult struct {
 // traffic). On edge ports the caller must strip the header afterwards,
 // as instructed by the result.
 func (s *Switch) Egress(pkt *packet.Packet, port int, now sim.Time) EgressResult {
+	s.tel.PacketsEgress.Inc()
 	if s.cfg.SnapshotDisabled {
 		return EgressResult{}
 	}
@@ -424,6 +443,8 @@ func (s *Switch) Recirculate(pkt *packet.Packet, port int, now sim.Time) Ingress
 	if !s.cfg.Recirculation {
 		panic(fmt.Sprintf("dataplane: switch %d has no recirculation channel", s.cfg.Node))
 	}
+	s.tel.Recirculations.Inc()
+	s.tel.PacketsIngress.Inc()
 	if s.cfg.SnapshotDisabled {
 		return s.forwardOnly(pkt, now)
 	}
@@ -465,6 +486,8 @@ func InitiationPacket(wireID uint32) *packet.Packet {
 // snapshot ID propagation when data traffic is absent (Section 6,
 // liveness).
 func (s *Switch) IngressOnly(pkt *packet.Packet, port int, now sim.Time) {
+	s.tel.Markers.Inc()
+	s.tel.PacketsIngress.Inc()
 	if !pkt.HasSnap {
 		pkt.HasSnap = true
 		pkt.Snap = packet.SnapshotHeader{
@@ -494,6 +517,8 @@ func (s *Switch) IngressOnly(pkt *packet.Packet, port int, now sim.Time) {
 // (rather than the external one) matters: it must not forge the
 // upstream neighbor's progress in the last-seen array.
 func (s *Switch) IngressFromCP(pkt *packet.Packet, port int, now sim.Time) {
+	s.tel.Markers.Inc()
+	s.tel.PacketsIngress.Inc()
 	if !pkt.HasSnap {
 		pkt.HasSnap = true
 		pkt.Snap = packet.SnapshotHeader{
@@ -536,6 +561,7 @@ func (s *Switch) StampCPEgress(pkt *packet.Packet, port int) {
 // exactly what the snapshot algorithm requires (Section 4.1's CoS
 // sub-channels are independent FIFO channels).
 func (s *Switch) InitiateIngress(wireID uint32, port int, now sim.Time) []*packet.Packet {
+	s.tel.Initiations.Inc()
 	pkt := InitiationPacket(wireID)
 	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, s.ingressCPChannel())
 	if changed {

@@ -25,6 +25,7 @@ import (
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
+	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 )
 
@@ -116,6 +117,13 @@ type Config struct {
 	// injection time — e.g., to record a workload as a replayable
 	// trace.
 	OnInject func(pkt *packet.Packet, host topology.HostID, at sim.Time)
+
+	// Registry, when set, enables telemetry: every protocol layer's
+	// counters and histograms are registered on it. Nil disables
+	// instrumentation at zero hot-path cost.
+	Registry *telemetry.Registry
+	// Tracer, when set, records snapshot-lifecycle spans.
+	Tracer *telemetry.Tracer
 }
 
 func (c *Config) setDefaults() {
@@ -201,6 +209,8 @@ type EmuSwitch struct {
 
 	cpBusy bool // notification processing loop active
 	rng    *rand.Rand
+	// pkts counts this switch's wire arrivals (per-switch throughput).
+	pkts *telemetry.Counter
 }
 
 // QueueLen returns the occupancy of an egress queue in packets, summed
@@ -247,6 +257,37 @@ type Network struct {
 	// filter synchronization recording to progress-relevant
 	// notifications.
 	gateSets map[dataplane.UnitID]map[int]bool
+
+	// Telemetry handles; all nil (no-op) when cfg.Registry is nil.
+	dpTel *dataplane.Telemetry
+	cpTel *control.Telemetry
+	tel   netTelemetry
+}
+
+// netTelemetry is the emulation harness's own metric set, covering the
+// layers the protocol packages cannot see: egress queues, the wire,
+// and assembled-snapshot quality.
+type netTelemetry struct {
+	syncSpreadUS   *telemetry.Histogram
+	queueDrops     *telemetry.Counter
+	queueHighWater *telemetry.Gauge
+	wireDrops      *telemetry.Counter
+	injected       *telemetry.Counter
+	delivered      *telemetry.Counter
+	switchPkts     *telemetry.CounterVec
+}
+
+func newNetTelemetry(reg *telemetry.Registry) netTelemetry {
+	return netTelemetry{
+		syncSpreadUS: reg.Histogram("speedlight_net_sync_spread_us",
+			"snapshot synchronization spread, earliest to latest notification (microseconds)", telemetry.LatencyBucketsUS),
+		queueDrops:     reg.Counter("speedlight_net_queue_drops_total", "packets dropped at full egress queues"),
+		queueHighWater: reg.Gauge("speedlight_net_queue_high_water", "deepest egress queue occupancy"),
+		wireDrops:      reg.Counter("speedlight_net_wire_drops_total", "packets lost to injected link failures"),
+		injected:       reg.Counter("speedlight_net_packets_injected_total", "packets injected from hosts"),
+		delivered:      reg.Counter("speedlight_net_packets_delivered_total", "packets delivered to hosts"),
+		switchPkts:     reg.CounterVec("speedlight_net_switch_packets_total", "wire arrivals per switch", "switch"),
+	}
 }
 
 // New builds and wires the emulated network.
@@ -272,6 +313,9 @@ func New(cfg Config) (*Network, error) {
 		syncs:    make(map[uint64]*syncWindow),
 		gauges:   make(map[dataplane.UnitID]*counters.Gauge),
 		gateSets: make(map[dataplane.UnitID]map[int]bool),
+		dpTel:    dataplane.NewTelemetry(cfg.Registry),
+		cpTel:    control.NewTelemetry(cfg.Registry),
+		tel:      newNetTelemetry(cfg.Registry),
 	}
 
 	obs, err := observer.New(observer.Config{
@@ -279,7 +323,14 @@ func New(cfg Config) (*Network, error) {
 		WrapAround:   cfg.WrapAround,
 		RetryAfter:   nonNeg(cfg.RetryAfter),
 		ExcludeAfter: nonNeg(cfg.ExcludeAfter),
-		OnComplete:   func(g *observer.GlobalSnapshot) { n.done = append(n.done, g) },
+		Telemetry:    observer.NewTelemetry(cfg.Registry),
+		Tracer:       cfg.Tracer,
+		OnComplete: func(g *observer.GlobalSnapshot) {
+			n.done = append(n.done, g)
+			if d, ok := n.SyncSpread(g.ID); ok {
+				n.tel.syncSpreadUS.Observe(d.Micros())
+			}
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -324,6 +375,9 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 	cfg := n.cfg
 	node := spec.ID
 	es := &EmuSwitch{Node: node, rng: n.eng.NewRand()}
+	if n.tel.switchPkts != nil {
+		es.pkts = n.tel.switchPkts.With(fmt.Sprint(node))
+	}
 
 	edge := map[int]bool{}
 	for p, peer := range spec.Ports {
@@ -370,6 +424,7 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 		Balancer:         balancer,
 		EdgePorts:        edge,
 		SnapshotDisabled: cfg.SnapshotDisabled[node],
+		Telemetry:        n.dpTel,
 	})
 	if err != nil {
 		return err
@@ -389,6 +444,7 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 	cp, err := control.New(control.Config{
 		Switch:             dp,
 		CompletionChannels: recordingGates,
+		Telemetry:          n.cpTel,
 		OnResult: func(res control.Result) {
 			lat := sim.Duration(cfg.ObserverLatency.Sample(es.rng))
 			n.eng.After(lat, func() { n.obs.OnResult(res, n.eng.Now()) })
@@ -475,6 +531,13 @@ func (n *Network) Snapshots() []*observer.GlobalSnapshot { return n.done }
 
 // Observer exposes the snapshot observer.
 func (n *Network) Observer() *observer.Observer { return n.obs }
+
+// Registry returns the telemetry registry the network was built with,
+// or nil when telemetry is disabled.
+func (n *Network) Registry() *telemetry.Registry { return n.cfg.Registry }
+
+// Tracer returns the snapshot-lifecycle tracer, or nil when disabled.
+func (n *Network) Tracer() *telemetry.Tracer { return n.cfg.Tracer }
 
 // NotifDropsTotal sums dropped notifications across all switches.
 func (n *Network) NotifDropsTotal() uint64 {
@@ -572,6 +635,7 @@ func (n *Network) InjectFromHost(host topology.HostID, pkt *packet.Packet) {
 		panic(fmt.Sprintf("emunet: unknown host %d", host))
 	}
 	pkt.SrcHost = uint32(host)
+	n.tel.injected.Inc()
 	if n.cfg.OnInject != nil {
 		n.cfg.OnInject(pkt, host, n.eng.Now())
 	}
@@ -583,6 +647,7 @@ func (n *Network) InjectFromHost(host topology.HostID, pkt *packet.Packet) {
 // arrive handles a packet arriving at a switch port from the wire.
 func (n *Network) arrive(es *EmuSwitch, pkt *packet.Packet, port int) {
 	now := n.eng.Now()
+	es.pkts.Inc()
 	if topology.HostID(pkt.DstHost) == BroadcastHost {
 		// Marker broadcast from a neighbor: refresh this port's external
 		// channel, then die. Internal channels are refreshed by this
@@ -606,6 +671,7 @@ func (n *Network) enqueue(es *EmuSwitch, pkt *packet.Packet, port int) {
 	q := es.queues[port]
 	if q.length() >= n.cfg.QueueCapacity {
 		q.drops++
+		n.tel.queueDrops.Inc()
 		return
 	}
 	cos := int(pkt.CoS)
@@ -613,6 +679,7 @@ func (n *Network) enqueue(es *EmuSwitch, pkt *packet.Packet, port int) {
 		cos = len(q.perCoS) - 1
 	}
 	q.perCoS[cos] = append(q.perCoS[cos], queuedPkt{pkt: pkt})
+	n.tel.queueHighWater.SetMax(int64(q.length()))
 	n.setDepthGauge(es, port)
 	if !q.txScheduled {
 		q.txScheduled = true
@@ -658,6 +725,7 @@ func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 		}
 		if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
 			n.wireDrops++
+			n.tel.wireDrops.Inc()
 			return
 		}
 		next := n.sws[peer.Node]
@@ -671,6 +739,7 @@ func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 	case topology.PeerSwitch:
 		if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
 			n.wireDrops++
+			n.tel.wireDrops.Inc()
 			return
 		}
 		next := n.sws[peer.Node]
@@ -684,6 +753,7 @@ func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 		}
 		host := peer.Host
 		n.eng.After(sim.Duration(peer.Latency), func() {
+			n.tel.delivered.Inc()
 			if n.cfg.OnDeliver != nil {
 				n.cfg.OnDeliver(pkt, host, n.eng.Now())
 			}

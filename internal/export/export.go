@@ -13,6 +13,7 @@ import (
 	"speedlight/internal/dataplane"
 	"speedlight/internal/experiments"
 	"speedlight/internal/observer"
+	"speedlight/internal/telemetry"
 )
 
 // SnapshotRow is one unit's value in one snapshot, flattened for
@@ -124,6 +125,79 @@ func TableCSV(w io.Writer, t *experiments.Table) error {
 	for _, row := range t.Rows {
 		if err := cw.Write(row); err != nil {
 			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TelemetryCSV writes a registry's series as long-form CSV. Counters
+// and gauges produce one row each; histograms produce one row per
+// statistic (count, sum, max, p50, p90, p99) so downstream tooling
+// never has to parse bucket structure.
+func TelemetryCSV(w io.Writer, reg *telemetry.Registry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "stat", "value"}); err != nil {
+		return err
+	}
+	for _, s := range reg.Gather() {
+		name := s.FullName()
+		switch s.Kind {
+		case telemetry.KindCounter:
+			if err := cw.Write([]string{name, "value", fmt.Sprint(s.Value)}); err != nil {
+				return err
+			}
+		case telemetry.KindGauge:
+			if err := cw.Write([]string{name, "value", fmt.Sprint(s.GaugeValue)}); err != nil {
+				return err
+			}
+		case telemetry.KindHistogram:
+			h := s.Hist
+			stats := []struct {
+				stat  string
+				value float64
+			}{
+				{"count", float64(h.Count())},
+				{"sum", h.Sum()},
+				{"max", h.Max()},
+				{"p50", h.Quantile(0.50)},
+				{"p90", h.Quantile(0.90)},
+				{"p99", h.Quantile(0.99)},
+			}
+			for _, st := range stats {
+				if err := cw.Write([]string{name, st.stat, fmt.Sprintf("%g", st.value)}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SpansCSV writes a tracer's snapshot-lifecycle spans as CSV, one row
+// per snapshot and one per per-device sub-span.
+func SpansCSV(w io.Writer, tr *telemetry.Tracer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"snapshot_id", "device", "begin_ns", "end_ns", "duration_ns", "consistent",
+	}); err != nil {
+		return err
+	}
+	for _, sp := range tr.Spans() {
+		if err := cw.Write([]string{
+			fmt.Sprint(sp.ID), "", fmt.Sprint(sp.BeginNs), fmt.Sprint(sp.EndNs),
+			fmt.Sprint(sp.EndNs - sp.BeginNs), fmt.Sprint(sp.Consistent),
+		}); err != nil {
+			return err
+		}
+		for _, d := range sp.Devices {
+			if err := cw.Write([]string{
+				fmt.Sprint(sp.ID), fmt.Sprint(d.Node), fmt.Sprint(d.FirstNs), fmt.Sprint(d.LastNs),
+				fmt.Sprint(d.LastNs - d.FirstNs), "",
+			}); err != nil {
+				return err
+			}
 		}
 	}
 	cw.Flush()

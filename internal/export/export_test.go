@@ -11,6 +11,7 @@ import (
 	"speedlight/internal/dataplane"
 	"speedlight/internal/experiments"
 	"speedlight/internal/observer"
+	"speedlight/internal/telemetry"
 )
 
 func sampleSnaps() []*observer.GlobalSnapshot {
@@ -134,5 +135,74 @@ func TestEmptyInputs(t *testing.T) {
 	}
 	if err := FigureCSV(&buf, &experiments.Figure{}); err != nil {
 		t.Fatal(err)
+	}
+	if err := TelemetryCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := SpansCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTelemetryCSV(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("pkts_total", "packets").Add(42)
+	reg.Gauge("depth", "queue depth").Set(-3)
+	h := reg.Histogram("lat_us", "latency", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	if err := TelemetryCSV(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + counter + gauge + 6 histogram stats.
+	if len(records) != 9 {
+		t.Fatalf("records = %d:\n%v", len(records), records)
+	}
+	got := map[string]string{}
+	for _, r := range records[1:] {
+		got[r[0]+"/"+r[1]] = r[2]
+	}
+	if got["pkts_total/value"] != "42" {
+		t.Errorf("counter = %q", got["pkts_total/value"])
+	}
+	if got["depth/value"] != "-3" {
+		t.Errorf("gauge = %q", got["depth/value"])
+	}
+	if got["lat_us/count"] != "2" || got["lat_us/sum"] != "55" || got["lat_us/max"] != "50" {
+		t.Errorf("histogram stats = %v", got)
+	}
+}
+
+func TestSpansCSV(t *testing.T) {
+	tr := telemetry.NewTracer(0)
+	tr.BeginSnapshot(1, 100)
+	tr.UnitResult(1, 4, 150)
+	tr.UnitResult(1, 4, 180)
+	tr.UnitResult(1, 9, 200)
+	tr.EndSnapshot(1, 250, true)
+
+	var buf bytes.Buffer
+	if err := SpansCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + snapshot row + 2 device rows.
+	if len(records) != 4 {
+		t.Fatalf("records = %d:\n%v", len(records), records)
+	}
+	if records[1][0] != "1" || records[1][1] != "" || records[1][4] != "150" || records[1][5] != "true" {
+		t.Errorf("snapshot row = %v", records[1])
+	}
+	if records[2][1] != "4" || records[2][2] != "150" || records[2][3] != "180" || records[2][4] != "30" {
+		t.Errorf("device row = %v", records[2])
 	}
 }

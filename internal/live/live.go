@@ -14,6 +14,7 @@ package live
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
+	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 )
 
@@ -53,6 +55,18 @@ type Config struct {
 	// RetryEvery re-initiates incomplete snapshots (liveness). Default
 	// 20ms; negative disables.
 	RetryEvery time.Duration
+
+	// Registry, when set, enables telemetry across every layer of the
+	// deployment. Nil disables instrumentation at zero hot-path cost.
+	Registry *telemetry.Registry
+	// Tracer, when set, records snapshot-lifecycle spans on the
+	// observer goroutine.
+	Tracer *telemetry.Tracer
+	// MetricsAddr, when non-empty, serves the observability endpoints
+	// (Prometheus /metrics, expvar /debug/vars, /debug/pprof, /trace)
+	// on this address from Start until Stop. A Registry (and Tracer)
+	// is created automatically if none was provided.
+	MetricsAddr string
 }
 
 // event is one unit of work for a switch goroutine.
@@ -84,6 +98,9 @@ type liveSwitch struct {
 	dp    *dataplane.Switch
 	cp    *control.Plane
 	inbox chan event
+	// events counts this switch goroutine's processed events
+	// (per-switch throughput).
+	events *telemetry.Counter
 }
 
 // Network is a running live deployment.
@@ -103,6 +120,29 @@ type Network struct {
 	mu   sync.Mutex
 	done []*observer.GlobalSnapshot
 	subs map[uint64]chan *observer.GlobalSnapshot
+
+	tel    liveTelemetry
+	metSrv *telemetry.Server
+}
+
+// liveTelemetry is the runtime's own metric set: the queueing and
+// scheduling effects only the goroutine harness can see.
+type liveTelemetry struct {
+	inboxHighWater *telemetry.Gauge
+	inboxDrops     *telemetry.Counter
+	obsHighWater   *telemetry.Gauge
+	events         *telemetry.Counter
+	delivered      *telemetry.Counter
+}
+
+func newLiveTelemetry(reg *telemetry.Registry) liveTelemetry {
+	return liveTelemetry{
+		inboxHighWater: reg.Gauge("speedlight_live_inbox_high_water", "deepest switch inbox occupancy"),
+		inboxDrops:     reg.Counter("speedlight_live_inbox_drops_total", "packets dropped at full switch inboxes"),
+		obsHighWater:   reg.Gauge("speedlight_live_obs_queue_high_water", "deepest observer event-queue occupancy"),
+		events:         reg.Counter("speedlight_live_events_total", "events processed by switch goroutines"),
+		delivered:      reg.Counter("speedlight_live_packets_delivered_total", "packets delivered to hosts"),
+	}
 }
 
 // obsEvent is work for the observer goroutine.
@@ -139,6 +179,12 @@ func New(cfg Config) (*Network, error) {
 	if cfg.RetryEvery == 0 {
 		cfg.RetryEvery = 20 * time.Millisecond
 	}
+	if cfg.MetricsAddr != "" && cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.MetricsAddr != "" && cfg.Tracer == nil {
+		cfg.Tracer = telemetry.NewTracer(0)
+	}
 	fibs, err := routing.ComputeFIBs(cfg.Topo)
 	if err != nil {
 		return nil, err
@@ -151,12 +197,15 @@ func New(cfg Config) (*Network, error) {
 		obsEvents: make(chan obsEvent, 1024),
 		stop:      make(chan struct{}),
 		subs:      make(map[uint64]chan *observer.GlobalSnapshot),
+		tel:       newLiveTelemetry(cfg.Registry),
 	}
 
 	obs, err := observer.New(observer.Config{
 		MaxID:      cfg.MaxID,
 		WrapAround: cfg.WrapAround,
 		RetryAfter: durToSim(cfg.RetryEvery),
+		Telemetry:  observer.NewTelemetry(cfg.Registry),
+		Tracer:     cfg.Tracer,
 		OnComplete: n.onComplete,
 	})
 	if err != nil {
@@ -168,6 +217,10 @@ func New(cfg Config) (*Network, error) {
 	if metrics == nil {
 		metrics = func(dataplane.UnitID) core.Metric { return &counters.PacketCount{} }
 	}
+	dpTel := dataplane.NewTelemetry(cfg.Registry)
+	cpTel := control.NewTelemetry(cfg.Registry)
+	swEvents := cfg.Registry.CounterVec("speedlight_live_switch_events_total",
+		"events processed per switch goroutine", "switch")
 	for _, spec := range cfg.Topo.Switches {
 		edge := map[int]bool{}
 		for p, peer := range spec.Ports {
@@ -185,17 +238,20 @@ func New(cfg Config) (*Network, error) {
 			FIB:          fibs[spec.ID],
 			Balancer:     routing.ECMP{},
 			EdgePorts:    edge,
+			Telemetry:    dpTel,
 		})
 		if err != nil {
 			return nil, err
 		}
 		ls := &liveSwitch{
-			node:  spec.ID,
-			dp:    dp,
-			inbox: make(chan event, cfg.InboxDepth),
+			node:   spec.ID,
+			dp:     dp,
+			inbox:  make(chan event, cfg.InboxDepth),
+			events: swEvents.With(fmt.Sprint(spec.ID)),
 		}
 		cp, err := control.New(control.Config{
-			Switch: dp,
+			Switch:    dp,
+			Telemetry: cpTel,
 			OnResult: func(res control.Result) {
 				// Ship to the observer over its channel — the network
 				// path from switch CPU to observer host.
@@ -227,8 +283,19 @@ func (n *Network) now() sim.Time {
 	return sim.Time(time.Since(n.started).Nanoseconds())
 }
 
-// Start launches the switch and observer goroutines.
+// Start launches the switch and observer goroutines, and the
+// observability HTTP server when MetricsAddr is configured. A metrics
+// server that fails to bind is reported on stderr but does not stop
+// the network.
 func (n *Network) Start() {
+	if n.cfg.MetricsAddr != "" {
+		srv, err := telemetry.Serve(n.cfg.MetricsAddr, n.cfg.Registry, n.cfg.Tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "live: metrics server: %v\n", err)
+		} else {
+			n.metSrv = srv
+		}
+	}
 	n.started = time.Now()
 	for _, ls := range n.sws {
 		ls := ls
@@ -265,10 +332,30 @@ func (n *Network) Start() {
 	}
 }
 
-// Stop terminates all goroutines. It is idempotent.
+// Stop terminates all goroutines and the metrics server. It is
+// idempotent.
 func (n *Network) Stop() {
 	n.stopped.Do(func() { close(n.stop) })
 	n.wg.Wait()
+	if n.metSrv != nil {
+		_ = n.metSrv.Close()
+		n.metSrv = nil
+	}
+}
+
+// Registry returns the telemetry registry, or nil when disabled.
+func (n *Network) Registry() *telemetry.Registry { return n.cfg.Registry }
+
+// Tracer returns the snapshot-lifecycle tracer, or nil when disabled.
+func (n *Network) Tracer() *telemetry.Tracer { return n.cfg.Tracer }
+
+// MetricsAddr returns the bound observability address, or "" when no
+// metrics server is running (useful with a ":0" MetricsAddr).
+func (n *Network) MetricsAddr() string {
+	if n.metSrv == nil {
+		return ""
+	}
+	return n.metSrv.Addr()
 }
 
 // runSwitch is one switch's event loop: the single goroutine that owns
@@ -280,6 +367,8 @@ func (n *Network) runSwitch(ls *liveSwitch) {
 		case <-n.stop:
 			return
 		case ev := <-ls.inbox:
+			ls.events.Inc()
+			n.tel.events.Inc()
 			switch ev.kind {
 			case evPacket:
 				n.handlePacket(ls, ev.pkt, ev.port)
@@ -331,13 +420,16 @@ func (n *Network) handleEgress(ls *liveSwitch, pkt *packet.Packet, port int) {
 		next := n.sws[peer.Node]
 		select {
 		case next.inbox <- event{kind: evPacket, pkt: pkt, port: peer.Port}:
+			n.tel.inboxHighWater.SetMax(int64(len(next.inbox)))
 		default:
+			n.tel.inboxDrops.Inc()
 		}
 	case topology.PeerHost:
 		if res.StripHeader {
 			pkt.HasSnap = false
 			pkt.Snap = packet.SnapshotHeader{}
 		}
+		n.tel.delivered.Inc()
 		if n.cfg.OnDeliver != nil {
 			n.cfg.OnDeliver(pkt, peer.Host)
 		}
@@ -385,6 +477,8 @@ func (n *Network) runObserver() {
 		case <-n.stop:
 			return
 		case ev := <-n.obsEvents:
+			// +1: the event just dequeued was part of the backlog.
+			n.tel.obsHighWater.SetMax(int64(len(n.obsEvents)) + 1)
 			switch ev.kind {
 			case obsResult:
 				n.obs.OnResult(ev.result, n.now())
@@ -403,10 +497,12 @@ func (n *Network) runObserver() {
 						case ls.inbox <- event{kind: evInitiate, snapshotID: act.SnapshotID,
 							markers: n.cfg.ChannelState}:
 						default:
+							n.tel.inboxDrops.Inc()
 						}
 						select {
 						case ls.inbox <- event{kind: evPoll}:
 						default:
+							n.tel.inboxDrops.Inc()
 						}
 					}
 				}
@@ -438,6 +534,7 @@ func (n *Network) Inject(host topology.HostID, pkt *packet.Packet) error {
 	ls := n.sws[h.Node]
 	select {
 	case ls.inbox <- event{kind: evPacket, pkt: pkt, port: h.Port}:
+		n.tel.inboxHighWater.SetMax(int64(len(ls.inbox)))
 		return nil
 	case <-n.stop:
 		return fmt.Errorf("live: network stopped")

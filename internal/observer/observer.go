@@ -17,6 +17,7 @@ import (
 	"speedlight/internal/control"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/sim"
+	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 )
 
@@ -62,6 +63,12 @@ type Config struct {
 	ExcludeAfter sim.Duration
 	// OnComplete receives each finalized global snapshot. Required.
 	OnComplete func(*GlobalSnapshot)
+	// Telemetry receives the observer's metric updates. Nil disables
+	// instrumentation.
+	Telemetry *Telemetry
+	// Tracer records snapshot-lifecycle spans (initiate → per-device
+	// results → assembled). Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // pending tracks an in-progress snapshot.
@@ -75,6 +82,7 @@ type pending struct {
 // components it is a pure state machine driven by the harness.
 type Observer struct {
 	cfg Config
+	tel *Telemetry
 
 	devices map[topology.NodeID][]dataplane.UnitID
 	nextID  uint64
@@ -90,8 +98,13 @@ func New(cfg Config) (*Observer, error) {
 	if cfg.WrapAround && cfg.MaxID < 2 {
 		return nil, fmt.Errorf("observer: WrapAround requires MaxID >= 2")
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = nopTelemetry
+	}
 	return &Observer{
 		cfg:     cfg,
+		tel:     tel,
 		devices: make(map[topology.NodeID][]dataplane.UnitID),
 		pend:    make(map[uint64]*pending),
 	}, nil
@@ -171,6 +184,9 @@ func (o *Observer) Begin(now sim.Time) (uint64, error) {
 		}
 	}
 	o.pend[id] = p
+	o.tel.Begun.Inc()
+	o.tel.Pending.Set(int64(len(o.pend)))
+	o.cfg.Tracer.BeginSnapshot(id, int64(now))
 	return id, nil
 }
 
@@ -184,13 +200,16 @@ func (o *Observer) Pending() int { return len(o.pend) }
 func (o *Observer) OnResult(res control.Result, now sim.Time) {
 	p, ok := o.pend[res.SnapshotID]
 	if !ok {
+		o.tel.ResultsIgnored.Inc()
 		return
 	}
 	if !p.missing[res.Unit] {
+		o.tel.ResultsIgnored.Inc()
 		return // duplicate or spurious
 	}
 	delete(p.missing, res.Unit)
 	p.snap.Results[res.Unit] = res
+	o.cfg.Tracer.UnitResult(res.SnapshotID, int(res.Unit.Node), int64(now))
 	if len(p.missing) == 0 {
 		o.finalize(res.SnapshotID, now)
 	}
@@ -209,6 +228,13 @@ func (o *Observer) finalize(id uint64, now sim.Time) {
 		}
 	}
 	sort.Slice(p.snap.Excluded, func(i, j int) bool { return p.snap.Excluded[i] < p.snap.Excluded[j] })
+	o.tel.Completed.Inc()
+	if !p.snap.Consistent {
+		o.tel.Inconsistent.Inc()
+	}
+	o.tel.Pending.Set(int64(len(o.pend)))
+	o.tel.CompletionLatencyUS.Observe(now.Sub(p.snap.ScheduledAt).Micros())
+	o.cfg.Tracer.EndSnapshot(id, int64(now), p.snap.Consistent)
 	o.cfg.OnComplete(p.snap)
 }
 
@@ -268,6 +294,8 @@ func (o *Observer) CheckTimeouts(now sim.Time) []Action {
 			}
 			sort.Slice(act.Retry, func(i, j int) bool { return act.Retry[i] < act.Retry[j] })
 		}
+		o.tel.Retries.Add(uint64(len(act.Retry)))
+		o.tel.Exclusions.Add(uint64(len(act.Excluded)))
 		if len(act.Retry) > 0 || len(act.Excluded) > 0 {
 			actions = append(actions, act)
 		}

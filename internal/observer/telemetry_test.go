@@ -1,0 +1,125 @@
+package observer
+
+import (
+	"testing"
+
+	"speedlight/internal/control"
+	"speedlight/internal/telemetry"
+)
+
+// newInstrumentedObs builds an observer with a real registry and tracer
+// attached, returning the telemetry handles for assertion.
+func newInstrumentedObs(t *testing.T, mod func(*Config)) (*Observer, *Telemetry, *telemetry.Tracer, *[]*GlobalSnapshot) {
+	t.Helper()
+	tel := NewTelemetry(telemetry.NewRegistry())
+	tracer := telemetry.NewTracer(0)
+	o, done := newObs(t, func(c *Config) {
+		c.Telemetry = tel
+		c.Tracer = tracer
+		if mod != nil {
+			mod(c)
+		}
+	})
+	return o, tel, tracer, done
+}
+
+func TestTelemetryRetryAndExclusionCounters(t *testing.T) {
+	o, tel, _, done := newInstrumentedObs(t, func(c *Config) {
+		c.RetryAfter = 100
+		c.ExcludeAfter = 300
+	})
+	o.Register(1, unitsOf(1, 1))
+	o.Register(2, unitsOf(2, 1))
+	o.Register(3, unitsOf(3, 1))
+	id, _ := o.Begin(0)
+	feedAll(o, id, unitsOf(1, 1), true, 10)
+
+	if got := tel.Begun.Value(); got != 1 {
+		t.Errorf("Begun = %d", got)
+	}
+	if got := tel.Pending.Value(); got != 1 {
+		t.Errorf("Pending = %d", got)
+	}
+
+	// Devices 2 and 3 are still missing at the retry deadline.
+	o.CheckTimeouts(150)
+	if got := tel.Retries.Value(); got != 2 {
+		t.Errorf("Retries = %d, want 2 (devices 2 and 3)", got)
+	}
+	if got := tel.Exclusions.Value(); got != 0 {
+		t.Errorf("Exclusions = %d before exclude deadline", got)
+	}
+
+	// Device 3 reports before the exclusion deadline; only device 2 is
+	// dropped.
+	feedAll(o, id, unitsOf(3, 1), true, 200)
+	o.CheckTimeouts(400)
+	if got := tel.Exclusions.Value(); got != 1 {
+		t.Errorf("Exclusions = %d, want 1 (device 2)", got)
+	}
+	if got := tel.Retries.Value(); got != 2 {
+		t.Errorf("Retries grew to %d after exclusion", got)
+	}
+	if len(*done) != 1 {
+		t.Fatal("snapshot not finalized after exclusion")
+	}
+	if got := tel.Completed.Value(); got != 1 {
+		t.Errorf("Completed = %d", got)
+	}
+	if got := tel.Pending.Value(); got != 0 {
+		t.Errorf("Pending = %d after completion", got)
+	}
+	if got := tel.CompletionLatencyUS.Count(); got != 1 {
+		t.Errorf("CompletionLatencyUS.Count = %d", got)
+	}
+}
+
+func TestTelemetryInconsistentAndIgnoredCounters(t *testing.T) {
+	o, tel, _, _ := newInstrumentedObs(t, nil)
+	units := unitsOf(1, 1)
+	o.Register(1, units)
+	id, _ := o.Begin(0)
+	o.OnResult(control.Result{Unit: units[0], SnapshotID: id, Consistent: false}, 0)
+	// Duplicate and unknown-snapshot results are discarded.
+	o.OnResult(control.Result{Unit: units[0], SnapshotID: id, Consistent: true}, 0)
+	o.OnResult(control.Result{Unit: units[1], SnapshotID: 42, Consistent: true}, 0)
+	o.OnResult(control.Result{Unit: units[1], SnapshotID: id, Consistent: true}, 0)
+
+	if got := tel.Completed.Value(); got != 1 {
+		t.Fatalf("Completed = %d", got)
+	}
+	if got := tel.Inconsistent.Value(); got != 1 {
+		t.Errorf("Inconsistent = %d", got)
+	}
+	if got := tel.ResultsIgnored.Value(); got != 2 {
+		t.Errorf("ResultsIgnored = %d, want 2", got)
+	}
+}
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	o, _, tracer, _ := newInstrumentedObs(t, nil)
+	u1, u2 := unitsOf(1, 1), unitsOf(2, 1)
+	o.Register(1, u1)
+	o.Register(2, u2)
+	id, _ := o.Begin(100)
+	feedAll(o, id, u1, true, 200)
+	feedAll(o, id, u2, true, 300)
+
+	spans := tracer.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	sp := spans[0]
+	if sp.ID != id || sp.BeginNs != 100 || sp.EndNs != 300 || !sp.Complete || !sp.Consistent {
+		t.Errorf("span = %+v", sp)
+	}
+	if len(sp.Devices) != 2 {
+		t.Fatalf("device spans = %d", len(sp.Devices))
+	}
+	if sp.Devices[0].Node != 1 || sp.Devices[0].Units != 2 || sp.Devices[0].LastNs != 200 {
+		t.Errorf("device 1 span = %+v", sp.Devices[0])
+	}
+	if sp.Devices[1].Node != 2 || sp.Devices[1].FirstNs != 300 {
+		t.Errorf("device 2 span = %+v", sp.Devices[1])
+	}
+}

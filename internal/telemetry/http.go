@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarReg is the registry behind the process-wide "speedlight"
+// expvar. expvar.Publish is permanent and panics on duplicates, so the
+// variable is published once and indirects through this pointer —
+// tests and successive runs can swap registries freely.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// PublishExpvar exposes the registry under the "speedlight" expvar,
+// alongside the standard memstats/cmdline variables on /debug/vars.
+// Safe to call repeatedly; the latest registry wins.
+func PublishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("speedlight", expvar.Func(func() any {
+			reg := expvarReg.Load()
+			if reg == nil {
+				return nil
+			}
+			return reg.JSONValue()
+		}))
+	})
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux builds the observability endpoint set:
+//
+//	/metrics           Prometheus text format
+//	/debug/vars        expvar JSON (registry published as "speedlight")
+//	/debug/pprof/...   net/http/pprof profiles
+//	/trace             Chrome trace_event JSON of snapshot lifecycles
+//	/spans             structured span JSON
+//
+// tracer may be nil, in which case /trace and /spans serve empty data.
+func NewMux(r *Registry, tracer *Tracer) *http.ServeMux {
+	PublishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracer.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracer.WriteJSON(w)
+	})
+	return mux
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts the observability endpoints on addr (e.g. ":9090").
+// It returns once the listener is bound; requests are served in a
+// background goroutine until Close.
+func Serve(addr string, r *Registry, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewMux(r, tracer)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down. Safe on a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -43,6 +43,7 @@ import (
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
+	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 )
 
@@ -100,6 +101,13 @@ type Config struct {
 	CoSLevels int
 	// Seed makes runs reproducible. Default 1.
 	Seed int64
+	// Registry, when set, enables telemetry on every layer of the
+	// emulation (data plane, control plane, observer, network). Nil
+	// disables instrumentation at zero hot-path cost.
+	Registry *telemetry.Registry
+	// Tracer, when set, records snapshot-lifecycle spans (initiate →
+	// per-device results → assembled).
+	Tracer *telemetry.Tracer
 }
 
 // UnitValue is one processing unit's recorded value in a snapshot.
@@ -167,6 +175,8 @@ func New(cfg Config) (*Network, error) {
 		WrapAround:   true,
 		ChannelState: cfg.ChannelState,
 		NumCoS:       cfg.CoSLevels,
+		Registry:     cfg.Registry,
+		Tracer:       cfg.Tracer,
 	}
 	ecfg.Metrics = func(net *emunet.Network, id dataplane.UnitID) core.Metric {
 		switch cfg.Metric {
