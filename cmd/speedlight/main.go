@@ -7,16 +7,23 @@
 //	speedlight -leaves 2 -spines 2 -hosts 3 -snapshots 10 -metric packets
 //	speedlight -metric ewma -balancer flowlet -workload hadoop
 //	speedlight -channel-state -workload memcache -verbose
+//	speedlight -journal-out run.jsonl -audit -flight-dir dumps/
+//	speedlight doctor run.jsonl
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
+	"speedlight/internal/audit"
 	"speedlight/internal/emunet"
 	"speedlight/internal/export"
+	"speedlight/internal/journal"
 	"speedlight/internal/sim"
 	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
@@ -26,6 +33,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "doctor" {
+		doctor(os.Args[2:])
+		return
+	}
+	campaign()
+}
+
+func campaign() {
 	var (
 		leaves    = flag.Int("leaves", 2, "leaf switches")
 		spines    = flag.Int("spines", 2, "spine switches")
@@ -42,9 +57,16 @@ func main() {
 		csvPath   = flag.String("csv", "", "write all snapshot values to this CSV file")
 
 		metricsAddr = flag.String("metrics-addr", "",
-			"serve observability endpoints (/metrics, /debug/vars, /debug/pprof, /trace) on this address while the campaign runs")
+			"serve observability endpoints (/metrics, /debug/vars, /debug/pprof, /trace, /healthz, /journal, /audit) on this address while the campaign runs")
 		traceOut = flag.String("trace-out", "", "write the campaign's Chrome trace_event JSON to this file (load in Perfetto)")
 		summary  = flag.Bool("summary", false, "print an end-of-run telemetry summary table")
+
+		journalOut = flag.String("journal-out", "",
+			"write the flight-recorder journal to this file (.csv writes CSV, anything else JSON Lines)")
+		auditRun = flag.Bool("audit", false,
+			"replay the journal after the campaign and print the consistency audit report (exit 1 on violations)")
+		flightDir = flag.String("flight-dir", "",
+			"write a flight-recorder tail dump (JSONL) into this directory whenever a snapshot finalizes inconsistent or with exclusions")
 	)
 	flag.Parse()
 
@@ -58,6 +80,33 @@ func main() {
 	if *metricsAddr != "" || *traceOut != "" || *summary {
 		cfg.Registry = telemetry.NewRegistry()
 		cfg.Tracer = telemetry.NewTracer(0)
+	}
+	// Any flight-recorder flag turns journaling on. The metrics server
+	// includes it too, so /journal and /audit have something to serve.
+	if *journalOut != "" || *auditRun || *flightDir != "" || *metricsAddr != "" {
+		cfg.Journal = journal.NewSet(0)
+	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fatalf("creating %s: %v", *flightDir, err)
+		}
+		dumps := 0
+		cfg.OnAnomaly = func(reason string, snapshotID uint64, dump []journal.Event) {
+			dumps++
+			path := filepath.Join(*flightDir, fmt.Sprintf("snapshot-%d-dump-%d.jsonl", snapshotID, dumps))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flight recorder: %v\n", err)
+				return
+			}
+			werr := export.JournalJSONL(f, dump)
+			cerr := f.Close()
+			if werr != nil || cerr != nil {
+				fmt.Fprintf(os.Stderr, "flight recorder: writing %s: %v %v\n", path, werr, cerr)
+				return
+			}
+			fmt.Printf("flight recorder: %s -> %s (%d events)\n", reason, path, len(dump))
+		}
 	}
 	switch *metric {
 	case "packets":
@@ -86,12 +135,20 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, cfg.Registry, cfg.Tracer)
+		health := telemetry.NewHealth()
+		health.SetReady(true)
+		srv, err := telemetry.ServeConfig(*metricsAddr, telemetry.MuxConfig{
+			Registry: cfg.Registry,
+			Tracer:   cfg.Tracer,
+			Health:   health,
+			Journal:  journal.HTTPHandler(cfg.Journal.Events),
+			Audit:    audit.HTTPHandler(net.Audit),
+		})
 		if err != nil {
 			fatalf("metrics server: %v", err)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /trace (Chrome)\n",
+		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /trace (Chrome), /healthz, /journal, /audit\n",
 			srv.Addr())
 	}
 
@@ -157,6 +214,125 @@ func main() {
 		if err := cfg.Registry.WriteSummary(os.Stdout); err != nil {
 			fatalf("writing summary: %v", err)
 		}
+	}
+
+	if *journalOut != "" {
+		f, err := os.Create(*journalOut)
+		if err != nil {
+			fatalf("creating %s: %v", *journalOut, err)
+		}
+		events := cfg.Journal.Events()
+		if strings.HasSuffix(*journalOut, ".csv") {
+			err = export.JournalCSV(f, events)
+		} else {
+			err = export.JournalJSONL(f, events)
+		}
+		if err != nil {
+			fatalf("writing journal: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing journal: %v", err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *journalOut, len(events))
+	}
+
+	if *auditRun {
+		rep := net.Audit()
+		fmt.Println("\naudit report:")
+		if err := export.AuditText(os.Stdout, rep); err != nil {
+			fatalf("writing audit report: %v", err)
+		}
+		_, inconsistent, _ := rep.Counts()
+		if inconsistent > 0 || rep.Disagreements > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// doctor replays a journal dump offline (JSONL or CSV, auto-detected)
+// and prints the consistency audit report. Exits 1 when the audit
+// finds inconsistent snapshots or observer disagreements.
+func doctor(args []string) {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	var (
+		format    = fs.String("format", "auto", "journal format: auto, jsonl, csv")
+		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
+		maxID     = fs.Uint64("max-id", 0, "snapshot ID space override (journal's own config event wins)")
+		wrap      = fs.Bool("wraparound", true, "assume wraparound IDs when the journal has no config event")
+		chanState = fs.Bool("channel-state", false, "assume channel-state mode when the journal has no config event")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: speedlight doctor [flags] <journal-file>")
+		fmt.Fprintln(os.Stderr, "reads a flight-recorder dump (JSONL or CSV; '-' for stdin) and audits it")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("opening journal: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := readJournal(in, path, *format)
+	if err != nil {
+		fatalf("reading journal: %v", err)
+	}
+
+	rep := audit.Run(events, audit.Config{
+		MaxID:        *maxID,
+		Wraparound:   *wrap,
+		ChannelState: *chanState,
+	})
+	if *jsonOut {
+		err = export.AuditJSON(os.Stdout, rep)
+	} else {
+		err = export.AuditText(os.Stdout, rep)
+	}
+	if err != nil {
+		fatalf("writing report: %v", err)
+	}
+	_, inconsistent, _ := rep.Counts()
+	if inconsistent > 0 || rep.Disagreements > 0 {
+		os.Exit(1)
+	}
+}
+
+// readJournal parses a dump in either on-disk format. Auto-detection
+// prefers the file extension and falls back to sniffing the first
+// byte: a JSONL dump always starts with '{'.
+func readJournal(in *os.File, path, format string) ([]journal.Event, error) {
+	switch format {
+	case "jsonl":
+		return export.ReadJournalJSONL(in)
+	case "csv":
+		return export.ReadJournalCSV(in)
+	case "auto":
+		if strings.HasSuffix(path, ".csv") {
+			return export.ReadJournalCSV(in)
+		}
+		if strings.HasSuffix(path, ".jsonl") || strings.HasSuffix(path, ".json") {
+			return export.ReadJournalJSONL(in)
+		}
+		br := bufio.NewReader(in)
+		first, err := br.Peek(1)
+		if err != nil {
+			return nil, fmt.Errorf("empty journal: %w", err)
+		}
+		if first[0] == '{' {
+			return journal.ReadJSONL(br)
+		}
+		return journal.ReadCSV(br)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want auto, jsonl, csv)", format)
 	}
 }
 

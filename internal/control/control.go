@@ -22,6 +22,7 @@ import (
 
 	"speedlight/internal/core"
 	"speedlight/internal/dataplane"
+	"speedlight/internal/journal"
 	"speedlight/internal/packet"
 	"speedlight/internal/sim"
 )
@@ -55,6 +56,10 @@ type Config struct {
 	// Telemetry receives the plane's metric updates. Nil disables
 	// instrumentation; one Telemetry may be shared across planes.
 	Telemetry *Telemetry
+	// Journal receives the plane's protocol events (initiations, polls,
+	// finalized results) for the flight recorder. Normally the same ring
+	// the switch's dataplane writes to. Nil disables journaling.
+	Journal *journal.Journal
 }
 
 // unitState is the controller's view of one processing unit (the
@@ -72,6 +77,7 @@ type unitState struct {
 type Plane struct {
 	cfg          Config
 	tel          *Telemetry
+	jr           *journal.Journal
 	channelState bool
 	maxID        uint64
 	wrap         bool
@@ -94,6 +100,7 @@ func New(cfg Config) (*Plane, error) {
 	p := &Plane{
 		cfg:          cfg,
 		tel:          cfg.Telemetry,
+		jr:           cfg.Journal,
 		channelState: swCfg.ChannelState,
 		maxID:        uint64(swCfg.MaxID),
 		wrap:         swCfg.WrapAround,
@@ -174,11 +181,15 @@ type Initiation struct {
 // stale initiations are harmless: the data plane ignores them
 // (Section 6).
 func (p *Plane) Initiate(id uint64, now sim.Time) []Initiation {
-	if id > p.initiated {
+	re := id <= p.initiated
+	if !re {
 		p.initiated = id
 		p.tel.Initiations.Inc()
 	} else {
 		p.tel.ReInitiations.Inc()
+	}
+	if p.jr != nil {
+		p.jr.Append(journal.Initiate(int64(now), p.Node(), id, re))
 	}
 	sw := p.cfg.Switch
 	var out []Initiation
@@ -324,7 +335,19 @@ func (p *Plane) emit(res Result) {
 	if !res.Consistent {
 		p.tel.ResultsInconsistent.Inc()
 	}
+	if p.jr != nil {
+		p.jr.Append(journal.Result(int64(res.ReadAt), int(res.Unit.Node), res.Unit.Port,
+			journalDir(res.Unit.Dir), res.SnapshotID, res.Value, res.Consistent))
+	}
 	p.cfg.OnResult(res)
+}
+
+// journalDir converts a dataplane direction to its journal form.
+func journalDir(d dataplane.Direction) journal.Dir {
+	if d == dataplane.Ingress {
+		return journal.DirIngress
+	}
+	return journal.DirEgress
 }
 
 // Poll proactively reads every unit's registers and processes the state
@@ -332,6 +355,9 @@ func (p *Plane) emit(res Result) {
 // (Section 6). It is safe to call at any time.
 func (p *Plane) Poll(now sim.Time) {
 	p.tel.Polls.Inc()
+	if p.jr != nil {
+		p.jr.Append(journal.Poll(int64(now), p.Node()))
+	}
 	for _, id := range p.cfg.Switch.UnitIDs() {
 		st := p.units[id]
 		u := p.cfg.Switch.Unit(id)

@@ -100,6 +100,26 @@ type Notification struct {
 	NewSID      uint32
 	OldLastSeen uint32
 	NewLastSeen uint32
+
+	// Diagnostic shadow of the transition in unwrapped form, plus the
+	// in-flight absorption outcome. Hardware exports none of this — it
+	// exists for the flight recorder (internal/journal), which needs
+	// exact epochs where the wrapped registers are ambiguous across
+	// rollover laps. The control plane must keep unwrapping the wrapped
+	// fields above, exactly as it would against real hardware.
+	OldSIDU   uint64
+	NewSIDU   uint64
+	OldSeenU  uint64
+	NewSeenU  uint64
+	PacketSID uint64
+	// WireID is the snapshot ID the packet arrived with, before any
+	// restamping.
+	WireID uint32
+	// Absorbed reports that the packet was in flight (PacketSID behind
+	// the unit's epoch) and was folded into the current slot's channel
+	// state; AbsorbMissed that it was in flight but found no open slot.
+	Absorbed     bool
+	AbsorbMissed bool
 }
 
 // SIDChanged reports whether the unit's snapshot ID advanced.
@@ -212,6 +232,7 @@ func (u *Unit) OnPacket(pkt *packet.Packet, channel int) (Notification, bool) {
 
 	oldSID := u.sid
 	oldLS := u.lastSeen[channel]
+	wireID := hdr.ID
 
 	// Resolve the wire ID against this channel's last-seen entry — the
 	// reference that makes rollover detection possible (Section 5.3).
@@ -220,6 +241,7 @@ func (u *Unit) OnPacket(pkt *packet.Packet, channel int) (Notification, bool) {
 		u.lastSeen[channel] = psid
 	}
 
+	var absorbed, absorbMissed bool
 	switch {
 	case psid > u.sid:
 		// New snapshot: save local state for epoch psid. The hardware
@@ -241,6 +263,9 @@ func (u *Unit) OnPacket(pkt *packet.Packet, channel int) (Notification, bool) {
 		s := &u.snaps[u.sid%uint64(u.cfg.MaxID)]
 		if s.valid && s.id == u.sid {
 			s.value = u.metric.Absorb(s.value, pkt)
+			absorbed = true
+		} else {
+			absorbMissed = true
 		}
 	}
 
@@ -259,6 +284,15 @@ func (u *Unit) OnPacket(pkt *packet.Packet, channel int) (Notification, bool) {
 		NewSID:      u.wrap(u.sid),
 		OldLastSeen: u.wrap(oldLS),
 		NewLastSeen: u.wrap(u.lastSeen[channel]),
+
+		OldSIDU:      oldSID,
+		NewSIDU:      u.sid,
+		OldSeenU:     oldLS,
+		NewSeenU:     u.lastSeen[channel],
+		PacketSID:    psid,
+		WireID:       wireID,
+		Absorbed:     absorbed,
+		AbsorbMissed: absorbMissed,
 	}
 	return n, n.SIDChanged() || n.LastSeenChanged()
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"speedlight/internal/core"
+	"speedlight/internal/journal"
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
@@ -123,6 +124,12 @@ type Config struct {
 	// instrumentation (every update degrades to one nil check). The
 	// same Telemetry may be shared across switches.
 	Telemetry *Telemetry
+
+	// Journal receives this switch's protocol events (unit records,
+	// absorbs, marker and notification activity) for the flight
+	// recorder. Nil disables journaling at the cost of one nil check
+	// per packet.
+	Journal *journal.Journal
 }
 
 // Port holds the two processing units of one switch port.
@@ -136,6 +143,7 @@ type Switch struct {
 	cfg   Config
 	ports []*Port
 	tel   *Telemetry
+	jr    *journal.Journal
 
 	notifs     []CPUNotification
 	notifDrops uint64
@@ -160,7 +168,7 @@ func New(cfg Config) (*Switch, error) {
 	if cfg.NumCoS > 16 {
 		return nil, fmt.Errorf("dataplane: NumCoS %d exceeds the header's 4-bit class space", cfg.NumCoS)
 	}
-	s := &Switch{cfg: cfg, notifCap: cap, tel: cfg.Telemetry}
+	s := &Switch{cfg: cfg, notifCap: cap, tel: cfg.Telemetry, jr: cfg.Journal}
 	if s.tel == nil {
 		s.tel = nopTelemetry
 	}
@@ -275,6 +283,46 @@ func (s *Switch) UnitIDs() []UnitID {
 	return out
 }
 
+// journalDir converts a dataplane direction to its journal form.
+func journalDir(d Direction) journal.Dir {
+	if d == Ingress {
+		return journal.DirIngress
+	}
+	return journal.DirEgress
+}
+
+// journalUnit records the protocol transitions one OnPacket call
+// produced: the unit advancing its epoch (and any rollover), last-seen
+// movement, and in-flight absorption. Called unconditionally on the
+// hot path; with no journal attached it is a single nil check. Note
+// absorbs can occur without a notification-worthy change (a second
+// in-flight packet on an already-seen channel), which is why this does
+// not piggyback on pushNotif.
+func (s *Switch) journalUnit(port int, dir Direction, n *core.Notification, now sim.Time) {
+	if s.jr == nil {
+		return
+	}
+	sw := int(s.cfg.Node)
+	d := journalDir(dir)
+	if n.NewSIDU != n.OldSIDU {
+		s.jr.Append(journal.Record(int64(now), sw, port, d, n.Channel, n.OldSIDU, n.NewSIDU, n.WireID))
+		if n.NewSID < n.OldSID {
+			// The wrapped register lapped zero while unwrapped progress
+			// moved forward: a rollover (Section 5.3).
+			s.jr.Append(journal.Rollover(int64(now), sw, port, d, n.OldSIDU, n.NewSIDU))
+		}
+	}
+	if n.NewSeenU != n.OldSeenU {
+		s.jr.Append(journal.LastSeen(int64(now), sw, port, d, n.Channel, n.OldSeenU, n.NewSeenU))
+	}
+	if n.Absorbed {
+		s.jr.Append(journal.Absorb(int64(now), sw, port, d, n.Channel, n.PacketSID, n.NewSIDU))
+	}
+	if n.AbsorbMissed {
+		s.jr.Append(journal.AbsorbMiss(int64(now), sw, port, d, n.Channel, n.PacketSID, n.NewSIDU))
+	}
+}
+
 // pushNotif appends a notification, dropping it if the CPU queue is
 // full. Without channel state the last-seen machinery is compiled out
 // (the "-" items of Section 5.2), so only snapshot ID changes are
@@ -284,6 +332,9 @@ func (s *Switch) pushNotif(n CPUNotification) {
 		return
 	}
 	s.tel.NotifsGenerated.Inc()
+	if s.jr != nil {
+		s.jr.Append(journal.NotifGenerated(int64(n.Exported), int(s.cfg.Node), n.Unit.Port, journalDir(n.Unit.Dir), n.NewSIDU))
+	}
 	if n.SIDChanged() && n.NewSID < n.OldSID {
 		// The wire ID wrapped (Section 5.3): unwrapped progress only
 		// ever moves forward, so a smaller new wire ID is a rollover.
@@ -295,6 +346,9 @@ func (s *Switch) pushNotif(n CPUNotification) {
 	if len(s.notifs) >= s.notifCap {
 		s.notifDrops++
 		s.tel.NotifsDropped.Inc()
+		if s.jr != nil {
+			s.jr.Append(journal.NotifDropped(int64(n.Exported), int(s.cfg.Node), n.Unit.Port, journalDir(n.Unit.Dir), n.NewSIDU))
+		}
 		return
 	}
 	s.notifs = append(s.notifs, n)
@@ -349,6 +403,7 @@ func (s *Switch) Ingress(pkt *packet.Packet, port int, now sim.Time) IngressResu
 	ch := s.ingressChannel(pkt.CoS)
 	pkt.Snap.Channel = uint16(ch)
 	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, ch)
+	s.journalUnit(port, Ingress, &notif, now)
 	if changed {
 		s.pushNotif(CPUNotification{
 			Unit:         UnitID{s.cfg.Node, port, Ingress},
@@ -411,6 +466,7 @@ func (s *Switch) Egress(pkt *packet.Packet, port int, now sim.Time) EgressResult
 		panic(fmt.Sprintf("dataplane: egress channel %d out of range on switch %d", channel, s.cfg.Node))
 	}
 	notif, changed := s.ports[port].EgressUnit.OnPacket(pkt, channel)
+	s.journalUnit(port, Egress, &notif, now)
 	if changed {
 		s.pushNotif(CPUNotification{
 			Unit:         UnitID{s.cfg.Node, port, Egress},
@@ -451,6 +507,7 @@ func (s *Switch) Recirculate(pkt *packet.Packet, port int, now sim.Time) Ingress
 	ch := s.ingressRecircChannel()
 	pkt.Snap.Channel = uint16(ch)
 	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, ch)
+	s.journalUnit(port, Ingress, &notif, now)
 	if changed {
 		s.pushNotif(CPUNotification{
 			Unit:         UnitID{s.cfg.Node, port, Ingress},
@@ -498,6 +555,10 @@ func (s *Switch) IngressOnly(pkt *packet.Packet, port int, now sim.Time) {
 	ch := s.ingressChannel(pkt.CoS)
 	pkt.Snap.Channel = uint16(ch)
 	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, ch)
+	if s.jr != nil {
+		s.jr.Append(journal.MarkerReceived(int64(now), int(s.cfg.Node), port, ch, notif.PacketSID))
+	}
+	s.journalUnit(port, Ingress, &notif, now)
 	if changed {
 		s.pushNotif(CPUNotification{
 			Unit:         UnitID{s.cfg.Node, port, Ingress},
@@ -527,6 +588,10 @@ func (s *Switch) IngressFromCP(pkt *packet.Packet, port int, now sim.Time) {
 		}
 	}
 	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, s.ingressCPChannel())
+	if s.jr != nil {
+		s.jr.Append(journal.MarkerSent(int64(now), int(s.cfg.Node), port, notif.PacketSID, int(pkt.CoS)))
+	}
+	s.journalUnit(port, Ingress, &notif, now)
 	if changed {
 		s.pushNotif(CPUNotification{
 			Unit:         UnitID{s.cfg.Node, port, Ingress},
@@ -564,6 +629,7 @@ func (s *Switch) InitiateIngress(wireID uint32, port int, now sim.Time) []*packe
 	s.tel.Initiations.Inc()
 	pkt := InitiationPacket(wireID)
 	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, s.ingressCPChannel())
+	s.journalUnit(port, Ingress, &notif, now)
 	if changed {
 		s.pushNotif(CPUNotification{
 			Unit:         UnitID{s.cfg.Node, port, Ingress},
@@ -577,6 +643,12 @@ func (s *Switch) InitiateIngress(wireID uint32, port int, now sim.Time) []*packe
 		cp.CoS = uint8(cos)
 		cp.Snap.Channel = s.internalChannel(port, uint8(cos))
 		out[cos] = cp
+		if s.jr != nil {
+			// One initiation marker per CoS FIFO channel heads for the
+			// egress path — exactly the per-channel marker the snapshot
+			// algorithm requires (Section 4.1).
+			s.jr.Append(journal.MarkerSent(int64(now), int(s.cfg.Node), port, notif.PacketSID, cos))
+		}
 	}
 	return out
 }

@@ -15,12 +15,14 @@ import (
 	"math/rand"
 	"sort"
 
+	"speedlight/internal/audit"
 	"speedlight/internal/clock"
 	"speedlight/internal/control"
 	"speedlight/internal/core"
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/dist"
+	"speedlight/internal/journal"
 	"speedlight/internal/observer"
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
@@ -124,6 +126,21 @@ type Config struct {
 	Registry *telemetry.Registry
 	// Tracer, when set, records snapshot-lifecycle spans.
 	Tracer *telemetry.Tracer
+
+	// Journal, when set, enables the flight recorder: every protocol
+	// layer appends structured events to its per-switch rings, and
+	// Network.Audit() can mechanically verify the run. Nil disables
+	// journaling at one nil check per potential event.
+	Journal *journal.Set
+	// FlightRecorderSize is how many trailing events an anomaly dump
+	// carries. Zero means 512.
+	FlightRecorderSize int
+	// OnAnomaly, when set, fires when a snapshot finalizes inconsistent
+	// or with exclusions, or when a repeat retry of the same snapshot
+	// shows recovery is not unsticking it —
+	// with the flight-recorder tail at that moment (nil without a
+	// Journal).
+	OnAnomaly func(reason string, snapshotID uint64, dump []journal.Event)
 }
 
 func (c *Config) setDefaults() {
@@ -249,8 +266,11 @@ type Network struct {
 	sws      map[topology.NodeID]*EmuSwitch
 	obs      *observer.Observer
 	done     []*observer.GlobalSnapshot
-	syncs    map[uint64]*syncWindow
-	gauges   map[dataplane.UnitID]*counters.Gauge
+	// retried marks snapshots the observer has already retried once;
+	// a repeat retry means recovery is not unsticking them.
+	retried map[uint64]bool
+	syncs   map[uint64]*syncWindow
+	gauges  map[dataplane.UnitID]*counters.Gauge
 	// wireDrops counts packets lost to injected link failures.
 	wireDrops uint64
 	// gateSets mirrors each unit's completion-gating channels, used to
@@ -310,12 +330,19 @@ func New(cfg Config) (*Network, error) {
 		fibs:     fibs,
 		utilized: routing.UtilizedPairs(cfg.Topo, fibs),
 		sws:      make(map[topology.NodeID]*EmuSwitch),
+		retried:  make(map[uint64]bool),
 		syncs:    make(map[uint64]*syncWindow),
 		gauges:   make(map[dataplane.UnitID]*counters.Gauge),
 		gateSets: make(map[dataplane.UnitID]map[int]bool),
 		dpTel:    dataplane.NewTelemetry(cfg.Registry),
 		cpTel:    control.NewTelemetry(cfg.Registry),
 		tel:      newNetTelemetry(cfg.Registry),
+	}
+
+	// Stamp the deployment parameters into the journal so offline
+	// audits (doctor) recover them without side-channel configuration.
+	if cfg.Journal != nil {
+		cfg.Journal.Observer().Append(journal.Config(uint64(cfg.MaxID), cfg.WrapAround, cfg.ChannelState))
 	}
 
 	obs, err := observer.New(observer.Config{
@@ -325,10 +352,17 @@ func New(cfg Config) (*Network, error) {
 		ExcludeAfter: nonNeg(cfg.ExcludeAfter),
 		Telemetry:    observer.NewTelemetry(cfg.Registry),
 		Tracer:       cfg.Tracer,
+		Journal:      cfg.Journal.Observer(),
 		OnComplete: func(g *observer.GlobalSnapshot) {
 			n.done = append(n.done, g)
+			delete(n.retried, g.ID)
 			if d, ok := n.SyncSpread(g.ID); ok {
 				n.tel.syncSpreadUS.Observe(d.Micros())
+			}
+			if !g.Consistent {
+				n.anomaly(fmt.Sprintf("snapshot %d finalized inconsistent", g.ID), g.ID)
+			} else if len(g.Excluded) > 0 {
+				n.anomaly(fmt.Sprintf("snapshot %d finalized with %d device(s) excluded", g.ID, len(g.Excluded)), g.ID)
 			}
 		},
 	})
@@ -425,6 +459,7 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 		EdgePorts:        edge,
 		SnapshotDisabled: cfg.SnapshotDisabled[node],
 		Telemetry:        n.dpTel,
+		Journal:          cfg.Journal.For(int(node)),
 	})
 	if err != nil {
 		return err
@@ -445,6 +480,7 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 		Switch:             dp,
 		CompletionChannels: recordingGates,
 		Telemetry:          n.cpTel,
+		Journal:            cfg.Journal.For(int(node)),
 		OnResult: func(res control.Result) {
 			lat := sim.Duration(cfg.ObserverLatency.Sample(es.rng))
 			n.eng.After(lat, func() { n.obs.OnResult(res, n.eng.Now()) })
@@ -528,6 +564,35 @@ func (n *Network) Gauge(id dataplane.UnitID) *counters.Gauge {
 
 // Snapshots returns the global snapshots completed so far.
 func (n *Network) Snapshots() []*observer.GlobalSnapshot { return n.done }
+
+// Journal returns the flight-recorder set the network was built with,
+// or nil when journaling is disabled.
+func (n *Network) Journal() *journal.Set { return n.cfg.Journal }
+
+// Audit replays the journal and verifies every snapshot's consistency
+// invariants. Nil when journaling is disabled.
+func (n *Network) Audit() *audit.Report {
+	if n.cfg.Journal == nil {
+		return nil
+	}
+	return audit.Run(n.cfg.Journal.Events(), audit.Config{
+		MaxID:        uint64(n.cfg.MaxID),
+		Wraparound:   n.cfg.WrapAround,
+		ChannelState: n.cfg.ChannelState,
+	})
+}
+
+// anomaly dumps the flight recorder to the OnAnomaly hook.
+func (n *Network) anomaly(reason string, id uint64) {
+	if n.cfg.OnAnomaly == nil {
+		return
+	}
+	size := n.cfg.FlightRecorderSize
+	if size <= 0 {
+		size = 512
+	}
+	n.cfg.OnAnomaly(reason, id, n.cfg.Journal.Tail(size))
+}
 
 // Observer exposes the snapshot observer.
 func (n *Network) Observer() *observer.Observer { return n.obs }
@@ -865,6 +930,14 @@ func (n *Network) initiate(es *EmuSwitch, id uint64) {
 func (n *Network) handleTimeouts() {
 	now := n.eng.Now()
 	for _, act := range n.obs.CheckTimeouts(now) {
+		if len(act.Retry) > 0 {
+			// A single retry is routine §6 liveness (idle channels need
+			// broadcast injection); a repeat means the snapshot is stuck.
+			if n.retried[act.SnapshotID] {
+				n.anomaly(fmt.Sprintf("snapshot %d stalled; retrying %d device(s)", act.SnapshotID, len(act.Retry)), act.SnapshotID)
+			}
+			n.retried[act.SnapshotID] = true
+		}
 		for _, node := range act.Retry {
 			es := n.sws[node]
 			n.initiate(es, act.SnapshotID)

@@ -10,8 +10,10 @@ import (
 	"io"
 	"sort"
 
+	"speedlight/internal/audit"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/experiments"
+	"speedlight/internal/journal"
 	"speedlight/internal/observer"
 	"speedlight/internal/telemetry"
 )
@@ -202,4 +204,38 @@ func SpansCSV(w io.Writer, tr *telemetry.Tracer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// JournalJSONL writes flight-recorder events as JSON Lines, one event
+// per line — the journal's native interchange format.
+func JournalJSONL(w io.Writer, events []journal.Event) error {
+	return journal.WriteJSONL(w, events)
+}
+
+// ReadJournalJSONL parses a JSON Lines journal dump.
+func ReadJournalJSONL(r io.Reader) ([]journal.Event, error) {
+	return journal.ReadJSONL(r)
+}
+
+// JournalCSV writes flight-recorder events as CSV with a header row,
+// for spreadsheet and pandas analysis.
+func JournalCSV(w io.Writer, events []journal.Event) error {
+	return journal.WriteCSV(w, events)
+}
+
+// ReadJournalCSV parses a CSV journal dump.
+func ReadJournalCSV(r io.Reader) ([]journal.Event, error) {
+	return journal.ReadCSV(r)
+}
+
+// AuditJSON writes an audit report as indented JSON.
+func AuditJSON(w io.Writer, rep *audit.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// AuditText writes an audit report as a human-readable summary.
+func AuditText(w io.Writer, rep *audit.Report) error {
+	return rep.WriteText(w)
 }

@@ -7,9 +7,13 @@ import (
 	"strings"
 	"testing"
 
+	"reflect"
+
+	"speedlight/internal/audit"
 	"speedlight/internal/control"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/experiments"
+	"speedlight/internal/journal"
 	"speedlight/internal/observer"
 	"speedlight/internal/telemetry"
 )
@@ -204,5 +208,73 @@ func TestSpansCSV(t *testing.T) {
 	}
 	if records[2][1] != "4" || records[2][2] != "150" || records[2][3] != "180" || records[2][4] != "30" {
 		t.Errorf("device row = %v", records[2])
+	}
+}
+
+func sampleJournal() []journal.Event {
+	evs := []journal.Event{
+		journal.Config(256, true, true),
+		journal.Register(0, 1, journal.DirIngress),
+		journal.ObsBegin(1000, 1),
+		journal.Record(1500, 0, 1, journal.DirIngress, 4, 0, 1, 1),
+		journal.Absorb(1600, 0, 1, journal.DirIngress, 4, 0, 1),
+		journal.NotifDropped(1700, 0, 1, journal.DirIngress, 1),
+		journal.ObsComplete(2000, 1, true, 0),
+	}
+	for i := range evs {
+		evs[i].Seq = uint64(i + 1)
+	}
+	return evs
+}
+
+func TestJournalJSONLRoundTrip(t *testing.T) {
+	evs := sampleJournal()
+	var buf bytes.Buffer
+	if err := JournalJSONL(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournalJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("JSONL round trip mismatch:\ngot  %+v\nwant %+v", got, evs)
+	}
+}
+
+func TestJournalCSVRoundTrip(t *testing.T) {
+	evs := sampleJournal()
+	var buf bytes.Buffer
+	if err := JournalCSV(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournalCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("CSV round trip mismatch:\ngot  %+v\nwant %+v", got, evs)
+	}
+}
+
+func TestAuditExports(t *testing.T) {
+	rep := audit.Run(sampleJournal(), audit.Config{})
+	var js bytes.Buffer
+	if err := AuditJSON(&js, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back audit.Report
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("AuditJSON output does not parse: %v", err)
+	}
+	if len(back.Verdicts) != len(rep.Verdicts) {
+		t.Fatalf("verdicts lost in JSON: got %d want %d", len(back.Verdicts), len(rep.Verdicts))
+	}
+	var txt bytes.Buffer
+	if err := AuditText(&txt, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "snapshot") {
+		t.Fatalf("AuditText output looks empty: %q", txt.String())
 	}
 }

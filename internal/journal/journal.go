@@ -1,0 +1,224 @@
+// Package journal is Speedlight's flight recorder: an always-on,
+// bounded, lock-free ring buffer of structured protocol events — the
+// per-unit record of what the snapshot machinery actually did, as
+// opposed to the aggregate counters of internal/telemetry.
+//
+// Each switch gets its own ring (a Set groups them, plus one for the
+// observer); appends reserve a slot with a single atomic cursor
+// increment and publish the event through an atomic pointer, so the
+// emulation hot path and the live runtime's switch goroutines never
+// contend on a lock. When a ring fills, the oldest events are
+// overwritten — the "flight recorder" semantics: the recent past is
+// always available for dumping when an anomaly fires.
+//
+// Like internal/telemetry, every method is safe on a nil receiver,
+// which is the disabled state: an un-journaled deployment pays one
+// predicted branch per potential event and nothing else.
+//
+// The event stream is what internal/audit replays to verify the
+// paper's causal-consistency invariants mechanically (Sections 3-6);
+// internal/export serializes it for offline analysis and the
+// `speedlight doctor` subcommand.
+package journal
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ObserverNode is the pseudo switch ID under which observer-side
+// events are journaled in a Set.
+const ObserverNode = -1
+
+// DefaultCapacity is the per-ring event capacity used when a Set is
+// created with a non-positive capacity.
+const DefaultCapacity = 4096
+
+// Journal is one bounded ring of events. The zero value is not usable;
+// create rings with New or through a Set. A nil *Journal is the
+// disabled state: Append is a no-op and Events returns nil.
+type Journal struct {
+	// seq is the sequencer events are stamped from. Rings created
+	// through a Set share the Set's sequencer, so the merged event
+	// stream has a single total order — the causal replay order the
+	// auditor depends on.
+	seq  *atomic.Uint64
+	mask uint64
+	next atomic.Uint64
+	// slots hold published events. Pointer slots keep appends lock-free
+	// and dump reads race-free: a reader either sees the old event or
+	// the new one, never a torn mix.
+	slots []atomic.Pointer[Event]
+}
+
+// New creates a standalone ring with its own sequencer. capacity is
+// rounded up to a power of two; non-positive means DefaultCapacity.
+func New(capacity int) *Journal {
+	return newJournal(capacity, &atomic.Uint64{})
+}
+
+func newJournal(capacity int, seq *atomic.Uint64) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Journal{
+		seq:   seq,
+		mask:  uint64(size - 1),
+		slots: make([]atomic.Pointer[Event], size),
+	}
+}
+
+// Cap returns the ring capacity in events.
+func (j *Journal) Cap() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.slots)
+}
+
+// Append stamps the event with the next sequence number and publishes
+// it, overwriting the oldest event once the ring is full. Safe for
+// concurrent use and a no-op on a nil Journal.
+func (j *Journal) Append(ev Event) {
+	if j == nil {
+		return
+	}
+	ev.Seq = j.seq.Add(1)
+	e := &ev
+	pos := j.next.Add(1) - 1
+	j.slots[pos&j.mask].Store(e)
+}
+
+// Appended returns how many events this ring has accepted in total
+// (including ones already overwritten).
+func (j *Journal) Appended() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.next.Load()
+}
+
+// Overwritten returns how many events have been lost to ring reuse.
+func (j *Journal) Overwritten() uint64 {
+	if j == nil {
+		return 0
+	}
+	n := j.next.Load()
+	if c := uint64(len(j.slots)); n > c {
+		return n - c
+	}
+	return 0
+}
+
+// Events returns a snapshot of the ring's current contents in sequence
+// order. Nil on a nil Journal.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(j.slots))
+	for i := range j.slots {
+		if e := j.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Set groups the per-switch rings of one deployment behind a shared
+// sequencer, so the merged stream totally orders events across
+// switches and the observer. A nil *Set is the disabled state: For and
+// Observer return nil rings whose appends are no-ops.
+type Set struct {
+	cap int
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	rings map[int]*Journal
+}
+
+// NewSet creates a journal set whose rings each hold perRingCapacity
+// events (rounded up to a power of two; non-positive means
+// DefaultCapacity).
+func NewSet(perRingCapacity int) *Set {
+	return &Set{cap: perRingCapacity, rings: make(map[int]*Journal)}
+}
+
+// For returns the ring for a switch, creating it on first use. A nil
+// Set returns a nil (no-op) ring.
+func (s *Set) For(node int) *Journal {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.rings[node]
+	if !ok {
+		j = newJournal(s.cap, &s.seq)
+		s.rings[node] = j
+	}
+	return j
+}
+
+// Observer returns the observer-side ring.
+func (s *Set) Observer() *Journal { return s.For(ObserverNode) }
+
+// Appended returns the total number of events stamped across the set.
+func (s *Set) Appended() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.seq.Load()
+}
+
+// Overwritten sums events lost to ring reuse across the set.
+func (s *Set) Overwritten() uint64 {
+	if s == nil {
+		return 0
+	}
+	var total uint64
+	for _, j := range s.journals() {
+		total += j.Overwritten()
+	}
+	return total
+}
+
+func (s *Set) journals() []*Journal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Journal, 0, len(s.rings))
+	for _, j := range s.rings {
+		out = append(out, j)
+	}
+	return out
+}
+
+// Events merges every ring's current contents into one stream sorted
+// by sequence number. Nil on a nil Set.
+func (s *Set) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	var out []Event
+	for _, j := range s.journals() {
+		out = append(out, j.Events()...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Tail returns the last n events of the merged stream — the flight
+// recorder dump taken when an anomaly fires.
+func (s *Set) Tail(n int) []Event {
+	evs := s.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}

@@ -18,10 +18,12 @@ import (
 	"sync"
 	"time"
 
+	"speedlight/internal/audit"
 	"speedlight/internal/control"
 	"speedlight/internal/core"
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
+	"speedlight/internal/journal"
 	"speedlight/internal/observer"
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
@@ -63,10 +65,24 @@ type Config struct {
 	// observer goroutine.
 	Tracer *telemetry.Tracer
 	// MetricsAddr, when non-empty, serves the observability endpoints
-	// (Prometheus /metrics, expvar /debug/vars, /debug/pprof, /trace)
-	// on this address from Start until Stop. A Registry (and Tracer)
-	// is created automatically if none was provided.
+	// (Prometheus /metrics, expvar /debug/vars, /debug/pprof, /trace,
+	// /healthz, /readyz, and — when journaling is on — /journal and
+	// /audit) on this address from Start until Stop. A Registry (and
+	// Tracer) is created automatically if none was provided.
 	MetricsAddr string
+
+	// Journal, when set, records every protocol event into per-switch
+	// flight-recorder rings (internal/journal). The rings are lock-free
+	// and safe for the concurrent switch goroutines. Nil disables
+	// journaling at zero hot-path cost.
+	Journal *journal.Set
+	// FlightRecorderSize bounds the tail dumped on anomaly. Default
+	// 512.
+	FlightRecorderSize int
+	// OnAnomaly receives a flight-recorder dump whenever a snapshot
+	// finalizes inconsistent or with excluded devices. Called from the
+	// observer goroutine; must not block.
+	OnAnomaly func(reason string, snapshotID uint64, dump []journal.Event)
 }
 
 // event is one unit of work for a switch goroutine.
@@ -123,6 +139,7 @@ type Network struct {
 
 	tel    liveTelemetry
 	metSrv *telemetry.Server
+	health *telemetry.Health
 }
 
 // liveTelemetry is the runtime's own metric set: the queueing and
@@ -198,6 +215,10 @@ func New(cfg Config) (*Network, error) {
 		stop:      make(chan struct{}),
 		subs:      make(map[uint64]chan *observer.GlobalSnapshot),
 		tel:       newLiveTelemetry(cfg.Registry),
+		health:    telemetry.NewHealth(),
+	}
+	if cfg.Journal != nil {
+		cfg.Journal.Observer().Append(journal.Config(uint64(cfg.MaxID), cfg.WrapAround, cfg.ChannelState))
 	}
 
 	obs, err := observer.New(observer.Config{
@@ -206,6 +227,7 @@ func New(cfg Config) (*Network, error) {
 		RetryAfter: durToSim(cfg.RetryEvery),
 		Telemetry:  observer.NewTelemetry(cfg.Registry),
 		Tracer:     cfg.Tracer,
+		Journal:    cfg.Journal.Observer(),
 		OnComplete: n.onComplete,
 	})
 	if err != nil {
@@ -239,6 +261,7 @@ func New(cfg Config) (*Network, error) {
 			Balancer:     routing.ECMP{},
 			EdgePorts:    edge,
 			Telemetry:    dpTel,
+			Journal:      cfg.Journal.For(int(spec.ID)),
 		})
 		if err != nil {
 			return nil, err
@@ -252,6 +275,7 @@ func New(cfg Config) (*Network, error) {
 		cp, err := control.New(control.Config{
 			Switch:    dp,
 			Telemetry: cpTel,
+			Journal:   cfg.Journal.For(int(spec.ID)),
 			OnResult: func(res control.Result) {
 				// Ship to the observer over its channel — the network
 				// path from switch CPU to observer host.
@@ -289,7 +313,16 @@ func (n *Network) now() sim.Time {
 // the network.
 func (n *Network) Start() {
 	if n.cfg.MetricsAddr != "" {
-		srv, err := telemetry.Serve(n.cfg.MetricsAddr, n.cfg.Registry, n.cfg.Tracer)
+		mc := telemetry.MuxConfig{
+			Registry: n.cfg.Registry,
+			Tracer:   n.cfg.Tracer,
+			Health:   n.health,
+		}
+		if n.cfg.Journal != nil {
+			mc.Journal = journal.HTTPHandler(n.cfg.Journal.Events)
+			mc.Audit = audit.HTTPHandler(n.Audit)
+		}
+		srv, err := telemetry.ServeConfig(n.cfg.MetricsAddr, mc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "live: metrics server: %v\n", err)
 		} else {
@@ -330,11 +363,13 @@ func (n *Network) Start() {
 			}
 		}()
 	}
+	n.health.SetReady(true)
 }
 
 // Stop terminates all goroutines and the metrics server. It is
 // idempotent.
 func (n *Network) Stop() {
+	n.health.SetReady(false)
 	n.stopped.Do(func() { close(n.stop) })
 	n.wg.Wait()
 	if n.metSrv != nil {
@@ -345,6 +380,40 @@ func (n *Network) Stop() {
 
 // Registry returns the telemetry registry, or nil when disabled.
 func (n *Network) Registry() *telemetry.Registry { return n.cfg.Registry }
+
+// Health returns the runtime's health state: ready between Start and
+// Stop. It backs the /healthz and /readyz probes.
+func (n *Network) Health() *telemetry.Health { return n.health }
+
+// Journal returns the flight-recorder set, or nil when journaling is
+// disabled.
+func (n *Network) Journal() *journal.Set { return n.cfg.Journal }
+
+// Audit replays the journal and verifies every snapshot's consistency
+// invariants. Safe to call while the network is running (the rings
+// are dumped atomically). Nil when journaling is disabled.
+func (n *Network) Audit() *audit.Report {
+	if n.cfg.Journal == nil {
+		return nil
+	}
+	return audit.Run(n.cfg.Journal.Events(), audit.Config{
+		MaxID:        uint64(n.cfg.MaxID),
+		Wraparound:   n.cfg.WrapAround,
+		ChannelState: n.cfg.ChannelState,
+	})
+}
+
+// anomaly dumps the flight recorder to the OnAnomaly hook.
+func (n *Network) anomaly(reason string, id uint64) {
+	if n.cfg.OnAnomaly == nil {
+		return
+	}
+	size := n.cfg.FlightRecorderSize
+	if size <= 0 {
+		size = 512
+	}
+	n.cfg.OnAnomaly(reason, id, n.cfg.Journal.Tail(size))
+}
 
 // Tracer returns the snapshot-lifecycle tracer, or nil when disabled.
 func (n *Network) Tracer() *telemetry.Tracer { return n.cfg.Tracer }
@@ -513,6 +582,11 @@ func (n *Network) runObserver() {
 
 // onComplete runs on the observer goroutine when a snapshot finishes.
 func (n *Network) onComplete(g *observer.GlobalSnapshot) {
+	if !g.Consistent {
+		n.anomaly(fmt.Sprintf("snapshot %d finalized inconsistent", g.ID), g.ID)
+	} else if len(g.Excluded) > 0 {
+		n.anomaly(fmt.Sprintf("snapshot %d finalized with %d device(s) excluded", g.ID, len(g.Excluded)), g.ID)
+	}
 	n.mu.Lock()
 	n.done = append(n.done, g)
 	sub := n.subs[g.ID]

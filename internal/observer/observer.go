@@ -16,6 +16,7 @@ import (
 
 	"speedlight/internal/control"
 	"speedlight/internal/dataplane"
+	"speedlight/internal/journal"
 	"speedlight/internal/sim"
 	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
@@ -69,6 +70,11 @@ type Config struct {
 	// Tracer records snapshot-lifecycle spans (initiate → per-device
 	// results → assembled). Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Journal receives the observer's protocol events (snapshot begin,
+	// accepted results, retries, exclusions, completion) for the flight
+	// recorder — normally a Set's Observer() ring. Nil disables
+	// journaling.
+	Journal *journal.Journal
 }
 
 // pending tracks an in-progress snapshot.
@@ -116,6 +122,19 @@ func New(cfg Config) (*Observer, error) {
 // does not change snapshots already in progress.
 func (o *Observer) Register(node topology.NodeID, units []dataplane.UnitID) {
 	o.devices[node] = append([]dataplane.UnitID(nil), units...)
+	if o.cfg.Journal != nil {
+		for _, u := range units {
+			o.cfg.Journal.Append(journal.Register(int(u.Node), u.Port, journalDir(u.Dir)))
+		}
+	}
+}
+
+// journalDir converts a dataplane direction to its journal form.
+func journalDir(d dataplane.Direction) journal.Dir {
+	if d == dataplane.Ingress {
+		return journal.DirIngress
+	}
+	return journal.DirEgress
 }
 
 // Unregister removes a device from the active set.
@@ -187,6 +206,9 @@ func (o *Observer) Begin(now sim.Time) (uint64, error) {
 	o.tel.Begun.Inc()
 	o.tel.Pending.Set(int64(len(o.pend)))
 	o.cfg.Tracer.BeginSnapshot(id, int64(now))
+	if o.cfg.Journal != nil {
+		o.cfg.Journal.Append(journal.ObsBegin(int64(now), id))
+	}
 	return id, nil
 }
 
@@ -210,6 +232,10 @@ func (o *Observer) OnResult(res control.Result, now sim.Time) {
 	delete(p.missing, res.Unit)
 	p.snap.Results[res.Unit] = res
 	o.cfg.Tracer.UnitResult(res.SnapshotID, int(res.Unit.Node), int64(now))
+	if o.cfg.Journal != nil {
+		o.cfg.Journal.Append(journal.ObsResult(int64(now), int(res.Unit.Node), res.Unit.Port,
+			journalDir(res.Unit.Dir), res.SnapshotID, res.Consistent))
+	}
 	if len(p.missing) == 0 {
 		o.finalize(res.SnapshotID, now)
 	}
@@ -235,6 +261,9 @@ func (o *Observer) finalize(id uint64, now sim.Time) {
 	o.tel.Pending.Set(int64(len(o.pend)))
 	o.tel.CompletionLatencyUS.Observe(now.Sub(p.snap.ScheduledAt).Micros())
 	o.cfg.Tracer.EndSnapshot(id, int64(now), p.snap.Consistent)
+	if o.cfg.Journal != nil {
+		o.cfg.Journal.Append(journal.ObsComplete(int64(now), id, p.snap.Consistent, len(p.snap.Excluded)))
+	}
 	o.cfg.OnComplete(p.snap)
 }
 
@@ -296,6 +325,14 @@ func (o *Observer) CheckTimeouts(now sim.Time) []Action {
 		}
 		o.tel.Retries.Add(uint64(len(act.Retry)))
 		o.tel.Exclusions.Add(uint64(len(act.Excluded)))
+		if o.cfg.Journal != nil {
+			for _, dev := range act.Retry {
+				o.cfg.Journal.Append(journal.ObsRetry(int64(now), id, int(dev)))
+			}
+			for _, dev := range act.Excluded {
+				o.cfg.Journal.Append(journal.ObsExclude(int64(now), id, int(dev)))
+			}
+		}
 		if len(act.Retry) > 0 || len(act.Excluded) > 0 {
 			actions = append(actions, act)
 		}

@@ -6,8 +6,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // expvarReg is the registry behind the process-wide "speedlight"
@@ -44,25 +46,138 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// NewMux builds the observability endpoint set:
+// Health tracks process liveness and readiness for /healthz and
+// /readyz. Liveness (/healthz) passes whenever every registered check
+// passes; readiness (/readyz) additionally requires SetReady(true) —
+// runtimes flip it once their goroutines are launched and clear it on
+// shutdown. All methods are safe on a nil receiver and for concurrent
+// use.
+type Health struct {
+	ready  atomic.Bool
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth returns a Health in the not-ready state with no checks.
+func NewHealth() *Health { return &Health{} }
+
+// SetReady flips the readiness gate.
+func (h *Health) SetReady(ok bool) {
+	if h == nil {
+		return
+	}
+	h.ready.Store(ok)
+}
+
+// Ready reports the readiness gate. A nil Health is always ready.
+func (h *Health) Ready() bool {
+	if h == nil {
+		return true
+	}
+	return h.ready.Load()
+}
+
+// AddCheck registers a named liveness check. The function is called on
+// every /healthz and /readyz request; a non-nil error marks the probe
+// failed. Re-registering a name replaces the previous check.
+func (h *Health) AddCheck(name string, fn func() error) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.checks == nil {
+		h.checks = make(map[string]func() error)
+	}
+	h.checks[name] = fn
+}
+
+// failures runs every check and returns "name: error" lines, sorted.
+func (h *Health) failures() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	names := make([]string, 0, len(h.checks))
+	for name := range h.checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fns := make([]func() error, len(names))
+	for i, name := range names {
+		fns[i] = h.checks[name]
+	}
+	h.mu.Unlock()
+	var fails []string
+	for i, fn := range fns {
+		if err := fn(); err != nil {
+			fails = append(fails, fmt.Sprintf("%s: %v", names[i], err))
+		}
+	}
+	return fails
+}
+
+// serveProbe writes a probe response: 200 "ok" on success, 503 with
+// one failure reason per line otherwise.
+func serveProbe(w http.ResponseWriter, fails []string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(fails) == 0 {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	for _, f := range fails {
+		fmt.Fprintln(w, f)
+	}
+}
+
+// MuxConfig parameterizes the observability endpoint set. Every field
+// is optional.
+type MuxConfig struct {
+	Registry *Registry
+	Tracer   *Tracer
+	// Health backs /healthz and /readyz. Nil serves both as always
+	// passing (a process answering HTTP is trivially live).
+	Health *Health
+	// Journal, when set, is mounted at /journal (the flight-recorder
+	// event stream; see internal/journal.HTTPHandler).
+	Journal http.Handler
+	// Audit, when set, is mounted at /audit (the causal-consistency
+	// audit report; see internal/audit.HTTPHandler).
+	Audit http.Handler
+}
+
+// NewMux builds the default observability endpoint set for a registry
+// and tracer. See NewMuxConfig for the full surface.
+func NewMux(r *Registry, tracer *Tracer) *http.ServeMux {
+	return NewMuxConfig(MuxConfig{Registry: r, Tracer: tracer})
+}
+
+// NewMuxConfig builds the observability endpoint set:
 //
 //	/metrics           Prometheus text format
 //	/debug/vars        expvar JSON (registry published as "speedlight")
 //	/debug/pprof/...   net/http/pprof profiles
 //	/trace             Chrome trace_event JSON of snapshot lifecycles
 //	/spans             structured span JSON
+//	/healthz           liveness probe (200 ok / 503 + failing checks)
+//	/readyz            readiness probe (liveness + SetReady gate)
+//	/journal           flight-recorder events (when cfg.Journal set)
+//	/audit             consistency audit report (when cfg.Audit set)
 //
-// tracer may be nil, in which case /trace and /spans serve empty data.
-func NewMux(r *Registry, tracer *Tracer) *http.ServeMux {
-	PublishExpvar(r)
+// Registry and Tracer may be nil, in which case their endpoints serve
+// empty data.
+func NewMuxConfig(cfg MuxConfig) *http.ServeMux {
+	PublishExpvar(cfg.Registry)
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics", cfg.Registry.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	tracer := cfg.Tracer
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = tracer.WriteChromeTrace(w)
@@ -71,6 +186,23 @@ func NewMux(r *Registry, tracer *Tracer) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		_ = tracer.WriteJSON(w)
 	})
+	health := cfg.Health
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		serveProbe(w, health.failures())
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		fails := health.failures()
+		if !health.Ready() {
+			fails = append(fails, "ready: not ready")
+		}
+		serveProbe(w, fails)
+	})
+	if cfg.Journal != nil {
+		mux.Handle("/journal", cfg.Journal)
+	}
+	if cfg.Audit != nil {
+		mux.Handle("/audit", cfg.Audit)
+	}
 	return mux
 }
 
@@ -81,17 +213,32 @@ type Server struct {
 	done chan struct{}
 }
 
-// Serve starts the observability endpoints on addr (e.g. ":9090").
-// It returns once the listener is bound; requests are served in a
-// background goroutine until Close.
+// Serve starts the default observability endpoints on addr (e.g.
+// ":9090"). See ServeConfig for the full surface.
 func Serve(addr string, r *Registry, tracer *Tracer) (*Server, error) {
+	return ServeConfig(addr, MuxConfig{Registry: r, Tracer: tracer})
+}
+
+// ServeConfig starts the observability endpoints described by cfg on
+// addr. It returns once the listener is bound; requests are served in
+// a background goroutine until Close. The server carries connection
+// timeouts so a stalled or malicious client cannot pin goroutines
+// forever; the write timeout is generous because /debug/pprof/profile
+// streams for its full profiling window (30s by default).
+func ServeConfig(addr string, cfg MuxConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		ln:   ln,
-		srv:  &http.Server{Handler: NewMux(r, tracer)},
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewMuxConfig(cfg),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       time.Minute,
+		},
 		done: make(chan struct{}),
 	}
 	go func() {

@@ -6,10 +6,12 @@ import (
 	"sync"
 	"time"
 
+	"speedlight/internal/audit"
 	"speedlight/internal/control"
 	"speedlight/internal/core"
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
+	"speedlight/internal/journal"
 	"speedlight/internal/observer"
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
@@ -41,6 +43,18 @@ type Config struct {
 	// OnDeliver observes packets delivered to hosts. Called from the
 	// deployment's host-sink goroutine.
 	OnDeliver func(pkt *packet.Packet, host topology.HostID)
+
+	// Journal, when set, records every protocol event into per-switch
+	// flight-recorder rings. The rings are lock-free and safe for the
+	// deployment's concurrent goroutines. Nil disables journaling.
+	Journal *journal.Set
+	// FlightRecorderSize bounds the tail dumped on anomaly. Default
+	// 512.
+	FlightRecorderSize int
+	// OnAnomaly receives a flight-recorder dump whenever a snapshot
+	// finalizes inconsistent or with excluded devices. Called with
+	// obsMu held; must not call back into the deployment.
+	OnAnomaly func(reason string, snapshotID uint64, dump []journal.Event)
 }
 
 // switchNode is one switch bound to a UDP socket. A single goroutine
@@ -251,10 +265,14 @@ func Deploy(cfg Config) (*Deployment, error) {
 		return nil, err
 	}
 
+	if cfg.Journal != nil {
+		cfg.Journal.Observer().Append(journal.Config(uint64(cfg.MaxID), cfg.WrapAround, cfg.ChannelState))
+	}
 	obs, err := observer.New(observer.Config{
 		MaxID:      cfg.MaxID,
 		WrapAround: cfg.WrapAround,
 		RetryAfter: sim.Duration(cfg.RetryEvery.Nanoseconds()),
+		Journal:    cfg.Journal.Observer(),
 		OnComplete: d.onComplete,
 	})
 	if err != nil {
@@ -323,6 +341,7 @@ func (d *Deployment) buildSwitch(spec *topology.Switch, fib *routing.FIB,
 		FIB:          fib,
 		Balancer:     routing.ECMP{},
 		EdgePorts:    edge,
+		Journal:      d.cfg.Journal.For(int(spec.ID)),
 	})
 	if err != nil {
 		return nil, err
@@ -344,7 +363,8 @@ func (d *Deployment) buildSwitch(spec *topology.Switch, fib *routing.FIB,
 		started:      d.started,
 	}
 	cp, err := control.New(control.Config{
-		Switch: dp,
+		Switch:  dp,
+		Journal: d.cfg.Journal.For(int(spec.ID)),
 		OnResult: func(res control.Result) {
 			// Ship over the wire to the observer.
 			sn.conn.WriteToUDP(encodeResult(res), sn.obs)
@@ -434,6 +454,11 @@ func (d *Deployment) now() sim.Time {
 
 // onComplete runs under obsMu.
 func (d *Deployment) onComplete(g *observer.GlobalSnapshot) {
+	if !g.Consistent {
+		d.anomaly(fmt.Sprintf("snapshot %d finalized inconsistent", g.ID), g.ID)
+	} else if len(g.Excluded) > 0 {
+		d.anomaly(fmt.Sprintf("snapshot %d finalized with %d device(s) excluded", g.ID, len(g.Excluded)), g.ID)
+	}
 	d.done = append(d.done, g)
 	if sub, ok := d.subs[g.ID]; ok {
 		delete(d.subs, g.ID)
@@ -474,6 +499,35 @@ func (d *Deployment) TakeSnapshot() (uint64, <-chan *observer.GlobalSnapshot, er
 		d.obsConn.WriteToUDP(encodeInitiate(id), addr)
 	}
 	return id, sub, nil
+}
+
+// Journal returns the flight-recorder set, or nil when journaling is
+// disabled.
+func (d *Deployment) Journal() *journal.Set { return d.cfg.Journal }
+
+// Audit replays the journal and verifies every snapshot's consistency
+// invariants. Nil when journaling is disabled.
+func (d *Deployment) Audit() *audit.Report {
+	if d.cfg.Journal == nil {
+		return nil
+	}
+	return audit.Run(d.cfg.Journal.Events(), audit.Config{
+		MaxID:        uint64(d.cfg.MaxID),
+		Wraparound:   d.cfg.WrapAround,
+		ChannelState: d.cfg.ChannelState,
+	})
+}
+
+// anomaly dumps the flight recorder to the OnAnomaly hook.
+func (d *Deployment) anomaly(reason string, id uint64) {
+	if d.cfg.OnAnomaly == nil {
+		return
+	}
+	size := d.cfg.FlightRecorderSize
+	if size <= 0 {
+		size = 512
+	}
+	d.cfg.OnAnomaly(reason, id, d.cfg.Journal.Tail(size))
 }
 
 // Snapshots returns the snapshots completed so far.

@@ -36,10 +36,12 @@ import (
 	"sort"
 	"time"
 
+	"speedlight/internal/audit"
 	"speedlight/internal/core"
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/journal"
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
@@ -108,6 +110,15 @@ type Config struct {
 	// Tracer, when set, records snapshot-lifecycle spans (initiate →
 	// per-device results → assembled).
 	Tracer *telemetry.Tracer
+	// Journal, when set, records every protocol event into per-switch
+	// flight-recorder rings; Network.Audit then replays them to verify
+	// the protocol's consistency invariants. Nil disables journaling at
+	// zero hot-path cost.
+	Journal *journal.Set
+	// OnAnomaly receives a flight-recorder tail dump whenever a
+	// snapshot finalizes inconsistent or with excluded devices.
+	// Requires Journal.
+	OnAnomaly func(reason string, snapshotID uint64, dump []journal.Event)
 }
 
 // UnitValue is one processing unit's recorded value in a snapshot.
@@ -177,6 +188,8 @@ func New(cfg Config) (*Network, error) {
 		NumCoS:       cfg.CoSLevels,
 		Registry:     cfg.Registry,
 		Tracer:       cfg.Tracer,
+		Journal:      cfg.Journal,
+		OnAnomaly:    cfg.OnAnomaly,
 	}
 	ecfg.Metrics = func(net *emunet.Network, id dataplane.UnitID) core.Metric {
 		switch cfg.Metric {
@@ -300,6 +313,15 @@ func (n *Network) Uplinks(leaf int) [][2]int {
 
 // NumSwitches returns the fabric's switch count (leaves then spines).
 func (n *Network) NumSwitches() int { return len(n.ls.Switches) }
+
+// Journal returns the flight-recorder set the network was built with,
+// or nil when journaling is disabled.
+func (n *Network) Journal() *journal.Set { return n.inner.Journal() }
+
+// Audit replays the flight-recorder journal and independently verifies
+// every snapshot's causal-consistency invariants (see internal/audit).
+// Nil when journaling is disabled.
+func (n *Network) Audit() *audit.Report { return n.inner.Audit() }
 
 // Inner exposes the underlying emulation for advanced use: attaching
 // the workload generators, custom metrics, or direct engine access.
