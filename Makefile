@@ -1,0 +1,35 @@
+# Speedlight build entry points. CI runs the same commands; `make lint`
+# is the one-shot local equivalent of the speedlightvet CI gate.
+
+SLVET := $(CURDIR)/bin/speedlightvet
+
+.PHONY: all build test race lint vet clean
+
+all: build lint test
+
+build:
+	go build ./...
+
+test:
+	go test -shuffle=on ./...
+
+race:
+	go test -race ./...
+
+# lint builds the protocol-invariant analyzer suite and runs it over
+# every package through the go vet driver (which also covers _test.go
+# files, unlike standalone invocation).
+lint: $(SLVET)
+	go vet -vettool=$(SLVET) ./...
+
+$(SLVET): FORCE
+	go build -o $(SLVET) ./cmd/speedlightvet
+
+vet:
+	go vet ./...
+
+clean:
+	rm -rf bin
+
+.PHONY: FORCE
+FORCE:

@@ -164,7 +164,7 @@ func BenchmarkUnitOnPacket(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pkt.Snap.ID = uint32((uint64(i) / 1024) % 256) // epoch advances every 1024 packets
+		pkt.Snap.ID = packet.WireIDFromRaw(uint32((uint64(i) / 1024) % 256)) // epoch advances every 1024 packets
 		u.OnPacket(pkt, 0)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"speedlight/internal/workload"
 
 	"speedlight"
+	"speedlight/internal/packet"
 )
 
 func main() {
@@ -91,7 +92,7 @@ func campaign() {
 			fatalf("creating %s: %v", *flightDir, err)
 		}
 		dumps := 0
-		cfg.OnAnomaly = func(reason string, snapshotID uint64, dump []journal.Event) {
+		cfg.OnAnomaly = func(reason string, snapshotID packet.SeqID, dump []journal.Event) {
 			dumps++
 			path := filepath.Join(*flightDir, fmt.Sprintf("snapshot-%d-dump-%d.jsonl", snapshotID, dumps))
 			f, err := os.Create(path)

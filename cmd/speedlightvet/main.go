@@ -1,0 +1,20 @@
+// Command speedlightvet runs Speedlight's protocol-invariant analyzers.
+//
+// It speaks the go vet tool protocol, so the usual way to run it is:
+//
+//	go build -o /tmp/speedlightvet ./cmd/speedlightvet
+//	go vet -vettool=/tmp/speedlightvet ./...
+//
+// It also accepts package patterns directly for standalone use:
+//
+//	speedlightvet ./...
+package main
+
+import (
+	"speedlight/internal/lint"
+	"speedlight/internal/lint/driver"
+)
+
+func main() {
+	driver.Main(lint.Analyzers()...)
+}

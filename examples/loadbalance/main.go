@@ -19,6 +19,7 @@ import (
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/packet"
 	"speedlight/internal/polling"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
@@ -95,7 +96,7 @@ func measure(balancer string) (snapCDF, pollCDF *stats.CDF) {
 
 	poller := polling.New(net, polling.Config{})
 	var snapStd, pollStd []float64
-	var ids []uint64
+	var ids []packet.SeqID
 	const rounds = 100
 	for i := 0; i < rounds; i++ {
 		net.Engine().After(sim.Millisecond, func() {
@@ -114,7 +115,7 @@ func measure(balancer string) (snapCDF, pollCDF *stats.CDF) {
 	}
 	net.RunFor(50 * sim.Millisecond)
 
-	byID := map[uint64]bool{}
+	byID := map[packet.SeqID]bool{}
 	for _, g := range net.Snapshots() {
 		if byID[g.ID] {
 			continue

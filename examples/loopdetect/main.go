@@ -26,6 +26,7 @@ import (
 	"speedlight/internal/core"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/packet"
 	"speedlight/internal/polling"
 	"speedlight/internal/sim"
 	"speedlight/internal/topology"
@@ -105,7 +106,7 @@ func runTrial(seed int64) (si, st, pi, pt int) {
 	// Synchronized snapshot aimed somewhere inside the migration; the
 	// per-trial phase sweeps the whole event window.
 	phase := sim.Duration(100+(seed*71)%500) * sim.Microsecond
-	var snapID uint64
+	var snapID packet.SeqID
 	net.Engine().After(phase, func() {
 		snapID, _ = net.ScheduleSnapshot(net.Engine().Now().Add(300 * sim.Microsecond))
 	})

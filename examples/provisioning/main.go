@@ -116,7 +116,7 @@ func run(scenario string) (*stats.CDF, float64) {
 			uplinks[dataplane.UnitID{Node: leaf, Port: port, Dir: dataplane.Egress}] = true
 		}
 	}
-	var ids []uint64
+	var ids []packet.SeqID
 	stride := burstPeriod + 137*sim.Microsecond // sweeps the phase
 	for i := 0; i < rounds; i++ {
 		eng.After(stride, func() {

@@ -152,7 +152,7 @@ func Rates(snaps []*observer.GlobalSnapshot, unit dataplane.UnitID) []RatePoint 
 // sequence: every consistent snapshot's value at a must be at least the
 // value at b (a is upstream of b on every path), and both must be
 // monotone. It returns the first violating snapshot ID, or 0.
-func Conserved(snaps []*observer.GlobalSnapshot, a, b dataplane.UnitID) uint64 {
+func Conserved(snaps []*observer.GlobalSnapshot, a, b dataplane.UnitID) dataplane.SeqID {
 	var lastA, lastB uint64
 	for _, g := range bySchedule(snaps) {
 		va, okA := g.Value(a)

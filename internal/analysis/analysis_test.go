@@ -7,6 +7,7 @@ import (
 	"speedlight/internal/control"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/observer"
+	"speedlight/internal/packet"
 	"speedlight/internal/sim"
 )
 
@@ -16,7 +17,7 @@ func unit(port int) dataplane.UnitID {
 
 // snap builds a snapshot with the given per-port values at a schedule
 // time.
-func snap(id uint64, at sim.Time, values map[int]uint64, inconsistent ...int) *observer.GlobalSnapshot {
+func snap(id packet.SeqID, at sim.Time, values map[int]uint64, inconsistent ...int) *observer.GlobalSnapshot {
 	g := &observer.GlobalSnapshot{
 		ID:          id,
 		Results:     map[dataplane.UnitID]control.Result{},
@@ -85,11 +86,11 @@ func TestImbalanceSkipsIncompleteGroups(t *testing.T) {
 
 func TestCorrelate(t *testing.T) {
 	var snaps []*observer.GlobalSnapshot
-	for i := uint64(1); i <= 20; i++ {
+	for i := packet.SeqID(1); i <= 20; i++ {
 		snaps = append(snaps, snap(i, sim.Time(i*100), map[int]uint64{
-			0: i * 10,      // rising
-			1: i*10 + i%3,  // rising with noise: strongly correlated
-			2: 1000 - i*10, // falling: anti-correlated
+			0: uint64(i) * 10,             // rising
+			1: uint64(i)*10 + uint64(i)%3, // rising with noise: strongly correlated
+			2: 1000 - uint64(i)*10,        // falling: anti-correlated
 		}))
 	}
 	m, err := Correlate(snaps, []dataplane.UnitID{unit(0), unit(1), unit(2)})

@@ -38,6 +38,7 @@ import (
 	"sort"
 
 	"speedlight/internal/journal"
+	"speedlight/internal/packet"
 )
 
 // Kind classifies a snapshot verdict.
@@ -92,8 +93,8 @@ func (k *Kind) UnmarshalJSON(b []byte) error {
 
 // Verdict is the audit outcome for one global snapshot.
 type Verdict struct {
-	SnapshotID uint64 `json:"snapshot_id"`
-	Kind       Kind   `json:"kind"`
+	SnapshotID packet.SeqID `json:"snapshot_id"`
+	Kind       Kind         `json:"kind"`
 	// Cause explains an Inconsistent or Incomplete verdict.
 	Cause string `json:"cause,omitempty"`
 	// Witness holds the journal events that prove the verdict.
@@ -204,8 +205,8 @@ func Run(events []journal.Event, cfg Config) *Report {
 		retries  []journal.Event
 		complete *journal.Event
 	}
-	snaps := map[uint64]*snapState{}
-	stateOf := func(id uint64) *snapState {
+	snaps := map[packet.SeqID]*snapState{}
+	stateOf := func(id packet.SeqID) *snapState {
 		s, ok := snaps[id]
 		if !ok {
 			s = &snapState{results: map[unitKey]journal.Event{}}
@@ -213,8 +214,8 @@ func Run(events []journal.Event, cfg Config) *Report {
 		}
 		return s
 	}
-	rollViolations := map[uint64][]violation{}
-	open := map[uint64]journal.Event{} // begun, not yet complete
+	rollViolations := map[packet.SeqID][]violation{}
+	open := map[packet.SeqID]journal.Event{} // begun, not yet complete
 
 	for _, ev := range evs {
 		switch ev.Kind {
@@ -237,7 +238,7 @@ func Run(events []journal.Event, cfg Config) *Report {
 			// of a still-open snapshot would let the wrapped ID lap it.
 			if rep.Wraparound && rep.MaxID > 0 {
 				for oldID, oldEv := range open {
-					if ev.SnapshotID-oldID >= rep.MaxID/2 {
+					if uint64(ev.SnapshotID-oldID) >= rep.MaxID/2 {
 						rollViolations[ev.SnapshotID] = append(rollViolations[ev.SnapshotID], violation{
 							cause:   fmt.Sprintf("rollover window violated: snapshot %d begun while snapshot %d is still open (window %d)", ev.SnapshotID, oldID, rep.MaxID/2),
 							witness: []journal.Event{oldEv, ev},
@@ -271,7 +272,7 @@ func Run(events []journal.Event, cfg Config) *Report {
 	// Per-unit chain integrity: IDs must advance monotonically, and
 	// consecutive records must chain OldID == previous NewID; a gap
 	// means the ring overwrote events.
-	chainViolations := map[uint64][]violation{}
+	chainViolations := map[packet.SeqID][]violation{}
 	for u, chain := range records {
 		for i := 1; i < len(chain); i++ {
 			prev, cur := chain[i-1], chain[i]
@@ -289,11 +290,11 @@ func Run(events []journal.Event, cfg Config) *Report {
 
 	// Which snapshot IDs to audit: everything the observer began, plus
 	// anything recorded or completed without a begin (partial journal).
-	idSet := map[uint64]bool{}
+	idSet := map[packet.SeqID]bool{}
 	for id := range snaps {
 		idSet[id] = true
 	}
-	ids := make([]uint64, 0, len(idSet))
+	ids := make([]packet.SeqID, 0, len(idSet))
 	for id := range idSet {
 		ids = append(ids, id)
 	}
@@ -396,7 +397,7 @@ func Run(events []journal.Event, cfg Config) *Report {
 // stuckUnits names the units a never-finalized snapshot is still
 // waiting on, with the events that explain why (dropped notifications
 // first, else their last record).
-func stuckUnits(id uint64, expected map[unitKey]bool, got map[unitKey]journal.Event, records map[unitKey][]journal.Event, drops map[int][]journal.Event) ([]string, []journal.Event) {
+func stuckUnits(id packet.SeqID, expected map[unitKey]bool, got map[unitKey]journal.Event, records map[unitKey][]journal.Event, drops map[int][]journal.Event) ([]string, []journal.Event) {
 	var stuck []unitKey
 	for u := range expected {
 		if _, ok := got[u]; !ok {

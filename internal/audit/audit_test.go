@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"speedlight/internal/journal"
+	"speedlight/internal/packet"
 )
 
 // seq stamps events with sequence numbers in slice order, as a shared
@@ -19,7 +20,7 @@ func seq(evs ...journal.Event) []journal.Event {
 	return evs
 }
 
-func verdictFor(t *testing.T, rep *Report, id uint64) Verdict {
+func verdictFor(t *testing.T, rep *Report, id packet.SeqID) Verdict {
 	t.Helper()
 	for _, v := range rep.Verdicts {
 		if v.SnapshotID == id {
@@ -127,7 +128,7 @@ func TestAbsorbAcrossCutsIsInconsistent(t *testing.T) {
 		journal.ObsComplete(132, 8, true, 0),
 	)
 	rep := Run(evs, Config{})
-	for _, id := range []uint64{6, 7} {
+	for _, id := range []packet.SeqID{6, 7} {
 		v := verdictFor(t, rep, id)
 		if v.Kind != Inconsistent {
 			t.Fatalf("snapshot %d = %+v, want Inconsistent", id, v)

@@ -31,7 +31,7 @@ import (
 // observer.
 type Result struct {
 	Unit       dataplane.UnitID
-	SnapshotID uint64
+	SnapshotID packet.SeqID
 	// Value is the recorded state (meaningful only when Consistent).
 	Value uint64
 	// Consistent is false for snapshots invalidated by skipped IDs in
@@ -66,11 +66,11 @@ type Config struct {
 // ctrlSnapID / ctrlLastSeen / lastRead state of Figure 7).
 type unitState struct {
 	id         dataplane.UnitID
-	snapID     uint64 // ctrlSnapID, unwrapped
-	lastSeen   []uint64
-	lastRead   uint64
+	snapID     packet.SeqID // ctrlSnapID, unwrapped
+	lastSeen   []packet.SeqID
+	lastRead   packet.SeqID
 	gateChans  []int
-	inconsists map[uint64]bool
+	inconsists map[packet.SeqID]bool
 }
 
 // Plane is one switch's snapshot control plane.
@@ -79,13 +79,13 @@ type Plane struct {
 	tel          *Telemetry
 	jr           *journal.Journal
 	channelState bool
-	maxID        uint64
+	maxID        uint32
 	wrap         bool
 
 	units map[dataplane.UnitID]*unitState
 	// initiated tracks the highest snapshot ID this plane has initiated,
 	// so re-initiations know what to resend.
-	initiated uint64
+	initiated packet.SeqID
 }
 
 // New builds a control plane for a switch.
@@ -102,7 +102,7 @@ func New(cfg Config) (*Plane, error) {
 		tel:          cfg.Telemetry,
 		jr:           cfg.Journal,
 		channelState: swCfg.ChannelState,
-		maxID:        uint64(swCfg.MaxID),
+		maxID:        swCfg.MaxID,
 		wrap:         swCfg.WrapAround,
 		units:        make(map[dataplane.UnitID]*unitState),
 	}
@@ -113,8 +113,8 @@ func New(cfg Config) (*Plane, error) {
 		u := cfg.Switch.Unit(id)
 		st := &unitState{
 			id:         id,
-			lastSeen:   make([]uint64, u.Config().NumChannels),
-			inconsists: make(map[uint64]bool),
+			lastSeen:   make([]packet.SeqID, u.Config().NumChannels),
+			inconsists: make(map[packet.SeqID]bool),
 		}
 		if cfg.CompletionChannels != nil {
 			st.gateChans = cfg.CompletionChannels(id)
@@ -134,37 +134,25 @@ func New(cfg Config) (*Plane, error) {
 // Node returns the switch this plane controls.
 func (p *Plane) Node() int { return int(p.cfg.Switch.Node()) }
 
-// wrapID converts an unwrapped ID to the wire form.
-func (p *Plane) wrapID(id uint64) uint32 {
-	if p.wrap {
-		return uint32(id % p.maxID)
-	}
-	return uint32(id)
+// wrapID converts an unwrapped ID to the wire form via the shared
+// core.Wrap helper — the control plane and data plane must agree on the
+// rollover rule bit-for-bit.
+func (p *Plane) wrapID(id packet.SeqID) packet.WireID {
+	return core.Wrap(id, p.maxID, p.wrap)
 }
 
-// unwrapID resolves a wire ID against an unwrapped reference with
-// serial-number arithmetic (forward distances below half the ID space
-// are ahead; the rest are at or behind). lastRead or the tracked ctrl
-// state serves as the reference, exactly as the paper prescribes for
-// rollback-aware comparison; the observer keeps live IDs within half
-// the space.
-func (p *Plane) unwrapID(wire uint32, ref uint64) uint64 {
-	if !p.wrap {
-		return uint64(wire)
-	}
-	delta := (uint64(wire) + p.maxID - uint64(p.wrapID(ref))) % p.maxID
-	if delta < p.maxID/2 {
-		return ref + delta
-	}
-	behind := p.maxID - delta
-	if behind > ref {
-		return 0
-	}
-	return ref - behind
+// unwrapID resolves a wire ID against an unwrapped reference via
+// core.Unwrap (serial-number arithmetic: forward distances below half
+// the ID space are ahead; the rest are at or behind). lastRead or the
+// tracked ctrl state serves as the reference, exactly as the paper
+// prescribes for rollback-aware comparison; the observer keeps live IDs
+// within half the space.
+func (p *Plane) unwrapID(wire packet.WireID, ref packet.SeqID) packet.SeqID {
+	return core.Unwrap(wire, ref, p.maxID, p.wrap)
 }
 
 // Initiated returns the highest snapshot ID this plane has initiated.
-func (p *Plane) Initiated() uint64 { return p.initiated }
+func (p *Plane) Initiated() packet.SeqID { return p.initiated }
 
 // Initiation pairs an initiation packet with the egress port whose
 // per-class FIFO queue it must traverse.
@@ -180,7 +168,7 @@ type Initiation struct {
 // egress unit through the same queues as data traffic. Duplicate or
 // stale initiations are harmless: the data plane ignores them
 // (Section 6).
-func (p *Plane) Initiate(id uint64, now sim.Time) []Initiation {
+func (p *Plane) Initiate(id packet.SeqID, now sim.Time) []Initiation {
 	re := id <= p.initiated
 	if !re {
 		p.initiated = id
@@ -236,7 +224,7 @@ func (p *Plane) onNotifyNoCS(st *unitState, n dataplane.CPUNotification, now sim
 	// slots that were skipped (uninitialized) or lost to notification
 	// drops.
 	type finished struct {
-		id    uint64
+		id    packet.SeqID
 		value uint64
 		ok    bool
 	}
@@ -294,11 +282,11 @@ func (p *Plane) onNotifyCS(st *unitState, n dataplane.CPUNotification, now sim.T
 
 // minGate returns the smallest last-seen ID across the unit's
 // completion-gating channels.
-func (p *Plane) minGate(st *unitState) uint64 {
+func (p *Plane) minGate(st *unitState) packet.SeqID {
 	if len(st.gateChans) == 0 {
 		return st.snapID
 	}
-	min := uint64(1<<63 - 1)
+	min := packet.SeqID(1<<63 - 1)
 	for _, ch := range st.gateChans {
 		if st.lastSeen[ch] < min {
 			min = st.lastSeen[ch]
@@ -310,7 +298,7 @@ func (p *Plane) minGate(st *unitState) uint64 {
 // readThrough finalizes every snapshot from lastRead+1 through toRead:
 // consistent ones are read from the data plane, inconsistent ones are
 // reported as such.
-func (p *Plane) readThrough(st *unitState, toRead uint64, now sim.Time) {
+func (p *Plane) readThrough(st *unitState, toRead packet.SeqID, now sim.Time) {
 	if toRead <= st.lastRead {
 		return
 	}
@@ -389,7 +377,7 @@ func (p *Plane) Poll(now sim.Time) {
 }
 
 // LastRead returns the unit's latest finalized snapshot ID.
-func (p *Plane) LastRead(id dataplane.UnitID) uint64 {
+func (p *Plane) LastRead(id dataplane.UnitID) packet.SeqID {
 	if st, ok := p.units[id]; ok {
 		return st.lastRead
 	}
@@ -398,7 +386,7 @@ func (p *Plane) LastRead(id dataplane.UnitID) uint64 {
 
 // Complete reports whether snapshot id has been finalized (read or
 // marked inconsistent) at every unit of this switch.
-func (p *Plane) Complete(id uint64) bool {
+func (p *Plane) Complete(id packet.SeqID) bool {
 	for _, st := range p.units {
 		if st.lastRead < id {
 			return false

@@ -89,13 +89,13 @@ func (r *rig) sendThrough(t *testing.T) {
 
 // initiate runs a full local initiation: CPU -> every ingress -> same
 // port egress (immediately; these tests have no queues).
-func (r *rig) initiate(id uint64, now sim.Time) {
+func (r *rig) initiate(id packet.SeqID, now sim.Time) {
 	for _, init := range r.plane.Initiate(id, now) {
 		r.sw.Egress(init.Pkt, init.Port, now)
 	}
 }
 
-func (r *rig) resultsFor(id uint64) []Result {
+func (r *rig) resultsFor(id packet.SeqID) []Result {
 	var out []Result
 	for _, res := range r.results {
 		if res.SnapshotID == id {
@@ -157,7 +157,7 @@ func TestNoCSSkippedEpochsInferValues(t *testing.T) {
 	// Jump straight to snapshot 3 (initiations 1 and 2 were lost).
 	r.initiate(3, 0)
 	r.pump(0)
-	for _, id := range []uint64{1, 2, 3} {
+	for _, id := range []packet.SeqID{1, 2, 3} {
 		got := r.resultsFor(id)
 		if len(got) != 4 {
 			t.Fatalf("snapshot %d: %d results", id, len(got))
@@ -184,7 +184,7 @@ func TestNoCSResultsAscending(t *testing.T) {
 	r := newRig(t, false, nil)
 	r.initiate(3, 0)
 	r.pump(0)
-	perUnit := map[dataplane.UnitID]uint64{}
+	perUnit := map[dataplane.UnitID]packet.SeqID{}
 	for _, res := range r.results {
 		if prev, ok := perUnit[res.Unit]; ok && res.SnapshotID <= prev {
 			t.Fatalf("unit %v results not ascending: %d after %d", res.Unit, res.SnapshotID, prev)
@@ -238,7 +238,7 @@ func TestCSSkippedEpochsMarkedInconsistent(t *testing.T) {
 	r.sendThrough(t)
 	r.pump(0)
 
-	for _, id := range []uint64{2, 3} {
+	for _, id := range []packet.SeqID{2, 3} {
 		rs := r.resultsFor(id)
 		if len(rs) == 0 {
 			t.Fatalf("no results for skipped epoch %d", id)
@@ -250,7 +250,7 @@ func TestCSSkippedEpochsMarkedInconsistent(t *testing.T) {
 		}
 	}
 	// Epochs 1 and 4 must be consistent at the traffic-bearing units.
-	for _, id := range []uint64{1, 4} {
+	for _, id := range []packet.SeqID{1, 4} {
 		for _, res := range r.resultsFor(id) {
 			if !res.Consistent {
 				t.Errorf("epoch %d at %v inconsistent", id, res.Unit)
@@ -343,7 +343,7 @@ func TestReInitiationHarmless(t *testing.T) {
 func TestWraparoundAcrossManyLaps(t *testing.T) {
 	r := newRig(t, false, nil)
 	// MaxID is 16; run 40 snapshots, reading each promptly.
-	for id := uint64(1); id <= 40; id++ {
+	for id := packet.SeqID(1); id <= 40; id++ {
 		r.sendThrough(t)
 		r.initiate(id, sim.Time(id))
 		r.pump(sim.Time(id))

@@ -96,10 +96,10 @@ func (c Config) validate() error {
 // plane unwraps them against its own tracking state.
 type Notification struct {
 	Channel     int
-	OldSID      uint32
-	NewSID      uint32
-	OldLastSeen uint32
-	NewLastSeen uint32
+	OldSID      packet.WireID
+	NewSID      packet.WireID
+	OldLastSeen packet.WireID
+	NewLastSeen packet.WireID
 
 	// Diagnostic shadow of the transition in unwrapped form, plus the
 	// in-flight absorption outcome. Hardware exports none of this — it
@@ -107,14 +107,14 @@ type Notification struct {
 	// exact epochs where the wrapped registers are ambiguous across
 	// rollover laps. The control plane must keep unwrapping the wrapped
 	// fields above, exactly as it would against real hardware.
-	OldSIDU   uint64
-	NewSIDU   uint64
-	OldSeenU  uint64
-	NewSeenU  uint64
-	PacketSID uint64
+	OldSIDU   packet.SeqID
+	NewSIDU   packet.SeqID
+	OldSeenU  packet.SeqID
+	NewSeenU  packet.SeqID
+	PacketSID packet.SeqID
 	// WireID is the snapshot ID the packet arrived with, before any
 	// restamping.
-	WireID uint32
+	WireID packet.WireID
 	// Absorbed reports that the packet was in flight (PacketSID behind
 	// the unit's epoch) and was folded into the current slot's channel
 	// state; AbsorbMissed that it was in flight but found no open slot.
@@ -137,7 +137,7 @@ func (n Notification) LastSeenChanged() bool { return n.OldLastSeen != n.NewLast
 // (a lapped read returns "not held" instead of a later epoch's value)
 // without changing behaviour under correct operation.
 type slot struct {
-	id    uint64
+	id    packet.SeqID
 	valid bool
 	value uint64
 }
@@ -147,9 +147,9 @@ type Unit struct {
 	cfg    Config
 	metric Metric
 
-	sid      uint64   // current snapshot ID, unwrapped
-	lastSeen []uint64 // per-channel last seen ID, unwrapped
-	snaps    []slot   // register array, indexed by sid mod MaxID
+	sid      packet.SeqID   // current snapshot ID, unwrapped
+	lastSeen []packet.SeqID // per-channel last seen ID, unwrapped
+	snaps    []slot         // register array, indexed by sid mod MaxID
 }
 
 // NewUnit creates a processing unit with all state zeroed, as when a new
@@ -165,7 +165,7 @@ func NewUnit(cfg Config, metric Metric) (*Unit, error) {
 	return &Unit{
 		cfg:      cfg,
 		metric:   metric,
-		lastSeen: make([]uint64, cfg.NumChannels),
+		lastSeen: make([]packet.SeqID, cfg.NumChannels),
 		snaps:    make([]slot, cfg.MaxID),
 	}, nil
 }
@@ -176,36 +176,67 @@ func (u *Unit) Config() Config { return u.cfg }
 // Metric returns the unit's metric.
 func (u *Unit) Metric() Metric { return u.metric }
 
-// wrap converts an unwrapped ID to its on-wire / in-register form.
-func (u *Unit) wrap(id uint64) uint32 {
-	if u.cfg.WrapAround {
-		return uint32(id % uint64(u.cfg.MaxID))
+// Wrap converts an unwrapped snapshot ID to its on-wire / in-register
+// form: the ID modulo maxID when rollover is enabled, or a plain
+// truncation otherwise (Section 5.3). Together with Unwrap it is the
+// only blessed crossing between the ordered SeqID domain and the
+// ambiguous WireID domain; the wrappedcmp analyzer flags conversions
+// anywhere else.
+func Wrap(id packet.SeqID, maxID uint32, wrapAround bool) packet.WireID {
+	if wrapAround {
+		return packet.WireID(uint64(id) % uint64(maxID))
 	}
-	return uint32(id)
+	return packet.WireID(id)
 }
 
-// unwrap resolves a wire ID against a reference unwrapped ID (the
-// channel's last-seen entry — the rollover reference of Section 5.3)
-// using serial-number arithmetic: a forward distance below half the ID
-// space means the wire ID is ahead of the reference; anything else means
-// it is at or behind it (an in-flight packet, or a stale/duplicate
-// control-plane initiation, which the data plane must ignore rather than
-// misread as a rollover, Section 6). The observer keeps all live IDs
-// within half the space, making the resolution exact.
-func (u *Unit) unwrap(wire uint32, ref uint64) uint64 {
-	if !u.cfg.WrapAround {
-		return uint64(wire)
+// Unwrap resolves a wire ID against a reference unwrapped ID (a
+// last-seen entry or the control plane's tracking state — the rollover
+// reference of Section 5.3) using serial-number arithmetic: a forward
+// distance below half the ID space means the wire ID is ahead of the
+// reference; anything else means it is at or behind it (an in-flight
+// packet, or a stale/duplicate control-plane initiation, which must be
+// ignored rather than misread as a rollover, Section 6). The observer
+// keeps all live IDs within half the space, making the resolution exact.
+func Unwrap(wire packet.WireID, ref packet.SeqID, maxID uint32, wrapAround bool) packet.SeqID {
+	if !wrapAround {
+		return packet.SeqID(wire)
 	}
-	m := uint64(u.cfg.MaxID)
-	delta := (uint64(wire) + m - uint64(u.wrap(ref))) % m
+	m := uint64(maxID)
+	delta := (uint64(wire) + m - uint64(Wrap(ref, maxID, wrapAround))) % m
 	if delta < m/2 {
-		return ref + delta
+		return ref + packet.SeqID(delta)
 	}
-	behind := m - delta
+	behind := packet.SeqID(m - delta)
 	if behind > ref {
 		return 0 // older than anything this unit has seen
 	}
 	return ref - behind
+}
+
+// RolledOver reports whether a wire register that advanced from old to
+// new lapped zero (Section 5.3). Unwrapped progress only moves forward,
+// so a numerically smaller new register value is exactly a rollover.
+// This is the one sanctioned ordering question about wire IDs, and it
+// compares raw register values on purpose: callers detecting rollover
+// (telemetry, the flight recorder) must not be required to unwrap
+// first, since rollover detection is an input to unwrapping.
+func RolledOver(old, new packet.WireID) bool {
+	return new.Raw() < old.Raw()
+}
+
+// wrap converts an unwrapped ID to its on-wire / in-register form.
+func (u *Unit) wrap(id packet.SeqID) packet.WireID {
+	return Wrap(id, u.cfg.MaxID, u.cfg.WrapAround)
+}
+
+// unwrap resolves a wire ID against a reference unwrapped ID.
+func (u *Unit) unwrap(wire packet.WireID, ref packet.SeqID) packet.SeqID {
+	return Unwrap(wire, ref, u.cfg.MaxID, u.cfg.WrapAround)
+}
+
+// slotOf returns the register-array slot an unwrapped ID maps to.
+func (u *Unit) slotOf(id packet.SeqID) *slot {
+	return &u.snaps[uint64(id)%uint64(u.cfg.MaxID)]
 }
 
 // OnPacket runs the snapshot pipeline of Figures 4 and 5 on a packet
@@ -216,6 +247,8 @@ func (u *Unit) unwrap(wire uint32, ref uint64) uint64 {
 //
 // The packet must carry a snapshot header; adding headers at the
 // snapshot-enabled edge is the data plane wiring's job (Section 5.1).
+//
+//speedlight:hotpath
 func (u *Unit) OnPacket(pkt *packet.Packet, channel int) (Notification, bool) {
 	if !pkt.HasSnap {
 		panic("core: OnPacket without snapshot header")
@@ -249,7 +282,7 @@ func (u *Unit) OnPacket(pkt *packet.Packet, channel int) (Notification, bool) {
 		// (oldSID+1 .. psid-1) are left unsaved; the control plane
 		// recovers them (without channel state) or marks them
 		// inconsistent (with channel state), per Figure 7.
-		s := &u.snaps[psid%uint64(u.cfg.MaxID)]
+		s := u.slotOf(psid)
 		s.id = psid
 		s.valid = true
 		s.value = preState
@@ -260,7 +293,7 @@ func (u *Unit) OnPacket(pkt *packet.Packet, channel int) (Notification, bool) {
 		// absorb it, but the ASIC performs one stateful update per
 		// register array per packet; intermediate epochs are the
 		// inconsistent ones the control plane tracks.
-		s := &u.snaps[u.sid%uint64(u.cfg.MaxID)]
+		s := u.slotOf(u.sid)
 		if s.valid && s.id == u.sid {
 			s.value = u.metric.Absorb(s.value, pkt)
 			absorbed = true
@@ -301,17 +334,17 @@ func (u *Unit) OnPacket(pkt *packet.Packet, channel int) (Notification, bool) {
 // in hardware (Section 7.2), or directly in emulation.
 
 // RegCurrentSID returns the wrapped current snapshot ID register.
-func (u *Unit) RegCurrentSID() uint32 { return u.wrap(u.sid) }
+func (u *Unit) RegCurrentSID() packet.WireID { return u.wrap(u.sid) }
 
 // RegLastSeen returns the wrapped last-seen register for a channel.
-func (u *Unit) RegLastSeen(ch int) uint32 { return u.wrap(u.lastSeen[ch]) }
+func (u *Unit) RegLastSeen(ch int) packet.WireID { return u.wrap(u.lastSeen[ch]) }
 
 // RegSnapshot returns the snapshot value recorded for the (unwrapped)
 // snapshot ID, and whether the register slot actually holds that
 // snapshot (a slot is invalid when the epoch was skipped, never
 // initiated, or already overwritten by a later lap).
-func (u *Unit) RegSnapshot(id uint64) (uint64, bool) {
-	s := u.snaps[id%uint64(u.cfg.MaxID)]
+func (u *Unit) RegSnapshot(id packet.SeqID) (uint64, bool) {
+	s := u.slotOf(id)
 	if !s.valid || s.id != id {
 		return 0, false
 	}
@@ -320,18 +353,18 @@ func (u *Unit) RegSnapshot(id uint64) (uint64, bool) {
 
 // CurrentSID returns the unit's unwrapped snapshot ID. Emulation-side
 // observability only; hardware exposes just the wrapped register.
-func (u *Unit) CurrentSID() uint64 { return u.sid }
+func (u *Unit) CurrentSID() packet.SeqID { return u.sid }
 
 // LastSeenUnwrapped returns the unit's unwrapped last-seen entry.
 // Emulation-side observability only.
-func (u *Unit) LastSeenUnwrapped(ch int) uint64 { return u.lastSeen[ch] }
+func (u *Unit) LastSeenUnwrapped(ch int) packet.SeqID { return u.lastSeen[ch] }
 
 // MinLastSeen returns the smallest last-seen ID across channels,
 // excluding the control plane pseudo-channel, which participates only in
 // rollover detection (Section 6). Snapshots up to this ID are complete
 // at this unit (Figure 3, line 12).
-func (u *Unit) MinLastSeen() uint64 {
-	min := uint64(1<<63 - 1)
+func (u *Unit) MinLastSeen() packet.SeqID {
+	min := packet.SeqID(1<<63 - 1)
 	found := false
 	for ch, ls := range u.lastSeen {
 		if ch == u.cfg.CPChannel {

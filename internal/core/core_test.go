@@ -39,7 +39,7 @@ func mustUnit(t *testing.T, cfg Config, m Metric) *Unit {
 	return u
 }
 
-func dataPkt(sid uint32, ch uint16) *packet.Packet {
+func dataPkt(sid packet.WireID, ch uint16) *packet.Packet {
 	return &packet.Packet{
 		Size:    100,
 		HasSnap: true,
@@ -47,7 +47,7 @@ func dataPkt(sid uint32, ch uint16) *packet.Packet {
 	}
 }
 
-func initPkt(sid uint32) *packet.Packet {
+func initPkt(sid packet.WireID) *packet.Packet {
 	return &packet.Packet{
 		HasSnap: true,
 		Snap:    packet.SnapshotHeader{Type: packet.TypeInitiation, ID: sid},
@@ -250,8 +250,8 @@ func TestWraparound(t *testing.T) {
 	u := mustUnit(t, testCfg(func(c *Config) { c.MaxID = 8 }), &pktCount{})
 	_ = cfg
 	// Walk the ID through two full laps, one step at a time.
-	for i := uint64(1); i <= 20; i++ {
-		wire := uint32(i % 8)
+	for i := packet.SeqID(1); i <= 20; i++ {
+		wire := Wrap(i, 8, true)
 		u.OnPacket(dataPkt(wire, 0), 0)
 		if u.CurrentSID() != i {
 			t.Fatalf("after wire %d: sid = %d, want %d", wire, u.CurrentSID(), i)
@@ -347,8 +347,8 @@ func TestDifferentialIdealVsHardware(t *testing.T) {
 		// channel ever lags by more than 1: the smooth regime in which
 		// the hardware approximation must be *exact*. (Lag beyond 1 is
 		// the inconsistent regime, covered by TestTwoUnitCutInvariant.)
-		chEpoch := []uint64{0, 0}
-		epoch := uint64(0)
+		chEpoch := []packet.SeqID{0, 0}
+		epoch := packet.SeqID(0)
 		for step := 0; step < 400; step++ {
 			ch := r.Intn(2)
 			if r.Float64() < 0.1 && chEpoch[0] == epoch && chEpoch[1] == epoch {
@@ -360,8 +360,8 @@ func TestDifferentialIdealVsHardware(t *testing.T) {
 				chEpoch[ch] = epoch
 			}
 			sid := chEpoch[ch]
-			hwP := dataPkt(uint32(sid%uint64(cfg.MaxID)), uint16(ch))
-			idP := dataPkt(uint32(sid), uint16(ch))
+			hwP := dataPkt(Wrap(sid, cfg.MaxID, true), uint16(ch))
+			idP := dataPkt(Wrap(sid, 0, false), uint16(ch))
 			hw.OnPacket(hwP, ch)
 			id.OnPacket(idP, ch)
 		}
@@ -372,7 +372,7 @@ func TestDifferentialIdealVsHardware(t *testing.T) {
 		// the ideal value. Complete means all (non-CP) channels have
 		// seen it; only then has all channel state been absorbed.
 		done := hw.MinLastSeen()
-		for i := uint64(1); i <= done; i++ {
+		for i := packet.SeqID(1); i <= done; i++ {
 			hv, hok := hw.RegSnapshot(i)
 			iv, iok := id.Snapshot(i)
 			if !iok {
@@ -405,7 +405,7 @@ func TestTwoUnitCutInvariant(t *testing.T) {
 		b := mustUnit(t, cfgB, mB)
 
 		var queue []*packet.Packet // FIFO channel A -> B
-		epoch := uint64(0)
+		epoch := packet.SeqID(0)
 
 		// Figure 7: when a unit's snapshot ID advances while older
 		// snapshots are incomplete (min lastSeen below the new ID),
@@ -413,7 +413,7 @@ func TestTwoUnitCutInvariant(t *testing.T) {
 		// that the hardware will absorb into the *current* slot only.
 		// The control plane marks them inconsistent; replicate that
 		// marking for B, the only unit receiving in-flight traffic.
-		inconsistent := map[uint64]bool{}
+		inconsistent := map[packet.SeqID]bool{}
 		bOnPacket := func(p *packet.Packet, ch int) {
 			before := b.MinLastSeen()
 			oldSID := b.CurrentSID()
@@ -434,7 +434,7 @@ func TestTwoUnitCutInvariant(t *testing.T) {
 			bOnPacket(p, 0)
 		}
 		send := func() {
-			p := dataPkt(uint32(epoch%32), 0)
+			p := dataPkt(Wrap(epoch, 32, true), 0)
 			a.OnPacket(p, 0) // A stamps its current epoch
 			queue = append(queue, p)
 		}
@@ -444,8 +444,8 @@ func TestTwoUnitCutInvariant(t *testing.T) {
 			// time (the consistent regime).
 			if a.CurrentSID() == epoch && b.CurrentSID() >= epoch {
 				epoch++
-				a.OnPacket(initPkt(uint32(epoch%32)), 1)
-				bOnPacket(initPkt(uint32(epoch%32)), 1)
+				a.OnPacket(initPkt(Wrap(epoch, 32, true)), 1)
+				bOnPacket(initPkt(Wrap(epoch, 32, true)), 1)
 			}
 		}
 
@@ -472,7 +472,7 @@ func TestTwoUnitCutInvariant(t *testing.T) {
 			t.Fatalf("trial %d: B incomplete: done=%d epoch=%d", trial, done, epoch)
 		}
 		checked := 0
-		for i := uint64(1); i <= epoch; i++ {
+		for i := packet.SeqID(1); i <= epoch; i++ {
 			if inconsistent[i] {
 				continue // Figure 7 would discard this snapshot
 			}
@@ -499,7 +499,7 @@ func TestIdealUnitLoopsThroughSkippedEpochs(t *testing.T) {
 	u.OnPacket(dataPkt(0, 0), 0)
 	u.OnPacket(dataPkt(0, 0), 0)
 	u.OnPacket(dataPkt(3, 0), 0) // jump: ideal fills 1,2,3 with the same state
-	for i := uint64(1); i <= 3; i++ {
+	for i := packet.SeqID(1); i <= 3; i++ {
 		v, ok := u.Snapshot(i)
 		if !ok || v != 2 {
 			t.Errorf("ideal snapshot %d = (%d,%v), want (2,true)", i, v, ok)
@@ -507,7 +507,7 @@ func TestIdealUnitLoopsThroughSkippedEpochs(t *testing.T) {
 	}
 	// An in-flight epoch-0 packet updates channel state of 1..3.
 	u.OnPacket(dataPkt(0, 1), 1)
-	for i := uint64(1); i <= 3; i++ {
+	for i := packet.SeqID(1); i <= 3; i++ {
 		if v, _ := u.Snapshot(i); v != 3 {
 			t.Errorf("ideal snapshot %d after absorb = %d, want 3", i, v)
 		}
@@ -572,22 +572,22 @@ func TestUnwrapProperty(t *testing.T) {
 		u := mustUnit(t, testCfg(func(c *Config) { c.MaxID = maxID }), &pktCount{})
 		half := uint64(maxID) / 2
 		for trial := 0; trial < 2000; trial++ {
-			ref := uint64(r.Int63n(1 << 30))
+			ref := packet.SeqID(r.Int63n(1 << 30))
 			// delta in (-half, half): the resolvable window.
 			delta := r.Int63n(int64(2*half)-1) - int64(half) + 1
 			truth := int64(ref) + delta
 			if truth < 0 {
 				continue
 			}
-			wire := u.WrapForTest(uint64(truth))
+			wire := u.WrapForTest(packet.SeqID(truth))
 			got := u.UnwrapForTest(wire, ref)
-			if got != uint64(truth) {
+			if got != packet.SeqID(truth) {
 				t.Fatalf("maxID=%d ref=%d truth=%d wire=%d: unwrap=%d",
 					maxID, ref, truth, wire, got)
 			}
 		}
 		// Behind-by-more-than-ref clamps to zero.
-		if got := u.UnwrapForTest(u.WrapForTest(uint64(maxID)-1), 0); got != 0 {
+		if got := u.UnwrapForTest(u.WrapForTest(packet.SeqID(maxID)-1), 0); got != 0 {
 			t.Errorf("maxID=%d: stale wire did not clamp: %d", maxID, got)
 		}
 	}

@@ -2,8 +2,12 @@ package core
 
 // Test-only exports of the wraparound arithmetic.
 
+import "speedlight/internal/packet"
+
 // WrapForTest exposes wrap.
-func (u *Unit) WrapForTest(id uint64) uint32 { return u.wrap(id) }
+func (u *Unit) WrapForTest(id packet.SeqID) packet.WireID { return u.wrap(id) }
 
 // UnwrapForTest exposes unwrap.
-func (u *Unit) UnwrapForTest(wire uint32, ref uint64) uint64 { return u.unwrap(wire, ref) }
+func (u *Unit) UnwrapForTest(wire packet.WireID, ref packet.SeqID) packet.SeqID {
+	return u.unwrap(wire, ref)
+}

@@ -14,9 +14,9 @@ type IdealUnit struct {
 	metric       Metric
 	channelState bool
 
-	sid      uint64
-	lastSeen map[int]uint64
-	snaps    map[uint64]uint64
+	sid      packet.SeqID
+	lastSeen map[int]packet.SeqID
+	snaps    map[packet.SeqID]uint64
 }
 
 // NewIdealUnit creates an idealized unit. channelState selects between
@@ -25,8 +25,8 @@ func NewIdealUnit(metric Metric, channelState bool) *IdealUnit {
 	return &IdealUnit{
 		metric:       metric,
 		channelState: channelState,
-		lastSeen:     make(map[int]uint64),
-		snaps:        make(map[uint64]uint64),
+		lastSeen:     make(map[int]packet.SeqID),
+		snaps:        make(map[packet.SeqID]uint64),
 	}
 }
 
@@ -37,7 +37,9 @@ func (u *IdealUnit) OnPacket(pkt *packet.Packet, channel int) {
 	if !pkt.HasSnap {
 		panic("core: IdealUnit.OnPacket without snapshot header")
 	}
-	psid := uint64(pkt.Snap.ID)
+	// The ideal algorithm has no register-width limits: the wire ID is
+	// taken at face value, with no rollover to resolve.
+	psid := Unwrap(pkt.Snap.ID, 0, 0, false)
 	state := u.metric.Read()
 
 	if psid > u.sid {
@@ -64,14 +66,14 @@ func (u *IdealUnit) OnPacket(pkt *packet.Packet, channel int) {
 	if pkt.Snap.Type == packet.TypeData {
 		u.metric.Update(pkt)
 	}
-	pkt.Snap.ID = uint32(u.sid)
+	pkt.Snap.ID = Wrap(u.sid, 0, false)
 }
 
 // SID returns the unit's current snapshot ID.
-func (u *IdealUnit) SID() uint64 { return u.sid }
+func (u *IdealUnit) SID() packet.SeqID { return u.sid }
 
 // Snapshot returns the recorded value for a snapshot ID.
-func (u *IdealUnit) Snapshot(id uint64) (uint64, bool) {
+func (u *IdealUnit) Snapshot(id packet.SeqID) (uint64, bool) {
 	v, ok := u.snaps[id]
 	return v, ok
 }
@@ -80,11 +82,11 @@ func (u *IdealUnit) Snapshot(id uint64) (uint64, bool) {
 // have delivered at least one packet; snapshots up to it are complete
 // (Figure 3, line 12). It returns the current SID when channel state is
 // disabled or nothing has been received.
-func (u *IdealUnit) MinLastSeen() uint64 {
+func (u *IdealUnit) MinLastSeen() packet.SeqID {
 	if !u.channelState || len(u.lastSeen) == 0 {
 		return u.sid
 	}
-	min := uint64(1<<63 - 1)
+	min := packet.SeqID(1<<63 - 1)
 	for _, ls := range u.lastSeen {
 		if ls < min {
 			min = ls

@@ -23,6 +23,16 @@ import (
 	"speedlight/internal/topology"
 )
 
+// WireID is the wrapped on-wire / in-register snapshot ID, re-exported
+// from package packet so data-plane callers can name the domain type
+// without a second import. See packet.WireID for the comparison rules
+// the wrappedcmp analyzer enforces.
+type WireID = packet.WireID
+
+// SeqID is the unwrapped snapshot sequence number, re-exported from
+// package packet.
+type SeqID = packet.SeqID
+
 // Direction distinguishes ingress from egress processing units.
 type Direction int
 
@@ -298,6 +308,8 @@ func journalDir(d Direction) journal.Dir {
 // absorbs can occur without a notification-worthy change (a second
 // in-flight packet on an already-seen channel), which is why this does
 // not piggyback on pushNotif.
+//
+//speedlight:hotpath
 func (s *Switch) journalUnit(port int, dir Direction, n *core.Notification, now sim.Time) {
 	if s.jr == nil {
 		return
@@ -306,9 +318,7 @@ func (s *Switch) journalUnit(port int, dir Direction, n *core.Notification, now 
 	d := journalDir(dir)
 	if n.NewSIDU != n.OldSIDU {
 		s.jr.Append(journal.Record(int64(now), sw, port, d, n.Channel, n.OldSIDU, n.NewSIDU, n.WireID))
-		if n.NewSID < n.OldSID {
-			// The wrapped register lapped zero while unwrapped progress
-			// moved forward: a rollover (Section 5.3).
+		if core.RolledOver(n.OldSID, n.NewSID) {
 			s.jr.Append(journal.Rollover(int64(now), sw, port, d, n.OldSIDU, n.NewSIDU))
 		}
 	}
@@ -327,6 +337,8 @@ func (s *Switch) journalUnit(port int, dir Direction, n *core.Notification, now 
 // full. Without channel state the last-seen machinery is compiled out
 // (the "-" items of Section 5.2), so only snapshot ID changes are
 // exported.
+//
+//speedlight:hotpath
 func (s *Switch) pushNotif(n CPUNotification) {
 	if !s.cfg.ChannelState && !n.SIDChanged() {
 		return
@@ -335,9 +347,7 @@ func (s *Switch) pushNotif(n CPUNotification) {
 	if s.jr != nil {
 		s.jr.Append(journal.NotifGenerated(int64(n.Exported), int(s.cfg.Node), n.Unit.Port, journalDir(n.Unit.Dir), n.NewSIDU))
 	}
-	if n.SIDChanged() && n.NewSID < n.OldSID {
-		// The wire ID wrapped (Section 5.3): unwrapped progress only
-		// ever moves forward, so a smaller new wire ID is a rollover.
+	if n.SIDChanged() && core.RolledOver(n.OldSID, n.NewSID) {
 		s.tel.Rollovers.Inc()
 	}
 	if s.cfg.OnNotify != nil {
@@ -385,6 +395,8 @@ type IngressResult struct {
 // packet's snapshot header is added if absent and its Channel field is
 // rewritten to the ingress port number — the upstream neighbor
 // identifier the egress unit will use (Section 5.1).
+//
+//speedlight:hotpath
 func (s *Switch) Ingress(pkt *packet.Packet, port int, now sim.Time) IngressResult {
 	s.tel.PacketsIngress.Inc()
 	if s.cfg.SnapshotDisabled {
@@ -430,6 +442,8 @@ func (s *Switch) Ingress(pkt *packet.Packet, port int, now sim.Time) IngressResu
 
 // forwardOnly routes a packet without snapshot processing (partial
 // deployment).
+//
+//speedlight:hotpath
 func (s *Switch) forwardOnly(pkt *packet.Packet, now sim.Time) IngressResult {
 	if s.cfg.FIB == nil || s.cfg.Balancer == nil {
 		return IngressResult{Drop: true}
@@ -456,6 +470,8 @@ type EgressResult struct {
 // came from (or the CPU pseudo-channel, for control-plane-injected
 // traffic). On edge ports the caller must strip the header afterwards,
 // as instructed by the result.
+//
+//speedlight:hotpath
 func (s *Switch) Egress(pkt *packet.Packet, port int, now sim.Time) EgressResult {
 	s.tel.PacketsEgress.Inc()
 	if s.cfg.SnapshotDisabled {
@@ -495,6 +511,8 @@ func (s *Switch) Egress(pkt *packet.Packet, port int, now sim.Time) EgressResult
 // in the order they left the egress unit. The packet is counted again
 // by the ingress metric — it really does traverse the pipeline twice —
 // and a fresh forwarding decision is returned.
+//
+//speedlight:hotpath
 func (s *Switch) Recirculate(pkt *packet.Packet, port int, now sim.Time) IngressResult {
 	if !s.cfg.Recirculation {
 		panic(fmt.Sprintf("dataplane: switch %d has no recirculation channel", s.cfg.Node))
@@ -530,7 +548,7 @@ func (s *Switch) Recirculate(pkt *packet.Packet, port int, now sim.Time) Ingress
 // InitiationPacket builds the control plane's initiation message for a
 // snapshot ID (already wrapped to the wire form by the caller's control
 // plane).
-func InitiationPacket(wireID uint32) *packet.Packet {
+func InitiationPacket(wireID WireID) *packet.Packet {
 	return &packet.Packet{
 		HasSnap: true,
 		Snap:    packet.SnapshotHeader{Type: packet.TypeInitiation, ID: wireID},
@@ -542,6 +560,8 @@ func InitiationPacket(wireID uint32) *packet.Packet {
 // FIB, such as the marker broadcasts the control plane injects to force
 // snapshot ID propagation when data traffic is absent (Section 6,
 // liveness).
+//
+//speedlight:hotpath
 func (s *Switch) IngressOnly(pkt *packet.Packet, port int, now sim.Time) {
 	s.tel.Markers.Inc()
 	s.tel.PacketsIngress.Inc()
@@ -577,6 +597,8 @@ func (s *Switch) IngressOnly(pkt *packet.Packet, port int, now sim.Time) {
 // ingress port for egress-unit processing. Injecting on the CPU channel
 // (rather than the external one) matters: it must not forge the
 // upstream neighbor's progress in the last-seen array.
+//
+//speedlight:hotpath
 func (s *Switch) IngressFromCP(pkt *packet.Packet, port int, now sim.Time) {
 	s.tel.Markers.Inc()
 	s.tel.PacketsIngress.Inc()
@@ -606,6 +628,8 @@ func (s *Switch) IngressFromCP(pkt *packet.Packet, port int, now sim.Time) {
 // egress path ("not shown" in the paper's Figure 5): the packet will
 // enter the egress unit on the CPU pseudo-channel, carrying the current
 // snapshot ID so it neither initiates nor appears in flight.
+//
+//speedlight:hotpath
 func (s *Switch) StampCPEgress(pkt *packet.Packet, port int) {
 	if !pkt.HasSnap {
 		pkt.HasSnap = true
@@ -625,7 +649,7 @@ func (s *Switch) StampCPEgress(pkt *packet.Packet, port int) {
 // ahead of older in-flight packets. One marker per FIFO channel is
 // exactly what the snapshot algorithm requires (Section 4.1's CoS
 // sub-channels are independent FIFO channels).
-func (s *Switch) InitiateIngress(wireID uint32, port int, now sim.Time) []*packet.Packet {
+func (s *Switch) InitiateIngress(wireID WireID, port int, now sim.Time) []*packet.Packet {
 	s.tel.Initiations.Inc()
 	pkt := InitiationPacket(wireID)
 	notif, changed := s.ports[port].IngressUnit.OnPacket(pkt, s.ingressCPChannel())

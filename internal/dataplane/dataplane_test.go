@@ -189,8 +189,8 @@ func TestNotificationsQueuedWithTimestamp(t *testing.T) {
 
 func TestNotificationOverflowDrops(t *testing.T) {
 	s := testSwitch(t, func(c *Config) { c.NotifCapacity = 2 })
-	for i := uint32(1); i <= 5; i++ {
-		s.InitiateIngress(i, 0, 0)
+	for i := packet.SeqID(1); i <= 5; i++ {
+		s.InitiateIngress(core.Wrap(i, 64, true), 0, 0)
 	}
 	if s.PendingNotifs() != 2 {
 		t.Errorf("pending = %d, want 2", s.PendingNotifs())
@@ -263,7 +263,7 @@ func TestEgressChannelRangePanics(t *testing.T) {
 type instrumentedCount struct {
 	inner    counters.PacketCount
 	unit     func() *core.Unit
-	absorbed map[uint64]uint64
+	absorbed map[packet.SeqID]uint64
 }
 
 func (m *instrumentedCount) Read() uint64            { return m.inner.Read() }
@@ -289,7 +289,7 @@ func TestEndToEndTwoSwitchConsistency(t *testing.T) {
 			ChannelState: true,
 			Metrics: func(id UnitID) core.Metric {
 				m := &instrumentedCount{
-					absorbed: map[uint64]uint64{},
+					absorbed: map[packet.SeqID]uint64{},
 					unit: func() *core.Unit {
 						return switches[id.Node].Unit(id)
 					},
@@ -325,7 +325,7 @@ func TestEndToEndTwoSwitchConsistency(t *testing.T) {
 	}
 	var q1, wire, q2 []queued
 
-	epoch := uint32(0)
+	epoch := packet.SeqID(0)
 	send := func() {
 		p := &packet.Packet{DstHost: 10, Size: 100}
 		res := sw1.Ingress(p, 0, 0)
@@ -369,7 +369,7 @@ func TestEndToEndTwoSwitchConsistency(t *testing.T) {
 		epoch++
 		for _, sw := range []*Switch{sw1, sw2} {
 			for p := 0; p < 2; p++ {
-				ip := sw.InitiateIngress(epoch, p, 0)[0]
+				ip := sw.InitiateIngress(core.Wrap(epoch, 64, true), p, 0)[0]
 				switch {
 				case sw == sw1 && p == 0:
 					q1 = append(q1, queued{ip, p})
@@ -423,7 +423,7 @@ func TestEndToEndTwoSwitchConsistency(t *testing.T) {
 		{2, 0, Egress},
 	}
 	checked := 0
-	for i := uint64(1); i <= uint64(epoch); i++ {
+	for i := packet.SeqID(1); i <= epoch; i++ {
 		for h := 1; h < len(path); h++ {
 			up, down := path[h-1], path[h]
 			uv, uok := switches[up.Node].Unit(up).RegSnapshot(i)

@@ -113,7 +113,7 @@ type Config struct {
 	// notification (the ones entering synchronization windows), keyed by
 	// the unwrapped snapshot ID it advances. Experiments use it to
 	// collect per-unit timing distributions.
-	OnProgress func(id uint64, at sim.Time)
+	OnProgress func(id packet.SeqID, at sim.Time)
 
 	// OnInject, when set, observes every host packet injection at its
 	// injection time — e.g., to record a workload as a replayable
@@ -140,7 +140,7 @@ type Config struct {
 	// shows recovery is not unsticking it —
 	// with the flight-recorder tail at that moment (nil without a
 	// Journal).
-	OnAnomaly func(reason string, snapshotID uint64, dump []journal.Event)
+	OnAnomaly func(reason string, snapshotID packet.SeqID, dump []journal.Event)
 }
 
 func (c *Config) setDefaults() {
@@ -268,8 +268,8 @@ type Network struct {
 	done     []*observer.GlobalSnapshot
 	// retried marks snapshots the observer has already retried once;
 	// a repeat retry means recovery is not unsticking them.
-	retried map[uint64]bool
-	syncs   map[uint64]*syncWindow
+	retried map[packet.SeqID]bool
+	syncs   map[packet.SeqID]*syncWindow
 	gauges  map[dataplane.UnitID]*counters.Gauge
 	// wireDrops counts packets lost to injected link failures.
 	wireDrops uint64
@@ -330,8 +330,8 @@ func New(cfg Config) (*Network, error) {
 		fibs:     fibs,
 		utilized: routing.UtilizedPairs(cfg.Topo, fibs),
 		sws:      make(map[topology.NodeID]*EmuSwitch),
-		retried:  make(map[uint64]bool),
-		syncs:    make(map[uint64]*syncWindow),
+		retried:  make(map[packet.SeqID]bool),
+		syncs:    make(map[packet.SeqID]*syncWindow),
 		gauges:   make(map[dataplane.UnitID]*counters.Gauge),
 		gateSets: make(map[dataplane.UnitID]map[int]bool),
 		dpTel:    dataplane.NewTelemetry(cfg.Registry),
@@ -583,7 +583,7 @@ func (n *Network) Audit() *audit.Report {
 }
 
 // anomaly dumps the flight recorder to the OnAnomaly hook.
-func (n *Network) anomaly(reason string, id uint64) {
+func (n *Network) anomaly(reason string, id packet.SeqID) {
 	if n.cfg.OnAnomaly == nil {
 		return
 	}
@@ -631,7 +631,7 @@ func (n *Network) QueueDropsTotal() uint64 {
 // between the earliest and latest data-plane notification timestamps
 // carrying that ID (Section 8.1). The second result is false when no
 // notifications for the ID were observed.
-func (n *Network) SyncSpread(id uint64) (sim.Duration, bool) {
+func (n *Network) SyncSpread(id packet.SeqID) (sim.Duration, bool) {
 	w, ok := n.syncs[id]
 	if !ok || w.count == 0 {
 		return 0, false
@@ -641,7 +641,7 @@ func (n *Network) SyncSpread(id uint64) (sim.Duration, bool) {
 
 // recordSync folds a notification timestamp into the snapshot's
 // synchronization window.
-func (n *Network) recordSync(id uint64, at sim.Time, unit dataplane.UnitID, channel int) {
+func (n *Network) recordSync(id packet.SeqID, at sim.Time, unit dataplane.UnitID, channel int) {
 	if debugSync != nil {
 		debugSync(id, at, unit, channel)
 	}
@@ -666,11 +666,11 @@ func (n *Network) recordSync(id uint64, at sim.Time, unit dataplane.UnitID, chan
 }
 
 // debugSync, when non-nil, observes every sync record (tests only).
-var debugSync func(id uint64, at sim.Time, unit dataplane.UnitID, channel int)
+var debugSync func(id packet.SeqID, at sim.Time, unit dataplane.UnitID, channel int)
 
 // SyncDetail returns the earliest and latest notifications contributing
 // to a snapshot's synchronization window, for diagnosing stragglers.
-func (n *Network) SyncDetail(id uint64) (first, last SyncContributor, ok bool) {
+func (n *Network) SyncDetail(id packet.SeqID) (first, last SyncContributor, ok bool) {
 	w, found := n.syncs[id]
 	if !found || w.count == 0 {
 		return SyncContributor{}, SyncContributor{}, false
@@ -866,7 +866,7 @@ func (n *Network) cpProcessOne(es *EmuSwitch) {
 // local-clock deadline on every control plane. Each control plane fires
 // when its own clock reads the deadline — clock error plus scheduling
 // jitter is exactly what the synchronization experiments measure.
-func (n *Network) ScheduleSnapshot(localDeadline sim.Time) (uint64, error) {
+func (n *Network) ScheduleSnapshot(localDeadline sim.Time) (packet.SeqID, error) {
 	id, err := n.obs.Begin(n.eng.Now())
 	if err != nil {
 		return 0, err
@@ -893,7 +893,7 @@ func (n *Network) ScheduleSnapshot(localDeadline sim.Time) (uint64, error) {
 // unaffected; what degrades is synchronization, which now includes the
 // propagation time of the epoch through the network — the comparison
 // that motivates the paper's multi-initiator design.
-func (n *Network) ScheduleSnapshotSingle(node topology.NodeID, localDeadline sim.Time) (uint64, error) {
+func (n *Network) ScheduleSnapshotSingle(node topology.NodeID, localDeadline sim.Time) (packet.SeqID, error) {
 	id, err := n.obs.Begin(n.eng.Now())
 	if err != nil {
 		return 0, err
@@ -915,7 +915,7 @@ func (n *Network) ScheduleSnapshotSingle(node topology.NodeID, localDeadline sim
 // every ingress unit processes the initiation message, which then
 // follows the same egress queues as data traffic (FIFO order matters;
 // Section 6).
-func (n *Network) initiate(es *EmuSwitch, id uint64) {
+func (n *Network) initiate(es *EmuSwitch, id packet.SeqID) {
 	inits := es.CP.Initiate(id, n.eng.Now())
 	n.drainNotifs(es)
 	for _, init := range inits {
@@ -974,12 +974,12 @@ func (n *Network) RunFor(d sim.Duration) { n.eng.RunFor(d) }
 
 // SetDebugSync installs a test-only observer of sync records. The unit
 // argument is passed as a fmt.Stringer to keep the hook signature loose.
-func SetDebugSync(fn func(id uint64, at sim.Time, unit interface{ String() string }, channel int)) {
+func SetDebugSync(fn func(id packet.SeqID, at sim.Time, unit interface{ String() string }, channel int)) {
 	if fn == nil {
 		debugSync = nil
 		return
 	}
-	debugSync = func(id uint64, at sim.Time, unit dataplane.UnitID, channel int) {
+	debugSync = func(id packet.SeqID, at sim.Time, unit dataplane.UnitID, channel int) {
 		fn(id, at, unit, channel)
 	}
 }

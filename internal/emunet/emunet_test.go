@@ -462,7 +462,7 @@ func TestSnapshotsSurviveLinkLoss(t *testing.T) {
 		c.RetryAfter = 2 * sim.Millisecond
 	})
 	trafficGen(n, 5*sim.Microsecond)
-	var ids []uint64
+	var ids []packet.SeqID
 	for i := 0; i < 5; i++ {
 		n.RunFor(2 * sim.Millisecond)
 		if id, err := n.ScheduleSnapshot(n.Engine().Now().Add(sim.Millisecond)); err == nil {

@@ -6,17 +6,18 @@ import (
 
 	"speedlight/internal/audit"
 	"speedlight/internal/journal"
+	"speedlight/internal/packet"
 	"speedlight/internal/sim"
 	"speedlight/internal/topology"
 )
 
 // verdictByID indexes an audit report by snapshot ID.
-func verdictByID(t *testing.T, rep *audit.Report) map[uint64]audit.Verdict {
+func verdictByID(t *testing.T, rep *audit.Report) map[packet.SeqID]audit.Verdict {
 	t.Helper()
 	if rep == nil {
 		t.Fatal("nil audit report (journal not wired?)")
 	}
-	out := make(map[uint64]audit.Verdict, len(rep.Verdicts))
+	out := make(map[packet.SeqID]audit.Verdict, len(rep.Verdicts))
 	for _, v := range rep.Verdicts {
 		out[v.SnapshotID] = v
 	}
@@ -30,7 +31,7 @@ func TestAuditCleanRunConsistent(t *testing.T) {
 	anomalies := 0
 	n := newNet(t, func(c *Config) {
 		c.Journal = journal.NewSet(0)
-		c.OnAnomaly = func(string, uint64, []journal.Event) { anomalies++ }
+		c.OnAnomaly = func(string, packet.SeqID, []journal.Event) { anomalies++ }
 	})
 	trafficGen(n, 20*sim.Microsecond)
 	n.RunFor(sim.Millisecond)
@@ -124,7 +125,7 @@ func TestAuditSkippedIDInconsistent(t *testing.T) {
 		c.ChannelState = true
 		c.RetryAfter = -1
 		c.ExcludeAfter = 10 * sim.Millisecond
-		c.OnAnomaly = func(_ string, _ uint64, dump []journal.Event) {
+		c.OnAnomaly = func(_ string, _ packet.SeqID, dump []journal.Event) {
 			dumps = append(dumps, dump)
 		}
 	})

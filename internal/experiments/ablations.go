@@ -5,6 +5,7 @@ import (
 
 	"speedlight/internal/clock"
 	"speedlight/internal/emunet"
+	"speedlight/internal/packet"
 	"speedlight/internal/sim"
 	"speedlight/internal/stats"
 	"speedlight/internal/topology"
@@ -55,12 +56,12 @@ func AblationInitiators(cfg AblationConfig) *InitiatorsResult {
 		bg := &workload.Uniform{Net: n, Hosts: hostIDs(n), Interval: 2 * sim.Microsecond}
 		bg.Start()
 		n.RunFor(2 * sim.Millisecond)
-		var ids []uint64
+		var ids []packet.SeqID
 		const gap = 2 * sim.Millisecond
 		for i := 0; i < cfg.Snapshots; i++ {
 			n.Engine().After(gap, func() {
 				deadline := n.Engine().Now().Add(sim.Millisecond)
-				var id uint64
+				var id packet.SeqID
 				var err error
 				if single {
 					id, err = n.ScheduleSnapshotSingle(ls.Leaves[0], deadline)
@@ -120,7 +121,7 @@ func AblationClocks(cfg AblationConfig) *ClocksResult {
 		bg := &workload.Uniform{Net: n, Hosts: hostIDs(n), Interval: 2 * sim.Microsecond}
 		bg.Start()
 		n.RunFor(2 * sim.Millisecond)
-		var ids []uint64
+		var ids []packet.SeqID
 		const gap = 2 * sim.Millisecond
 		for i := 0; i < cfg.Snapshots; i++ {
 			n.Engine().After(gap, func() {
@@ -271,7 +272,7 @@ func AblationPartialDeployment(cfg AblationConfig) *PartialResult {
 		bg := &workload.Uniform{Net: n, Hosts: hostIDs(n), Interval: 2 * sim.Microsecond}
 		bg.Start()
 		n.RunFor(2 * sim.Millisecond)
-		var ids []uint64
+		var ids []packet.SeqID
 		const gap = 2 * sim.Millisecond
 		for i := 0; i < cfg.Snapshots; i++ {
 			n.Engine().After(gap, func() {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"speedlight/internal/emunet"
+	"speedlight/internal/packet"
 	"speedlight/internal/sim"
 	"speedlight/internal/stats"
 	"speedlight/internal/workload"
@@ -114,14 +115,14 @@ func fitShiftedLogNormal(samples []float64) (shift, mu, sigma float64) {
 // returns, for every progress notification, its offset in nanoseconds
 // from the snapshot's scheduled initiation deadline.
 func collectTestbedOffsets(cfg Fig11Config) []float64 {
-	deadlines := map[uint64]sim.Time{}
+	deadlines := map[packet.SeqID]sim.Time{}
 	type rec struct {
-		id uint64
+		id packet.SeqID
 		at sim.Time
 	}
 	var recs []rec
 	n, _ := testbedNet(cfg.Seed, false, func(c *emunet.Config) {
-		c.OnProgress = func(id uint64, at sim.Time) {
+		c.OnProgress = func(id packet.SeqID, at sim.Time) {
 			recs = append(recs, rec{id, at})
 		}
 	})

@@ -7,6 +7,7 @@ import (
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
 	"speedlight/internal/observer"
+	"speedlight/internal/packet"
 	"speedlight/internal/polling"
 	"speedlight/internal/sim"
 	"speedlight/internal/stats"
@@ -135,11 +136,11 @@ func fig12Run(app, balancer string, cfg Fig12Config) (snapStd, pollStd []float64
 	// uplink readings land at whatever instants the sweep reaches them
 	// (the full-sequence spread the paper measures at 2.6 ms median).
 	sweep := allUnits(net)
-	completed := map[uint64]*observer.GlobalSnapshot{}
+	completed := map[packet.SeqID]*observer.GlobalSnapshot{}
 	before := len(net.Snapshots())
 
 	const gap = sim.Millisecond
-	var ids []uint64
+	var ids []packet.SeqID
 	for i := 0; i < cfg.Samples; i++ {
 		// One snapshot and one poll sweep per instant, over the same
 		// live traffic.

@@ -6,6 +6,7 @@ import (
 	"speedlight/internal/analysis"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/packet"
 	"speedlight/internal/polling"
 	"speedlight/internal/sim"
 	"speedlight/internal/stats"
@@ -95,7 +96,7 @@ func Fig13(cfg Fig13Config) *Fig13Result {
 
 	poller := polling.New(net, polling.Config{})
 	sweep := allUnits(net)
-	var ids []uint64
+	var ids []packet.SeqID
 	const gap = sim.Millisecond // supersteps are 1 ms; sample across phases
 	sampleGap := gap + 137*sim.Microsecond
 	for i := 0; i < cfg.Snapshots; i++ {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"speedlight/internal/packet"
 	"speedlight/internal/polling"
 	"speedlight/internal/sim"
 	"speedlight/internal/stats"
@@ -53,7 +54,7 @@ func Fig9(cfg Fig9Config) *Fig9Result {
 		bg.Start()
 		n.RunFor(2 * sim.Millisecond) // warm up
 
-		var ids []uint64
+		var ids []packet.SeqID
 		const gap = 2 * sim.Millisecond
 		for i := 0; i < cfg.Snapshots; i++ {
 			n.Engine().After(gap, func() {

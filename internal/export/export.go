@@ -15,18 +15,19 @@ import (
 	"speedlight/internal/experiments"
 	"speedlight/internal/journal"
 	"speedlight/internal/observer"
+	"speedlight/internal/packet"
 	"speedlight/internal/telemetry"
 )
 
 // SnapshotRow is one unit's value in one snapshot, flattened for
 // serialization.
 type SnapshotRow struct {
-	SnapshotID uint64 `json:"snapshot_id"`
-	Switch     int    `json:"switch"`
-	Port       int    `json:"port"`
-	Direction  string `json:"direction"`
-	Value      uint64 `json:"value"`
-	Consistent bool   `json:"consistent"`
+	SnapshotID packet.SeqID `json:"snapshot_id"`
+	Switch     int          `json:"switch"`
+	Port       int          `json:"port"`
+	Direction  string       `json:"direction"`
+	Value      uint64       `json:"value"`
+	Consistent bool         `json:"consistent"`
 	// ScheduledNs and CompletedNs bracket the snapshot in virtual time.
 	ScheduledNs int64 `json:"scheduled_ns"`
 	CompletedNs int64 `json:"completed_ns"`

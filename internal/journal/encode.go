@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"speedlight/internal/packet"
 )
 
 // WriteJSONL writes events as JSON Lines, one event object per line —
@@ -69,10 +71,10 @@ func WriteCSV(w io.Writer, events []Event) error {
 			strconv.Itoa(ev.Port),
 			ev.Dir.String(),
 			strconv.Itoa(ev.Channel),
-			strconv.FormatUint(ev.SnapshotID, 10),
-			strconv.FormatUint(ev.OldID, 10),
-			strconv.FormatUint(ev.NewID, 10),
-			strconv.FormatUint(uint64(ev.WireID), 10),
+			strconv.FormatUint(uint64(ev.SnapshotID), 10),
+			strconv.FormatUint(uint64(ev.OldID), 10),
+			strconv.FormatUint(uint64(ev.NewID), 10),
+			strconv.FormatUint(uint64(ev.WireID.Raw()), 10),
 			strconv.FormatUint(ev.Value, 10),
 			strconv.FormatBool(ev.Flag),
 		}); err != nil {
@@ -142,20 +144,26 @@ func parseCSVRecord(rec []string) (Event, error) {
 	if ev.Channel, err = strconv.Atoi(rec[6]); err != nil {
 		return fail("channel", err)
 	}
-	if ev.SnapshotID, err = strconv.ParseUint(rec[7], 10, 64); err != nil {
+	snapID, err := strconv.ParseUint(rec[7], 10, 64)
+	if err != nil {
 		return fail("snapshot_id", err)
 	}
-	if ev.OldID, err = strconv.ParseUint(rec[8], 10, 64); err != nil {
+	ev.SnapshotID = packet.SeqID(snapID)
+	oldID, err := strconv.ParseUint(rec[8], 10, 64)
+	if err != nil {
 		return fail("old_id", err)
 	}
-	if ev.NewID, err = strconv.ParseUint(rec[9], 10, 64); err != nil {
+	ev.OldID = packet.SeqID(oldID)
+	newID, err := strconv.ParseUint(rec[9], 10, 64)
+	if err != nil {
 		return fail("new_id", err)
 	}
+	ev.NewID = packet.SeqID(newID)
 	wire, err := strconv.ParseUint(rec[10], 10, 32)
 	if err != nil {
 		return fail("wire_id", err)
 	}
-	ev.WireID = uint32(wire)
+	ev.WireID = packet.WireIDFromRaw(uint32(wire))
 	if ev.Value, err = strconv.ParseUint(rec[11], 10, 64); err != nil {
 		return fail("value", err)
 	}

@@ -3,6 +3,8 @@ package journal
 import (
 	"encoding/json"
 	"fmt"
+
+	"speedlight/internal/packet"
 )
 
 // Dir is a processing-unit direction, mirroring dataplane.Direction
@@ -194,12 +196,12 @@ type Event struct {
 	Channel int `json:"channel"`
 
 	// SnapshotID is the unwrapped snapshot ID the event concerns.
-	SnapshotID uint64 `json:"snapshot_id"`
+	SnapshotID packet.SeqID `json:"snapshot_id"`
 	// OldID/NewID bracket a transition (record, last-seen, absorb).
-	OldID uint64 `json:"old_id"`
-	NewID uint64 `json:"new_id"`
+	OldID packet.SeqID `json:"old_id"`
+	NewID packet.SeqID `json:"new_id"`
 	// WireID is the wrapped on-the-wire ID where one applies.
-	WireID uint32 `json:"wire_id"`
+	WireID packet.WireID `json:"wire_id"`
 	// Value carries the event's payload quantity (snapshot value,
 	// CoS level, excluded count, MaxID...).
 	Value uint64 `json:"value"`
@@ -237,7 +239,7 @@ func Register(sw, port int, dir Dir) Event {
 
 // Initiate records snapshot id reaching a switch's control plane.
 // re marks a re-initiation (observer retry).
-func Initiate(at int64, sw int, id uint64, re bool) Event {
+func Initiate(at int64, sw int, id packet.SeqID, re bool) Event {
 	ev := unitless(KindInitiate, at, sw)
 	ev.SnapshotID = id
 	ev.Flag = re
@@ -247,7 +249,7 @@ func Initiate(at int64, sw int, id uint64, re bool) Event {
 // Record journals a unit advancing from oldID to newID (unwrapped) and
 // writing its snapshot slot; wireID is the wrapped ID carried by the
 // packet that caused the advance.
-func Record(at int64, sw, port int, dir Dir, channel int, oldID, newID uint64, wireID uint32) Event {
+func Record(at int64, sw, port int, dir Dir, channel int, oldID, newID packet.SeqID, wireID packet.WireID) Event {
 	return Event{
 		AtNs: at, Kind: KindRecord, Switch: sw, Port: port, Dir: dir,
 		Channel: channel, SnapshotID: newID, OldID: oldID, NewID: newID,
@@ -257,7 +259,7 @@ func Record(at int64, sw, port int, dir Dir, channel int, oldID, newID uint64, w
 
 // LastSeen journals a unit updating a channel's last-seen snapshot ID
 // from oldSeen to newSeen (unwrapped).
-func LastSeen(at int64, sw, port int, dir Dir, channel int, oldSeen, newSeen uint64) Event {
+func LastSeen(at int64, sw, port int, dir Dir, channel int, oldSeen, newSeen packet.SeqID) Event {
 	return Event{
 		AtNs: at, Kind: KindLastSeen, Switch: sw, Port: port, Dir: dir,
 		Channel: channel, SnapshotID: newSeen, OldID: oldSeen, NewID: newSeen,
@@ -267,7 +269,7 @@ func LastSeen(at int64, sw, port int, dir Dir, channel int, oldSeen, newSeen uin
 // Absorb journals an in-flight packet stamped packetID (unwrapped)
 // being folded into the channel state of the unit's current snapshot
 // curID.
-func Absorb(at int64, sw, port int, dir Dir, channel int, packetID, curID uint64) Event {
+func Absorb(at int64, sw, port int, dir Dir, channel int, packetID, curID packet.SeqID) Event {
 	return Event{
 		AtNs: at, Kind: KindAbsorb, Switch: sw, Port: port, Dir: dir,
 		Channel: channel, SnapshotID: curID, OldID: packetID, NewID: curID,
@@ -277,7 +279,7 @@ func Absorb(at int64, sw, port int, dir Dir, channel int, packetID, curID uint64
 // AbsorbMiss journals an in-flight packet stamped packetID arriving
 // while the unit's slot for curID was not open — its channel-state
 // contribution is lost.
-func AbsorbMiss(at int64, sw, port int, dir Dir, channel int, packetID, curID uint64) Event {
+func AbsorbMiss(at int64, sw, port int, dir Dir, channel int, packetID, curID packet.SeqID) Event {
 	return Event{
 		AtNs: at, Kind: KindAbsorbMiss, Switch: sw, Port: port, Dir: dir,
 		Channel: channel, SnapshotID: curID, OldID: packetID, NewID: curID,
@@ -286,7 +288,7 @@ func AbsorbMiss(at int64, sw, port int, dir Dir, channel int, packetID, curID ui
 
 // Rollover journals a unit's wrapped snapshot ID lapping zero while
 // advancing from oldID to newID (unwrapped).
-func Rollover(at int64, sw, port int, dir Dir, oldID, newID uint64) Event {
+func Rollover(at int64, sw, port int, dir Dir, oldID, newID packet.SeqID) Event {
 	return Event{
 		AtNs: at, Kind: KindRollover, Switch: sw, Port: port, Dir: dir,
 		Channel: -1, SnapshotID: newID, OldID: oldID, NewID: newID,
@@ -295,7 +297,7 @@ func Rollover(at int64, sw, port int, dir Dir, oldID, newID uint64) Event {
 
 // NotifGenerated journals the dataplane queueing a CPU notification for
 // a unit's advance to id.
-func NotifGenerated(at int64, sw, port int, dir Dir, id uint64) Event {
+func NotifGenerated(at int64, sw, port int, dir Dir, id packet.SeqID) Event {
 	ev := unitless(KindNotifGen, at, sw)
 	ev.Port = port
 	ev.Dir = dir
@@ -305,7 +307,7 @@ func NotifGenerated(at int64, sw, port int, dir Dir, id uint64) Event {
 
 // NotifDropped journals a notification for a unit's advance to id lost
 // to a full CPU queue — the seed of an Incomplete snapshot.
-func NotifDropped(at int64, sw, port int, dir Dir, id uint64) Event {
+func NotifDropped(at int64, sw, port int, dir Dir, id packet.SeqID) Event {
 	ev := unitless(KindNotifDrop, at, sw)
 	ev.Port = port
 	ev.Dir = dir
@@ -315,7 +317,7 @@ func NotifDropped(at int64, sw, port int, dir Dir, id uint64) Event {
 
 // MarkerSent journals the control plane injecting a snapshot marker for
 // id into a port; cos is the class-of-service lane it rides.
-func MarkerSent(at int64, sw, port int, id uint64, cos int) Event {
+func MarkerSent(at int64, sw, port int, id packet.SeqID, cos int) Event {
 	ev := unitless(KindMarkerSend, at, sw)
 	ev.Port = port
 	ev.SnapshotID = id
@@ -325,7 +327,7 @@ func MarkerSent(at int64, sw, port int, id uint64, cos int) Event {
 
 // MarkerReceived journals a marker for id arriving at an ingress unit
 // over a channel.
-func MarkerReceived(at int64, sw, port int, channel int, id uint64) Event {
+func MarkerReceived(at int64, sw, port int, channel int, id packet.SeqID) Event {
 	ev := unitless(KindMarkerRecv, at, sw)
 	ev.Port = port
 	ev.Dir = DirIngress
@@ -337,7 +339,7 @@ func MarkerReceived(at int64, sw, port int, channel int, id uint64) Event {
 // Result journals the control plane emitting a unit's value for
 // snapshot id upstream, with the control plane's own consistency
 // verdict.
-func Result(at int64, sw, port int, dir Dir, id uint64, value uint64, consistent bool) Event {
+func Result(at int64, sw, port int, dir Dir, id packet.SeqID, value uint64, consistent bool) Event {
 	ev := unitless(KindResult, at, sw)
 	ev.Port = port
 	ev.Dir = dir
@@ -353,7 +355,7 @@ func Poll(at int64, sw int) Event {
 }
 
 // ObsBegin journals the observer opening global snapshot id.
-func ObsBegin(at int64, id uint64) Event {
+func ObsBegin(at int64, id packet.SeqID) Event {
 	ev := unitless(KindObsBegin, at, ObserverNode)
 	ev.SnapshotID = id
 	return ev
@@ -363,7 +365,7 @@ func ObsBegin(at int64, id uint64) Event {
 // snapshot id, with the consistency bit it arrived with. Switch/Port/
 // Dir name the producing unit even though the event lives in the
 // observer's ring — the auditor matches on unit identity.
-func ObsResult(at int64, sw, port int, dir Dir, id uint64, consistent bool) Event {
+func ObsResult(at int64, sw, port int, dir Dir, id packet.SeqID, consistent bool) Event {
 	ev := unitless(KindObsResult, at, sw)
 	ev.Port = port
 	ev.Dir = dir
@@ -374,7 +376,7 @@ func ObsResult(at int64, sw, port int, dir Dir, id uint64, consistent bool) Even
 
 // ObsRetry journals the observer re-initiating snapshot id toward a
 // straggler device.
-func ObsRetry(at int64, id uint64, device int) Event {
+func ObsRetry(at int64, id packet.SeqID, device int) Event {
 	ev := unitless(KindObsRetry, at, device)
 	ev.SnapshotID = id
 	return ev
@@ -382,7 +384,7 @@ func ObsRetry(at int64, id uint64, device int) Event {
 
 // ObsExclude journals the observer excluding a device from snapshot id
 // after retries ran out.
-func ObsExclude(at int64, id uint64, device int) Event {
+func ObsExclude(at int64, id packet.SeqID, device int) Event {
 	ev := unitless(KindObsExclude, at, device)
 	ev.SnapshotID = id
 	return ev
@@ -390,7 +392,7 @@ func ObsExclude(at int64, id uint64, device int) Event {
 
 // ObsComplete journals the observer finalizing snapshot id with its
 // overall consistency verdict and the number of excluded devices.
-func ObsComplete(at int64, id uint64, consistent bool, excluded int) Event {
+func ObsComplete(at int64, id packet.SeqID, consistent bool, excluded int) Event {
 	ev := unitless(KindObsComplete, at, ObserverNode)
 	ev.SnapshotID = id
 	ev.Flag = consistent

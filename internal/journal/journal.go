@@ -84,6 +84,8 @@ func (j *Journal) Cap() int {
 // Append stamps the event with the next sequence number and publishes
 // it, overwriting the oldest event once the ring is full. Safe for
 // concurrent use and a no-op on a nil Journal.
+//
+//speedlight:hotpath
 func (j *Journal) Append(ev Event) {
 	if j == nil {
 		return

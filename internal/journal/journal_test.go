@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"reflect"
+	"speedlight/internal/packet"
 	"strings"
 	"sync"
 	"testing"
@@ -35,7 +36,7 @@ func TestRingWraparound(t *testing.T) {
 		t.Fatalf("Cap = %d, want 4", j.Cap())
 	}
 	for i := 0; i < 10; i++ {
-		j.Append(Initiate(int64(i), 0, uint64(i), false))
+		j.Append(Initiate(int64(i), 0, packet.SeqID(i), false))
 	}
 	if got := j.Appended(); got != 10 {
 		t.Fatalf("Appended = %d, want 10", got)
@@ -98,7 +99,7 @@ func TestConcurrentAppendAndDump(t *testing.T) {
 			defer wg.Done()
 			j := s.For(node)
 			for i := 0; i < 500; i++ {
-				j.Append(Record(int64(i), node, i%8, DirIngress, 0, uint64(i), uint64(i+1), uint32(i)))
+				j.Append(Record(int64(i), node, i%8, DirIngress, 0, packet.SeqID(i), packet.SeqID(i+1), packet.WireIDFromRaw(uint32(i))))
 			}
 		}(w)
 	}

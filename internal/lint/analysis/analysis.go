@@ -1,0 +1,76 @@
+// Package analysis is a self-contained reimplementation of the subset
+// of golang.org/x/tools/go/analysis that Speedlight's analyzers need.
+//
+// The repository builds hermetically from the standard library alone,
+// so the x/tools module is not available; this package mirrors its
+// Analyzer/Pass/Diagnostic surface closely enough that the analyzers in
+// internal/lint would port to the upstream framework with only an
+// import change. Facts, SSA, and the Requires graph are deliberately
+// omitted: every Speedlight analyzer is a single-package syntax+types
+// pass.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the analyzer's command-line and diagnostic prefix name.
+	Name string
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgScope returns the last element of a package import path with any
+// test-variant suffix removed: both
+// "speedlight/internal/core [speedlight/internal/core.test]" and
+// "speedlight/internal/core" scope to "core". Analyzers use it to match
+// the protocol packages their rules apply to, which also makes the
+// rules hold for the single-element fake packages under testdata.
+func PkgScope(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	if i := strings.LastIndex(importPath, "/"); i >= 0 {
+		importPath = importPath[i+1:]
+	}
+	return importPath
+}
+
+// IsTestFile reports whether the file's position belongs to a _test.go
+// file.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.File(f.Pos()).Name(), "_test.go")
+}

@@ -1,0 +1,20 @@
+package analysis
+
+import "testing"
+
+func TestPkgScope(t *testing.T) {
+	cases := []struct {
+		path, want string
+	}{
+		{"speedlight/internal/core", "core"},
+		{"speedlight/internal/core [speedlight/internal/core.test]", "core"},
+		{"speedlight/internal/core.test", "core.test"},
+		{"core", "core"},
+		{"core [core.test]", "core"},
+	}
+	for _, c := range cases {
+		if got := PkgScope(c.path); got != c.want {
+			t.Errorf("PkgScope(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}

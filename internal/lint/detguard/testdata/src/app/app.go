@@ -1,0 +1,16 @@
+// Package app is outside the deterministic scope: the same calls that
+// detguard flags in core are legal here.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // app is not a deterministic package
+}
+
+func globalDraw() int {
+	return rand.Intn(6)
+}

@@ -1,0 +1,54 @@
+// Package core is a golden-test stand-in for a deterministic
+// speedlight package (scope base "core").
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic package`
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want `global rand\.Intn in deterministic package`
+}
+
+func seededDraw(r *rand.Rand) int {
+	return r.Intn(6) // methods on an explicit seeded generator are fine
+}
+
+func newGenerator(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // the seeded constructors are the blessed path
+}
+
+func unsortedKeys(m map[int]uint64) []int {
+	var out []int
+	for k := range m { // want `map iteration order feeds out without a sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[int]uint64) []int {
+	var out []int
+	for k := range m { // sorted below: deterministic
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sumValues(m map[int]uint64) uint64 {
+	var total uint64
+	for _, v := range m { // order-insensitive fold: no slice is built
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,120 @@
+// Package hotalloc flags allocating expressions in functions marked as
+// per-packet hot paths.
+//
+// The paper's data-plane model executes snapshot bookkeeping on every
+// packet at line rate; the Go port keeps those paths allocation-free so
+// simulated and emulated throughput numbers reflect the algorithm, not
+// the garbage collector. A function opts in with a
+//
+//	//speedlight:hotpath
+//
+// directive in its doc comment. Inside a marked function hotalloc
+// flags fmt formatting calls, non-constant string concatenation, and
+// map/slice composite literals. Arguments to panic are exempt: a
+// failing assertion is already off the hot path.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"speedlight/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag fmt calls, string concatenation, and map/slice literals inside " +
+		"functions marked //speedlight:hotpath (per-packet allocation-free discipline)",
+	Run: run,
+}
+
+// fmtAllocs are the fmt functions that always allocate.
+var fmtAllocs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Errorf":   true,
+	"Fprintf":  true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			checkHot(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// isHotPath reports whether the function's doc comment carries the
+// //speedlight:hotpath directive.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//speedlight:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHot(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanic(pass.TypesInfo, n) {
+				return false // assertion failure path is cold
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtAllocs[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"fmt.%s in //speedlight:hotpath function allocates per packet: format off the hot path",
+						fn.Name())
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() != "+" {
+				return true
+			}
+			tv := pass.TypesInfo.Types[n]
+			if tv.Type == nil || tv.Value != nil {
+				return true // constant-folded concat costs nothing at run time
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				pass.Reportf(n.OpPos,
+					"string concatenation in //speedlight:hotpath function allocates per packet")
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.Types[n].Type
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(),
+					"map literal in //speedlight:hotpath function allocates per packet")
+			case *types.Slice:
+				pass.Reportf(n.Pos(),
+					"slice literal in //speedlight:hotpath function allocates per packet")
+			}
+		}
+		return true
+	})
+}
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"speedlight/internal/lint/hotalloc"
+	"speedlight/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "hot")
+}

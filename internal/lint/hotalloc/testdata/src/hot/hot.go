@@ -1,0 +1,34 @@
+// Package hot exercises the //speedlight:hotpath marker.
+package hot
+
+import "fmt"
+
+// OnPacket stands in for a per-packet pipeline stage.
+//
+//speedlight:hotpath
+func OnPacket(n int, label string) string {
+	s := fmt.Sprintf("pkt %d", n) // want `fmt\.Sprintf in //speedlight:hotpath function`
+	s = s + label                 // want `string concatenation in //speedlight:hotpath function`
+	m := map[int]int{}            // want `map literal in //speedlight:hotpath function`
+	counts := []int{1, 2}         // want `slice literal in //speedlight:hotpath function`
+	_ = m
+	_ = counts
+	if n < 0 {
+		panic(fmt.Sprintf("bad packet %d", n)) // assertion path is cold: exempt
+	}
+	return s
+}
+
+// coldFormat is unmarked: the same allocations are fine.
+func coldFormat(n int) string {
+	return fmt.Sprintf("cold %d", n)
+}
+
+// Advance does allocation-free work on the hot path.
+//
+//speedlight:hotpath
+func Advance(a, b uint64) uint64 {
+	const tag = "x" + "y" // constant-folded concat costs nothing
+	_ = tag
+	return a + b
+}

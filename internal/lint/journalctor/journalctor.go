@@ -1,0 +1,59 @@
+// Package journalctor forbids constructing journal.Event values by
+// composite literal outside package journal.
+//
+// The flight recorder's audit pass (paper §3–4: every protocol
+// transition must leave a checkable trace) relies on Event invariants —
+// kind-specific field combinations, sentinel ports/channels — that only
+// the constructors in journal/events.go establish. A hand-rolled
+// literal can produce an event the auditor misreads or silently skips,
+// so literals are confined to the defining package.
+package journalctor
+
+import (
+	"go/ast"
+	"go/types"
+
+	"speedlight/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "journalctor",
+	Doc: "flag journal.Event composite literals outside package journal; " +
+		"use the constructors in events.go so audit invariants hold",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if analysis.PkgScope(pass.Pkg.Path()) == "journal" {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if isJournalEvent(pass.TypesInfo.Types[lit].Type) {
+				pass.Reportf(lit.Pos(),
+					"journal.Event composite literal outside package journal: use the constructors in events.go so the audit chain stays checkable")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isJournalEvent(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == "Event" && analysis.PkgScope(obj.Pkg().Path()) == "journal"
+}

@@ -1,0 +1,12 @@
+package journalctor_test
+
+import (
+	"testing"
+
+	"speedlight/internal/lint/journalctor"
+	"speedlight/internal/lint/linttest"
+)
+
+func TestJournalCtor(t *testing.T) {
+	linttest.Run(t, journalctor.Analyzer, "app", "journal")
+}

@@ -1,0 +1,23 @@
+// Package app exercises journalctor outside the defining package.
+package app
+
+import "journal"
+
+func bad() journal.Event {
+	return journal.Event{Kind: 2} // want `journal\.Event composite literal`
+}
+
+func badPtr() *journal.Event {
+	return &journal.Event{} // want `journal\.Event composite literal`
+}
+
+func badNested() []journal.Event {
+	return []journal.Event{{Kind: 3}} // want `journal\.Event composite literal`
+}
+
+func good() []journal.Event {
+	ev := journal.Record(2, 7)
+	chain := []journal.Event{ev, journal.Initiate(1)} // a witness chain of constructed events is fine
+	var empty []journal.Event                         // so is an empty slice
+	return append(empty, chain...)
+}

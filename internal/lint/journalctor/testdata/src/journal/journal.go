@@ -1,0 +1,17 @@
+// Package journal is a golden-test stand-in for speedlight's journal
+// package: Event literals are legal here and only here.
+package journal
+
+type Event struct {
+	Kind  int
+	Seq   uint64
+	Value uint64
+}
+
+func Record(kind int, value uint64) Event {
+	return Event{Kind: kind, Value: value} // the constructors are the blessed literals
+}
+
+func Initiate(value uint64) Event {
+	return Event{Kind: 1, Value: value}
+}

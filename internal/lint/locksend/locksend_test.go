@@ -1,0 +1,12 @@
+package locksend_test
+
+import (
+	"testing"
+
+	"speedlight/internal/lint/linttest"
+	"speedlight/internal/lint/locksend"
+)
+
+func TestLockSend(t *testing.T) {
+	linttest.Run(t, locksend.Analyzer, "dataplane")
+}

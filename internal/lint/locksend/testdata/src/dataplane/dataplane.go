@@ -1,0 +1,87 @@
+// Package dataplane is a golden-test stand-in for a locksend-scoped
+// package (scope base "dataplane").
+package dataplane
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+func (q *queue) sendUnderLock() {
+	q.mu.Lock()
+	q.ch <- 1 // want `channel send while holding a sync lock`
+	q.mu.Unlock()
+}
+
+func (q *queue) sendUnderDeferredLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- 1 // want `channel send while holding a sync lock`
+}
+
+func (q *queue) sendUnderRLock() {
+	q.rw.RLock()
+	defer q.rw.RUnlock()
+	q.ch <- 1 // want `channel send while holding a sync lock`
+}
+
+func (q *queue) netWriteUnderLock(conn net.Conn, buf []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	conn.Write(buf) // want `net Write while holding a sync lock`
+}
+
+func (q *queue) sleepUnderLock() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding a sync lock`
+	q.mu.Unlock()
+}
+
+func (q *queue) blockingSelectUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want `select without default while holding a sync lock`
+	case v := <-q.ch:
+		_ = v
+	}
+}
+
+func (q *queue) sendAfterUnlock() {
+	q.mu.Lock()
+	v := 1
+	q.mu.Unlock()
+	q.ch <- v // lock released: fine
+}
+
+func (q *queue) nonBlockingSendUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- 1: // governed by the default: never blocks
+	default:
+	}
+}
+
+func (q *queue) handoffToGoroutine(conn net.Conn, buf []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		conn.Write(buf) // separate goroutine: not under this critical section
+		q.ch <- 1
+	}()
+}
+
+func (q *queue) netWriteOutsideLock(conn net.Conn, buf []byte) {
+	q.mu.Lock()
+	n := len(buf)
+	q.mu.Unlock()
+	_ = n
+	conn.Write(buf) // lock released: fine
+}

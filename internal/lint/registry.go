@@ -1,0 +1,28 @@
+// Package lint collects Speedlight's protocol-invariant analyzers.
+//
+// Each analyzer encodes one rule from the Synchronized Network
+// Snapshots paper (SIGCOMM 2018) as a compile-time check; see
+// DESIGN.md's "Static analysis" section for the mapping. The suite is
+// built into cmd/speedlightvet and run in CI via `go vet -vettool`.
+package lint
+
+import (
+	"speedlight/internal/lint/analysis"
+	"speedlight/internal/lint/detguard"
+	"speedlight/internal/lint/hotalloc"
+	"speedlight/internal/lint/journalctor"
+	"speedlight/internal/lint/locksend"
+	"speedlight/internal/lint/wrappedcmp"
+)
+
+// Analyzers returns the full speedlightvet suite in deterministic
+// order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		wrappedcmp.Analyzer,
+		journalctor.Analyzer,
+		detguard.Analyzer,
+		locksend.Analyzer,
+		hotalloc.Analyzer,
+	}
+}

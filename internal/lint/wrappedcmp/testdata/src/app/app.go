@@ -1,0 +1,46 @@
+// Package app exercises wrappedcmp outside the blessed packages.
+package app
+
+import (
+	"core"
+	"packet"
+)
+
+func compare(a, b packet.WireID) bool {
+	if a < b { // want `< on wrapped wire ID`
+		return true
+	}
+	if a >= b { // want `>= on wrapped wire ID`
+		return false
+	}
+	return a == b // equality is always safe on wire IDs
+}
+
+func arithmetic(a, b packet.WireID) packet.WireID {
+	c := a + 1 // want `\+ on wrapped wire ID`
+	c = a - b  // want `- on wrapped wire ID`
+	c++        // want `\+\+ on wrapped wire ID`
+	c += 1     // want `\+= on wrapped wire ID`
+	return c
+}
+
+func conversions(a packet.WireID, s packet.SeqID) {
+	_ = uint32(a)        // want `conversion out of wrapped wire ID`
+	_ = packet.SeqID(a)  // want `conversion out of wrapped wire ID`
+	_ = packet.WireID(s) // want `conversion into wrapped wire ID`
+	_ = uint16(s)        // want `narrowing conversion of snapshot SeqID`
+	_ = uint32(s)        // want `narrowing conversion of snapshot SeqID`
+}
+
+func blessedPaths(s packet.SeqID, raw uint32) packet.SeqID {
+	w := core.Wrap(s, 64, true)      // calling the blessed wrapper is the intended path
+	u := core.Unwrap(w, s, 64, true) // as is unwrapping
+	u += packet.SeqID(uint64(s))     // SeqID arithmetic and uint64 widening are free
+	_ = uint64(s)                    // widening out of SeqID is free
+	_ = packet.SeqID(42)             // untyped constants may enter either domain
+	_ = packet.WireID(7)             // including the wire domain
+	_ = packet.WireIDFromRaw(raw)    // codec-boundary constructor, a call not a cast
+	_ = w.Raw()                      // codec-boundary accessor
+	_ = core.Wrap(u, 64, true) == w  // equality on wire IDs is fine
+	return u
+}

@@ -1,0 +1,28 @@
+// Package core is a golden-test stand-in for speedlight's core
+// package: Wrap and Unwrap are the blessed crossings; anything else in
+// the package plays by the normal rules.
+package core
+
+import "packet"
+
+func Wrap(id packet.SeqID, maxID uint32, wrapAround bool) packet.WireID {
+	if wrapAround {
+		return packet.WireID(uint64(id) % uint64(maxID)) // blessed: no diagnostic
+	}
+	return packet.WireID(id) // blessed: no diagnostic
+}
+
+func Unwrap(wire packet.WireID, ref packet.SeqID, maxID uint32, wrapAround bool) packet.SeqID {
+	if !wrapAround {
+		return packet.SeqID(wire) // blessed: no diagnostic
+	}
+	_ = ref
+	_ = maxID
+	return 0
+}
+
+// helper is NOT named wrap/unwrap, so it gets no exemption even though
+// it lives in core.
+func helper(w packet.WireID) uint64 {
+	return uint64(w) // want `conversion out of wrapped wire ID`
+}

@@ -1,0 +1,12 @@
+// Package packet is a golden-test stand-in for speedlight's packet
+// package: same type names, same blessed accessors. wrappedcmp trusts
+// the whole package, so none of the conversions below may be flagged.
+package packet
+
+type WireID uint32
+
+func (w WireID) Raw() uint32 { return uint32(w) }
+
+func WireIDFromRaw(v uint32) WireID { return WireID(v) }
+
+type SeqID uint64

@@ -1,0 +1,177 @@
+// Package wrappedcmp flags arithmetic, ordering, and conversions on
+// wrapped wire snapshot IDs performed outside the blessed wrap/unwrap
+// helpers.
+//
+// packet.WireID is a k-bit serial number (paper §5.3): after rollover,
+// < and > on raw wire values give the wrong answer, and casting between
+// wire and sequence space without reference-point arithmetic silently
+// re-introduces the ambiguity the typed IDs exist to prevent. The only
+// code allowed to move between the two spaces is package packet itself
+// (the type's home) and the Wrap/Unwrap functions in package core.
+package wrappedcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"speedlight/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wrappedcmp",
+	Doc: "flag relational/arithmetic ops and raw conversions on wrapped wire IDs " +
+		"outside core.Wrap/core.Unwrap (serial-number rollover safety, paper §5.3)",
+	Run: run,
+}
+
+// isWireID reports whether t (or its alias target) is the named type
+// WireID defined in a package whose scope base is "packet".
+func isWireID(t types.Type) bool { return isPacketNamed(t, "WireID") }
+
+// isSeqID likewise matches packet.SeqID.
+func isSeqID(t types.Type) bool { return isPacketNamed(t, "SeqID") }
+
+func isPacketNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Name() == name && analysis.PkgScope(obj.Pkg().Path()) == "packet"
+}
+
+// isBlessedFunc reports whether decl is one of the wrap/unwrap
+// functions in package core that are allowed to convert between wire
+// and sequence space.
+func isBlessedFunc(pkgScope string, decl *ast.FuncDecl) bool {
+	if pkgScope != "core" {
+		return false
+	}
+	switch decl.Name.Name {
+	case "wrap", "unwrap", "Wrap", "Unwrap":
+		return true
+	}
+	return false
+}
+
+// narrowInt reports whether t's underlying type is an integer narrower
+// than 64 bits (or of unspecified platform width other than int/uint,
+// which are 64-bit on all supported targets).
+func narrowInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Int16, types.Int32,
+		types.Uint8, types.Uint16, types.Uint32, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	scope := analysis.PkgScope(pass.Pkg.Path())
+	if scope == "packet" {
+		// The defining package implements Raw/WireIDFromRaw and the
+		// codecs; it is trusted in full.
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isBlessedFunc(scope, fd) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, body ast.Node) {
+	typeOf := func(e ast.Expr) types.Type { return pass.TypesInfo.Types[e].Type }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if !ordersOrComputes(n.Op) {
+				return true
+			}
+			if isWireID(typeOf(n.X)) || isWireID(typeOf(n.Y)) {
+				pass.Reportf(n.OpPos,
+					"%s on wrapped wire ID: unwrap with core.Unwrap before comparing or computing (rollover makes raw wire math wrong)",
+					n.Op)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if isWireID(typeOf(lhs)) {
+					pass.Reportf(n.TokPos,
+						"%s on wrapped wire ID: wire IDs are opaque outside core.Wrap/Unwrap", n.Tok)
+				}
+			}
+		case *ast.IncDecStmt:
+			if isWireID(typeOf(n.X)) {
+				pass.Reportf(n.TokPos,
+					"%s on wrapped wire ID: advance the unwrapped SeqID and re-wrap with core.Wrap", n.Tok)
+			}
+		case *ast.CallExpr:
+			checkConversion(pass, n)
+		}
+		return true
+	})
+}
+
+// ordersOrComputes reports whether op is an ordered comparison or an
+// arithmetic/bitwise operator. == and != are always safe on WireID.
+func ordersOrComputes(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.AND_NOT, token.SHL, token.SHR:
+		return true
+	}
+	return false
+}
+
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type
+	arg := call.Args[0]
+	argTV := pass.TypesInfo.Types[arg]
+	src := argTV.Type
+
+	// Untyped constants carry no wire/sequence history; converting one
+	// into either ID space is how literals enter the system.
+	if argTV.Value != nil {
+		return
+	}
+
+	switch {
+	case isWireID(dst) && !isWireID(src):
+		pass.Reportf(call.Pos(),
+			"conversion into wrapped wire ID outside core.Wrap: use core.Wrap (or packet.WireIDFromRaw at a codec boundary)")
+	case isWireID(src) && !isWireID(dst):
+		pass.Reportf(call.Pos(),
+			"conversion out of wrapped wire ID outside core.Unwrap: use core.Unwrap (or WireID.Raw at a codec boundary)")
+	case isSeqID(src) && narrowInt(dst):
+		pass.Reportf(call.Pos(),
+			"narrowing conversion of snapshot SeqID to %s discards rollover history: wrap with core.Wrap instead",
+			dst)
+	}
+}

@@ -1,0 +1,12 @@
+package wrappedcmp_test
+
+import (
+	"testing"
+
+	"speedlight/internal/lint/linttest"
+	"speedlight/internal/lint/wrappedcmp"
+)
+
+func TestWrappedCmp(t *testing.T) {
+	linttest.Run(t, wrappedcmp.Analyzer, "app", "core", "packet")
+}

@@ -121,7 +121,7 @@ func TestLiveCleanRunNoAnomaly(t *testing.T) {
 	n, err := New(Config{
 		Topo:    ls.Topology,
 		Journal: journal.NewSet(0),
-		OnAnomaly: func(reason string, id uint64, dump []journal.Event) {
+		OnAnomaly: func(reason string, id packet.SeqID, dump []journal.Event) {
 			t.Errorf("clean run fired anomaly %q for snapshot %d (%d events)", reason, id, len(dump))
 			dumps++
 		},

@@ -82,7 +82,7 @@ type Config struct {
 	// OnAnomaly receives a flight-recorder dump whenever a snapshot
 	// finalizes inconsistent or with excluded devices. Called from the
 	// observer goroutine; must not block.
-	OnAnomaly func(reason string, snapshotID uint64, dump []journal.Event)
+	OnAnomaly func(reason string, snapshotID packet.SeqID, dump []journal.Event)
 }
 
 // event is one unit of work for a switch goroutine.
@@ -91,7 +91,7 @@ type event struct {
 	pkt  *packet.Packet
 	port int
 	// initiation
-	snapshotID uint64
+	snapshotID packet.SeqID
 	// markers asks the initiation to also inject marker broadcasts, the
 	// Section 6 liveness mechanism for traffic-free channels (used on
 	// recovery retries in channel-state mode).
@@ -135,7 +135,7 @@ type Network struct {
 
 	mu   sync.Mutex
 	done []*observer.GlobalSnapshot
-	subs map[uint64]chan *observer.GlobalSnapshot
+	subs map[packet.SeqID]chan *observer.GlobalSnapshot
 
 	tel    liveTelemetry
 	metSrv *telemetry.Server
@@ -178,7 +178,7 @@ const (
 )
 
 type beginReply struct {
-	id  uint64
+	id  packet.SeqID
 	err error
 }
 
@@ -213,7 +213,7 @@ func New(cfg Config) (*Network, error) {
 		sws:       make(map[topology.NodeID]*liveSwitch),
 		obsEvents: make(chan obsEvent, 1024),
 		stop:      make(chan struct{}),
-		subs:      make(map[uint64]chan *observer.GlobalSnapshot),
+		subs:      make(map[packet.SeqID]chan *observer.GlobalSnapshot),
 		tel:       newLiveTelemetry(cfg.Registry),
 		health:    telemetry.NewHealth(),
 	}
@@ -404,7 +404,7 @@ func (n *Network) Audit() *audit.Report {
 }
 
 // anomaly dumps the flight recorder to the OnAnomaly hook.
-func (n *Network) anomaly(reason string, id uint64) {
+func (n *Network) anomaly(reason string, id packet.SeqID) {
 	if n.cfg.OnAnomaly == nil {
 		return
 	}
@@ -618,7 +618,7 @@ func (n *Network) Inject(host topology.HostID, pkt *packet.Packet) error {
 // TakeSnapshot begins a network-wide snapshot after the given delay and
 // returns its ID and a channel that yields the assembled global
 // snapshot once complete.
-func (n *Network) TakeSnapshot(delay time.Duration) (uint64, <-chan *observer.GlobalSnapshot, error) {
+func (n *Network) TakeSnapshot(delay time.Duration) (packet.SeqID, <-chan *observer.GlobalSnapshot, error) {
 	reply := make(chan beginReply, 1)
 	select {
 	case n.obsEvents <- obsEvent{kind: obsBegin, begin: reply}:

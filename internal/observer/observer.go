@@ -17,6 +17,7 @@ import (
 	"speedlight/internal/control"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/journal"
+	"speedlight/internal/packet"
 	"speedlight/internal/sim"
 	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
@@ -24,7 +25,7 @@ import (
 
 // GlobalSnapshot is an assembled network-wide snapshot.
 type GlobalSnapshot struct {
-	ID uint64
+	ID packet.SeqID
 	// Results holds one finished result per expected unit. Units of
 	// excluded devices are absent.
 	Results map[dataplane.UnitID]control.Result
@@ -91,9 +92,9 @@ type Observer struct {
 	tel *Telemetry
 
 	devices map[topology.NodeID][]dataplane.UnitID
-	nextID  uint64
-	pend    map[uint64]*pending
-	minOpen uint64 // lowest incomplete snapshot ID, for no-lapping
+	nextID  packet.SeqID
+	pend    map[packet.SeqID]*pending
+	minOpen packet.SeqID // lowest incomplete snapshot ID, for no-lapping
 }
 
 // New creates an observer.
@@ -112,7 +113,7 @@ func New(cfg Config) (*Observer, error) {
 		cfg:     cfg,
 		tel:     tel,
 		devices: make(map[topology.NodeID][]dataplane.UnitID),
-		pend:    make(map[uint64]*pending),
+		pend:    make(map[packet.SeqID]*pending),
 	}, nil
 }
 
@@ -165,11 +166,11 @@ func (o *Observer) CanStart() bool {
 	// against their last-seen references (Section 5.3), and stale
 	// re-initiations (Section 6) must resolve as "behind", not as a
 	// forward lap.
-	return (o.nextID+1)-oldest <= uint64(o.cfg.MaxID)/2-1
+	return uint64((o.nextID+1)-oldest) <= uint64(o.cfg.MaxID)/2-1
 }
 
-func (o *Observer) oldestPending() uint64 {
-	oldest := uint64(1<<63 - 1)
+func (o *Observer) oldestPending() packet.SeqID {
+	oldest := packet.SeqID(1<<63 - 1)
 	for id := range o.pend {
 		if id < oldest {
 			oldest = id
@@ -182,7 +183,7 @@ func (o *Observer) oldestPending() uint64 {
 // set. The caller is responsible for telling every device control plane
 // to initiate the returned ID at the agreed time. Begin returns an
 // error when the no-lapping window is full.
-func (o *Observer) Begin(now sim.Time) (uint64, error) {
+func (o *Observer) Begin(now sim.Time) (packet.SeqID, error) {
 	if !o.CanStart() {
 		return 0, fmt.Errorf("observer: snapshot window full (oldest incomplete %d, next %d, max %d)",
 			o.oldestPending(), o.nextID+1, o.cfg.MaxID)
@@ -205,7 +206,7 @@ func (o *Observer) Begin(now sim.Time) (uint64, error) {
 	o.pend[id] = p
 	o.tel.Begun.Inc()
 	o.tel.Pending.Set(int64(len(o.pend)))
-	o.cfg.Tracer.BeginSnapshot(id, int64(now))
+	o.cfg.Tracer.BeginSnapshot(uint64(id), int64(now))
 	if o.cfg.Journal != nil {
 		o.cfg.Journal.Append(journal.ObsBegin(int64(now), id))
 	}
@@ -231,7 +232,7 @@ func (o *Observer) OnResult(res control.Result, now sim.Time) {
 	}
 	delete(p.missing, res.Unit)
 	p.snap.Results[res.Unit] = res
-	o.cfg.Tracer.UnitResult(res.SnapshotID, int(res.Unit.Node), int64(now))
+	o.cfg.Tracer.UnitResult(uint64(res.SnapshotID), int(res.Unit.Node), int64(now))
 	if o.cfg.Journal != nil {
 		o.cfg.Journal.Append(journal.ObsResult(int64(now), int(res.Unit.Node), res.Unit.Port,
 			journalDir(res.Unit.Dir), res.SnapshotID, res.Consistent))
@@ -242,7 +243,7 @@ func (o *Observer) OnResult(res control.Result, now sim.Time) {
 }
 
 // finalize completes a snapshot and delivers it.
-func (o *Observer) finalize(id uint64, now sim.Time) {
+func (o *Observer) finalize(id packet.SeqID, now sim.Time) {
 	p := o.pend[id]
 	delete(o.pend, id)
 	p.snap.CompletedAt = now
@@ -260,7 +261,7 @@ func (o *Observer) finalize(id uint64, now sim.Time) {
 	}
 	o.tel.Pending.Set(int64(len(o.pend)))
 	o.tel.CompletionLatencyUS.Observe(now.Sub(p.snap.ScheduledAt).Micros())
-	o.cfg.Tracer.EndSnapshot(id, int64(now), p.snap.Consistent)
+	o.cfg.Tracer.EndSnapshot(uint64(id), int64(now), p.snap.Consistent)
 	if o.cfg.Journal != nil {
 		o.cfg.Journal.Append(journal.ObsComplete(int64(now), id, p.snap.Consistent, len(p.snap.Excluded)))
 	}
@@ -270,7 +271,7 @@ func (o *Observer) finalize(id uint64, now sim.Time) {
 // Action is the observer's requested recovery step for a stalled
 // snapshot.
 type Action struct {
-	SnapshotID uint64
+	SnapshotID packet.SeqID
 	// Retry lists devices that should re-initiate the snapshot.
 	Retry []topology.NodeID
 	// Excluded lists devices dropped from the snapshot this call.
@@ -283,7 +284,7 @@ type Action struct {
 // relays retry requests to the named control planes.
 func (o *Observer) CheckTimeouts(now sim.Time) []Action {
 	var actions []Action
-	ids := make([]uint64, 0, len(o.pend))
+	ids := make([]packet.SeqID, 0, len(o.pend))
 	for id := range o.pend {
 		ids = append(ids, id)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"speedlight/internal/control"
 	"speedlight/internal/dataplane"
+	"speedlight/internal/packet"
 	"speedlight/internal/sim"
 	"speedlight/internal/topology"
 )
@@ -37,7 +38,7 @@ func newObs(t *testing.T, mod func(*Config)) (*Observer, *[]*GlobalSnapshot) {
 	return o, &done
 }
 
-func feedAll(o *Observer, id uint64, units []dataplane.UnitID, consistent bool, now sim.Time) {
+func feedAll(o *Observer, id packet.SeqID, units []dataplane.UnitID, consistent bool, now sim.Time) {
 	for i, u := range units {
 		o.OnResult(control.Result{
 			Unit:       u,
@@ -264,7 +265,7 @@ func TestSequentialIDs(t *testing.T) {
 	o, done := newObs(t, nil)
 	units := unitsOf(1, 1)
 	o.Register(1, units)
-	for want := uint64(1); want <= 5; want++ {
+	for want := packet.SeqID(1); want <= 5; want++ {
 		id, err := o.Begin(sim.Time(want))
 		if err != nil {
 			t.Fatal(err)

@@ -110,7 +110,7 @@ func TestTracerRecordsLifecycle(t *testing.T) {
 		t.Fatalf("spans = %d", len(spans))
 	}
 	sp := spans[0]
-	if sp.ID != id || sp.BeginNs != 100 || sp.EndNs != 300 || !sp.Complete || !sp.Consistent {
+	if sp.ID != uint64(id) || sp.BeginNs != 100 || sp.EndNs != 300 || !sp.Complete || !sp.Consistent {
 		t.Errorf("span = %+v", sp)
 	}
 	if len(sp.Devices) != 2 {

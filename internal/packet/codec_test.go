@@ -55,7 +55,7 @@ func TestPacketRoundTripProperty(t *testing.T) {
 			Proto: proto, Size: size, Seq: seq, CoS: cos & 0x0f, HasSnap: hasSnap,
 		}
 		if hasSnap {
-			p.Snap = SnapshotHeader{Type: Type(snapType & 0x0f), ID: snapID, Channel: snapCh}
+			p.Snap = SnapshotHeader{Type: Type(snapType & 0x0f), ID: WireIDFromRaw(snapID), Channel: snapCh}
 		}
 		data, err := p.MarshalBinary()
 		if err != nil {

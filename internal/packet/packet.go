@@ -40,6 +40,31 @@ func (t Type) String() string {
 	}
 }
 
+// WireID is a wrapped snapshot ID as it appears on the wire and in
+// data-plane registers: an epoch number reduced modulo the deployment's
+// maximum snapshot ID (Section 5.3). WireIDs are ambiguous across
+// rollover, so ordered comparisons and arithmetic on them are
+// meaningless — two WireIDs may only be tested for equality. To order
+// or difference snapshot epochs, first recover the unwrapped SeqID with
+// core.Unwrap against a rollover reference. The wrappedcmp analyzer in
+// internal/lint enforces this at compile time.
+type WireID uint32
+
+// Raw exposes the register-width representation for wire codecs and
+// journal encoders. It does not bless arithmetic on the result.
+func (w WireID) Raw() uint32 { return uint32(w) }
+
+// WireIDFromRaw builds a WireID from its register-width representation,
+// for wire codecs and journal decoders.
+func WireIDFromRaw(v uint32) WireID { return WireID(v) }
+
+// SeqID is an unwrapped (unbounded) snapshot sequence number: the
+// monotonically increasing epoch counter kept by the control plane and
+// observer. Unlike WireID it is totally ordered, so comparisons and
+// arithmetic are safe. Converting a SeqID to a register-width integer
+// truncates it into ambiguity; that is core.Wrap's job alone.
+type SeqID uint64
+
 // SnapshotHeader is the per-packet state of the snapshot protocol.
 //
 // ID is the wrapped snapshot ID: the epoch in which the packet was most
@@ -50,7 +75,7 @@ func (t Type) String() string {
 // upstreams and Channel carries the ingress port number.
 type SnapshotHeader struct {
 	Type    Type
-	ID      uint32
+	ID      WireID
 	Channel uint16
 }
 
@@ -143,7 +168,7 @@ func (h SnapshotHeader) MarshalBinary() ([]byte, error) {
 	buf := make([]byte, HeaderLen)
 	buf[0] = wireMagic
 	buf[1] = wireVersion<<4 | uint8(h.Type)&0x0f
-	binary.BigEndian.PutUint32(buf[2:6], h.ID)
+	binary.BigEndian.PutUint32(buf[2:6], h.ID.Raw())
 	binary.BigEndian.PutUint16(buf[6:8], h.Channel)
 	return buf, nil
 }
@@ -160,7 +185,7 @@ func (h *SnapshotHeader) UnmarshalBinary(data []byte) error {
 		return ErrBadVersion
 	}
 	h.Type = Type(data[1] & 0x0f)
-	h.ID = binary.BigEndian.Uint32(data[2:6])
+	h.ID = WireIDFromRaw(binary.BigEndian.Uint32(data[2:6]))
 	h.Channel = binary.BigEndian.Uint16(data[6:8])
 	return nil
 }

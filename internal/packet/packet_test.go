@@ -38,7 +38,7 @@ func TestHeaderRoundTrip(t *testing.T) {
 
 func TestHeaderRoundTripProperty(t *testing.T) {
 	f := func(typ uint8, id uint32, ch uint16) bool {
-		h := SnapshotHeader{Type: Type(typ & 0x0f), ID: id, Channel: ch}
+		h := SnapshotHeader{Type: Type(typ & 0x0f), ID: WireIDFromRaw(id), Channel: ch}
 		data, err := h.MarshalBinary()
 		if err != nil {
 			return false

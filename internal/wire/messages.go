@@ -98,18 +98,18 @@ func decodeHostDeliver(data []byte) (topology.HostID, *packet.Packet, error) {
 }
 
 // encodeInitiate frames a snapshot initiation command.
-func encodeInitiate(id uint64) []byte {
+func encodeInitiate(id packet.SeqID) []byte {
 	buf := make([]byte, 9)
 	buf[0] = msgInitiate
-	binary.BigEndian.PutUint64(buf[1:9], id)
+	binary.BigEndian.PutUint64(buf[1:9], uint64(id))
 	return buf
 }
 
-func decodeInitiate(data []byte) (uint64, error) {
+func decodeInitiate(data []byte) (packet.SeqID, error) {
 	if len(data) < 9 {
 		return 0, ErrMsgShort
 	}
-	return binary.BigEndian.Uint64(data[1:9]), nil
+	return packet.SeqID(binary.BigEndian.Uint64(data[1:9])), nil
 }
 
 // encodePoll frames a register-poll command.
@@ -127,7 +127,7 @@ func encodeResult(r control.Result) []byte {
 	if r.Unit.Dir == dataplane.Egress {
 		buf[7] = 1
 	}
-	binary.BigEndian.PutUint64(buf[8:16], r.SnapshotID)
+	binary.BigEndian.PutUint64(buf[8:16], uint64(r.SnapshotID))
 	binary.BigEndian.PutUint64(buf[16:24], r.Value)
 	if r.Consistent {
 		buf[24] = 1
@@ -150,7 +150,7 @@ func decodeResult(data []byte) (control.Result, error) {
 			Port: int(binary.BigEndian.Uint16(data[5:7])),
 			Dir:  dir,
 		},
-		SnapshotID: binary.BigEndian.Uint64(data[8:16]),
+		SnapshotID: packet.SeqID(binary.BigEndian.Uint64(data[8:16])),
 		Value:      binary.BigEndian.Uint64(data[16:24]),
 		Consistent: data[24] == 1,
 		ReadAt:     sim.Time(binary.BigEndian.Uint64(data[25:33])),

@@ -54,7 +54,7 @@ type Config struct {
 	// OnAnomaly receives a flight-recorder dump whenever a snapshot
 	// finalizes inconsistent or with excluded devices. Called with
 	// obsMu held; must not call back into the deployment.
-	OnAnomaly func(reason string, snapshotID uint64, dump []journal.Event)
+	OnAnomaly func(reason string, snapshotID packet.SeqID, dump []journal.Event)
 }
 
 // switchNode is one switch bound to a UDP socket. A single goroutine
@@ -199,7 +199,7 @@ type Deployment struct {
 	obsMu    sync.Mutex
 	obsConn  *net.UDPConn
 	obsAddrs map[topology.NodeID]*net.UDPAddr
-	subs     map[uint64]chan *observer.GlobalSnapshot
+	subs     map[packet.SeqID]chan *observer.GlobalSnapshot
 	done     []*observer.GlobalSnapshot
 
 	sinkConn *net.UDPConn
@@ -240,7 +240,7 @@ func Deploy(cfg Config) (*Deployment, error) {
 		topo:     cfg.Topo,
 		switches: make(map[topology.NodeID]*switchNode),
 		obsAddrs: make(map[topology.NodeID]*net.UDPAddr),
-		subs:     make(map[uint64]chan *observer.GlobalSnapshot),
+		subs:     make(map[packet.SeqID]chan *observer.GlobalSnapshot),
 		hostTo: make(map[topology.HostID]struct {
 			addr *net.UDPAddr
 			port int
@@ -484,7 +484,7 @@ func (d *Deployment) Inject(host topology.HostID, pkt *packet.Packet) error {
 
 // TakeSnapshot begins a snapshot, broadcasts initiations over UDP, and
 // returns a channel yielding the assembled global snapshot.
-func (d *Deployment) TakeSnapshot() (uint64, <-chan *observer.GlobalSnapshot, error) {
+func (d *Deployment) TakeSnapshot() (packet.SeqID, <-chan *observer.GlobalSnapshot, error) {
 	d.obsMu.Lock()
 	id, err := d.obs.Begin(d.now())
 	if err != nil {
@@ -519,7 +519,7 @@ func (d *Deployment) Audit() *audit.Report {
 }
 
 // anomaly dumps the flight recorder to the OnAnomaly hook.
-func (d *Deployment) anomaly(reason string, id uint64) {
+func (d *Deployment) anomaly(reason string, id packet.SeqID) {
 	if d.cfg.OnAnomaly == nil {
 		return
 	}

@@ -82,7 +82,7 @@ func TestResultCodecProperty(t *testing.T) {
 		}
 		res := control.Result{
 			Unit:       dataplane.UnitID{Node: topology.NodeID(node), Port: int(port), Dir: dir},
-			SnapshotID: id, Value: value, Consistent: consistent,
+			SnapshotID: packet.SeqID(id), Value: value, Consistent: consistent,
 			ReadAt: sim.Time(at & (1<<62 - 1)), // keep non-negative: protocol time
 		}
 		got, err := decodeResult(encodeResult(res))

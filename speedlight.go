@@ -30,6 +30,13 @@
 // packages; see DESIGN.md for the map.
 package speedlight
 
+// The protocol-invariant analyzer suite (internal/lint) runs over the
+// whole module via `go generate .` or `make lint`; CI runs the same
+// gate before the tests.
+//
+//go:generate go build -o bin/speedlightvet ./cmd/speedlightvet
+//go:generate go vet -vettool=bin/speedlightvet ./...
+
 import (
 	"fmt"
 	"math/rand"
@@ -118,7 +125,7 @@ type Config struct {
 	// OnAnomaly receives a flight-recorder tail dump whenever a
 	// snapshot finalizes inconsistent or with excluded devices.
 	// Requires Journal.
-	OnAnomaly func(reason string, snapshotID uint64, dump []journal.Event)
+	OnAnomaly func(reason string, snapshotID packet.SeqID, dump []journal.Event)
 }
 
 // UnitValue is one processing unit's recorded value in a snapshot.
@@ -132,7 +139,7 @@ type UnitValue struct {
 
 // Snapshot is an assembled network-wide snapshot.
 type Snapshot struct {
-	ID uint64
+	ID packet.SeqID
 	// Consistent reports whether every unit's value is consistent.
 	Consistent bool
 	// Values holds one entry per processing unit, ordered by switch,

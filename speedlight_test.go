@@ -1,6 +1,7 @@
 package speedlight
 
 import (
+	"speedlight/internal/packet"
 	"testing"
 	"time"
 )
@@ -59,7 +60,7 @@ func TestSnapshotSequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var prev uint64
+	var prev packet.SeqID
 	for i := 0; i < 5; i++ {
 		n.Send(1, 4, 500, uint16(i), 80)
 		n.Run(time.Millisecond)
