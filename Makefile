@@ -3,7 +3,7 @@
 
 SLVET := $(CURDIR)/bin/speedlightvet
 
-.PHONY: all build test race lint vet clean
+.PHONY: all build test race lint vet bench-shards clean
 
 all: build lint test
 
@@ -27,6 +27,12 @@ $(SLVET): FORCE
 
 vet:
 	go vet ./...
+
+# bench-shards runs the serial-vs-sharded scaling benchmarks that the
+# CI bench-regression job gates on (1.5x at 4 shards on the fat-tree,
+# multi-core runners only).
+bench-shards:
+	go test -run '^$$' -bench BenchmarkShardScaling -benchtime 5x -timeout 30m .
 
 clean:
 	rm -rf bin

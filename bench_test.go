@@ -7,6 +7,7 @@ package speedlight
 //
 //	go test -bench=. -benchmem
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -327,6 +328,105 @@ func BenchmarkTelemetryHotPathDisabled(b *testing.B) {
 		c.Inc()
 		g.SetMax(int64(i & 1023))
 		h.Observe(float64(i & 4095))
+	}
+}
+
+// benchFabrics are the scaling-benchmark topologies. Fabric latencies
+// are widened to 2 µs so the conservative lookahead window (the minimum
+// cross-shard link latency) holds enough events per barrier round to
+// amortize synchronization; see DESIGN.md ("Parallel simulation").
+func benchFabrics(b *testing.B) []struct {
+	name string
+	topo *topology.Topology
+} {
+	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 8, Spines: 4, HostsPerLeaf: 4,
+		HostLinkLatency:   2 * sim.Microsecond,
+		FabricLinkLatency: 2 * sim.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{
+		K:                 4,
+		HostLinkLatency:   2 * sim.Microsecond,
+		FabricLinkLatency: 2 * sim.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []struct {
+		name string
+		topo *topology.Topology
+	}{
+		{"leafspine8x4", ls.Topology},
+		{"fattree4", ft.Topology},
+	}
+}
+
+// BenchmarkShardScaling measures simulation throughput (simulator
+// events per second of wall time) of the serial engine against the
+// sharded parallel engine, on a leaf-spine and a fat-tree fabric under
+// heavy shard-local traffic. The conformance suite proves the outputs
+// byte-identical; this benchmark prices the difference. CI runs the
+// fat-tree case serial vs 4-shard and fails on regression below 1.5x
+// (multi-core runners only — on a single core the parallel engine only
+// pays barrier overhead).
+//
+//	go test -run '^$' -bench BenchmarkShardScaling -benchtime 2x
+func BenchmarkShardScaling(b *testing.B) {
+	for _, fab := range benchFabrics(b) {
+		for _, shards := range []int{0, 2, 4, 8} {
+			fab, shards := fab, shards
+			b.Run(fmt.Sprintf("%s/shards%d", fab.name, shards), func(b *testing.B) {
+				n, err := emunet.New(emunet.Config{
+					Topo:   fab.topo,
+					Seed:   1,
+					Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := n.Engine()
+				hosts := fab.topo.Hosts
+				// One self-clocked traffic source per host, running in
+				// the host's own shard domain so injection itself
+				// parallelizes; only fabric hops cross shards.
+				for _, h := range hosts {
+					h := h
+					p := n.HostProc(h.ID)
+					r := eng.NewRand()
+					var seq uint16
+					p.NewTicker(sim.Microsecond, func() {
+						dst := hosts[r.Intn(len(hosts))]
+						if dst.ID == h.ID {
+							return
+						}
+						seq++
+						n.InjectFrom(p, h.ID, &packet.Packet{
+							DstHost: uint32(dst.ID),
+							SrcPort: 1000 + seq,
+							DstPort: 80,
+							Proto:   6,
+							Size:    1000,
+						})
+					})
+				}
+				n.RunFor(sim.Millisecond) // warm up queues and flows
+				b.ResetTimer()
+				start := eng.Fired()
+				for i := 0; i < b.N; i++ {
+					n.RunFor(2 * sim.Millisecond)
+				}
+				b.StopTimer()
+				fired := eng.Fired() - start
+				if fired == 0 {
+					b.Fatal("no events fired")
+				}
+				b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(float64(fired)/float64(b.N), "events/op")
+			})
+		}
 	}
 }
 

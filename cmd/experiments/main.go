@@ -31,6 +31,8 @@ func main() {
 	var (
 		run    = flag.String("run", "all", "comma-separated: all,table1,fig9,fig10,fig11,fig12,fig13,ablations")
 		seed   = flag.Int64("seed", 1, "randomness seed (runs are reproducible)")
+		shards = flag.Int("shards", 0,
+			"simulation shards: 0 or 1 runs the serial engine, >=2 the parallel one (results are identical)")
 		ports  = flag.Int("ports", 64, "port count for table1")
 		quick  = flag.Bool("quick", false, "reduced sample counts for a fast pass")
 		csvDir = flag.String("csvdir", "", "also write each figure/table as CSV into this directory")
@@ -78,7 +80,7 @@ func main() {
 	}
 	if all || want["fig9"] {
 		timed("fig9", func() {
-			cfg := experiments.Fig9Config{Seed: *seed}
+			cfg := experiments.Fig9Config{Seed: *seed, Shards: *shards}
 			if *quick {
 				cfg.Snapshots = 50
 			}
@@ -90,7 +92,7 @@ func main() {
 	}
 	if all || want["fig10"] {
 		timed("fig10", func() {
-			cfg := experiments.Fig10Config{Seed: *seed}
+			cfg := experiments.Fig10Config{Seed: *seed, Shards: *shards}
 			if *quick {
 				cfg.PortCounts = []int{4, 16, 64}
 				cfg.TrialDuration = 100 * sim.Millisecond
@@ -102,7 +104,7 @@ func main() {
 	}
 	if all || want["fig11"] {
 		timed("fig11", func() {
-			cfg := experiments.Fig11Config{Seed: *seed}
+			cfg := experiments.Fig11Config{Seed: *seed, Shards: *shards}
 			if *quick {
 				cfg.Trials = 20
 				cfg.CalibrationSnapshots = 60
@@ -115,7 +117,7 @@ func main() {
 	}
 	if all || want["fig12"] {
 		timed("fig12", func() {
-			cfg := experiments.Fig12Config{Seed: *seed}
+			cfg := experiments.Fig12Config{Seed: *seed, Shards: *shards}
 			if *quick {
 				cfg.Samples = 60
 			}
@@ -130,7 +132,7 @@ func main() {
 	}
 	if all || want["ablations"] {
 		timed("ablations", func() {
-			cfg := experiments.AblationConfig{Seed: *seed}
+			cfg := experiments.AblationConfig{Seed: *seed, Shards: *shards}
 			if *quick {
 				cfg.Snapshots = 30
 			}
@@ -142,7 +144,7 @@ func main() {
 	}
 	if all || want["fig13"] {
 		timed("fig13", func() {
-			cfg := experiments.Fig13Config{Seed: *seed}
+			cfg := experiments.Fig13Config{Seed: *seed, Shards: *shards}
 			if *quick {
 				cfg.Snapshots = 60
 			}

@@ -54,8 +54,10 @@ func campaign() {
 		wl        = flag.String("workload", "uniform", "traffic: uniform, hadoop, graphx, memcache, trace, none")
 		tracePath = flag.String("trace", "", "trace CSV for -workload trace (time_us,src,dst,src_port,dst_port,size,cos)")
 		seed      = flag.Int64("seed", 1, "randomness seed")
-		verbose   = flag.Bool("verbose", false, "print every unit value")
-		csvPath   = flag.String("csv", "", "write all snapshot values to this CSV file")
+		shards    = flag.Int("shards", 0,
+			"simulation shards: 0 or 1 runs the serial engine, >=2 the parallel one (same seed, byte-identical results)")
+		verbose = flag.Bool("verbose", false, "print every unit value")
+		csvPath = flag.String("csv", "", "write all snapshot values to this CSV file")
 
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve observability endpoints (/metrics, /debug/vars, /debug/pprof, /trace, /healthz, /journal, /audit) on this address while the campaign runs")
@@ -75,6 +77,7 @@ func campaign() {
 		Fabric:       speedlight.Fabric{Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts},
 		ChannelState: *chanState,
 		Seed:         *seed,
+		Shards:       *shards,
 	}
 	// Any observability flag turns telemetry on; without them the run
 	// pays nothing.

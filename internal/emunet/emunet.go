@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"speedlight/internal/audit"
 	"speedlight/internal/clock"
@@ -43,6 +45,22 @@ type Config struct {
 	Topo *topology.Topology
 	// Seed drives all randomness.
 	Seed int64
+
+	// Shards selects the simulation engine: 0 or 1 runs the serial
+	// reference engine; >= 2 runs the conservative parallel engine with
+	// that many worker shards. Both produce byte-identical journals,
+	// audit reports, and snapshots for the same seed; see DESIGN.md for
+	// the determinism contract. With shards, every switch-to-switch
+	// link crossing a shard boundary must have positive latency.
+	Shards int
+	// Lookahead overrides the parallel engine's conservative lookahead.
+	// Zero derives it from the topology (the minimum latency of any
+	// cross-shard switch-to-switch link); a non-zero value larger than
+	// that minimum is rejected at build time.
+	Lookahead sim.Duration
+	// ShardOf, when set, pins each switch to a shard in [0, Shards).
+	// Nil assigns switches round-robin in topology order.
+	ShardOf func(node topology.NodeID) int
 
 	// Snapshot protocol parameters.
 	MaxID        uint32
@@ -107,12 +125,18 @@ type Config struct {
 	SnapshotDisabled map[topology.NodeID]bool
 
 	// OnDeliver, when set, observes every packet delivered to a host.
+	// Setting it routes deliveries through the serializing global
+	// domain, so invocations are single-threaded and deterministically
+	// ordered even under Shards > 1 (at some cost to scaling).
 	OnDeliver func(pkt *packet.Packet, host topology.HostID, now sim.Time)
 
 	// OnProgress, when set, observes every progress-relevant data-plane
 	// notification (the ones entering synchronization windows), keyed by
 	// the unwrapped snapshot ID it advances. Experiments use it to
-	// collect per-unit timing distributions.
+	// collect per-unit timing distributions. Under Shards > 1 it is
+	// invoked from concurrent shard workers (serialized only per
+	// switch): the hook must be thread-safe, and must not depend on
+	// cross-switch invocation order.
 	OnProgress func(id packet.SeqID, at sim.Time)
 
 	// OnInject, when set, observes every host packet injection at its
@@ -224,6 +248,13 @@ type EmuSwitch struct {
 	Clock  *clock.Clock
 	queues []*portQueue
 
+	// dom is the switch's scheduling domain on the engine; proc is its
+	// scheduling handle. All of this struct's mutable state is owned by
+	// that domain: only its own events (or serialized global-domain
+	// events) may touch it.
+	dom  int
+	proc sim.Proc
+
 	cpBusy bool // notification processing loop active
 	rng    *rand.Rand
 	// pkts counts this switch's wire arrivals (per-switch throughput).
@@ -258,8 +289,14 @@ type SyncContributor struct {
 
 // Network is the emulated Speedlight deployment.
 type Network struct {
-	cfg      Config
-	eng      *sim.Engine
+	cfg Config
+	eng sim.Sim
+	// doms maps each switch to its scheduling domain (topology order,
+	// starting at 1; sim.GlobalDomain hosts the observer, drivers, and
+	// recovery timers).
+	doms map[topology.NodeID]int
+	// gproc is the global domain's scheduling handle.
+	gproc    sim.Proc
 	topo     *topology.Topology
 	fibs     map[topology.NodeID]*routing.FIB
 	utilized map[topology.NodeID]map[[2]int]bool
@@ -269,10 +306,14 @@ type Network struct {
 	// retried marks snapshots the observer has already retried once;
 	// a repeat retry means recovery is not unsticking them.
 	retried map[packet.SeqID]bool
-	syncs   map[packet.SeqID]*syncWindow
-	gauges  map[dataplane.UnitID]*counters.Gauge
-	// wireDrops counts packets lost to injected link failures.
-	wireDrops uint64
+	// syncMu guards syncs: notifications record windows from concurrent
+	// shard workers.
+	syncMu sync.Mutex
+	syncs  map[packet.SeqID]*syncWindow
+	gauges map[dataplane.UnitID]*counters.Gauge
+	// wireDrops counts packets lost to injected link failures (atomic:
+	// switch domains on different shards drop concurrently).
+	wireDrops atomic.Uint64
 	// gateSets mirrors each unit's completion-gating channels, used to
 	// filter synchronization recording to progress-relevant
 	// notifications.
@@ -310,13 +351,75 @@ func newNetTelemetry(reg *telemetry.Registry) netTelemetry {
 	}
 }
 
+// buildEngine picks the serial or sharded engine and assigns scheduling
+// domains: switch i of the topology is domain i+1; sim.GlobalDomain
+// hosts the observer, drivers, and recovery timers.
+func buildEngine(cfg *Config) (sim.Sim, map[topology.NodeID]int, error) {
+	doms := make(map[topology.NodeID]int, len(cfg.Topo.Switches))
+	for i, sw := range cfg.Topo.Switches {
+		doms[sw.ID] = i + 1
+	}
+	if cfg.Shards <= 1 {
+		return sim.NewEngine(cfg.Seed), doms, nil
+	}
+	shard := make(map[topology.NodeID]int, len(doms))
+	for i, sw := range cfg.Topo.Switches {
+		s := i % cfg.Shards
+		if cfg.ShardOf != nil {
+			s = cfg.ShardOf(sw.ID)
+			if s < 0 || s >= cfg.Shards {
+				return nil, nil, fmt.Errorf("emunet: ShardOf(%d) = %d out of range [0,%d)", sw.ID, s, cfg.Shards)
+			}
+		}
+		shard[sw.ID] = s
+	}
+	// Conservative lookahead: no cross-shard interaction may undercut
+	// it. The only cross-shard sends the emulation performs are wire
+	// hops, so the bound is the minimum latency of any switch-to-switch
+	// link whose endpoints land on different shards.
+	minCross := sim.Duration(-1)
+	for _, sw := range cfg.Topo.Switches {
+		for _, peer := range sw.Ports {
+			if peer.Kind != topology.PeerSwitch || shard[sw.ID] == shard[peer.Node] {
+				continue
+			}
+			l := sim.Duration(peer.Latency)
+			if l <= 0 {
+				return nil, nil, fmt.Errorf("emunet: link %d<->%d crosses shards with zero latency; sharded simulation needs positive cross-shard link latency", sw.ID, peer.Node)
+			}
+			if minCross < 0 || l < minCross {
+				minCross = l
+			}
+		}
+	}
+	la := cfg.Lookahead
+	switch {
+	case la <= 0:
+		la = minCross
+		if la < 0 {
+			// No link crosses shards; any lookahead is causally safe.
+			la = sim.Millisecond
+		}
+	case minCross >= 0 && la > minCross:
+		return nil, nil, fmt.Errorf("emunet: lookahead %d exceeds minimum cross-shard link latency %d", la, minCross)
+	}
+	p := sim.NewParallel(cfg.Seed, cfg.Shards, la)
+	for _, sw := range cfg.Topo.Switches {
+		p.Place(doms[sw.ID], shard[sw.ID])
+	}
+	return p, doms, nil
+}
+
 // New builds and wires the emulated network.
 func New(cfg Config) (*Network, error) {
 	if cfg.Topo == nil {
 		return nil, fmt.Errorf("emunet: nil topology")
 	}
 	cfg.setDefaults()
-	eng := sim.NewEngine(cfg.Seed)
+	eng, doms, err := buildEngine(&cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	fibs, err := routing.ComputeFIBs(cfg.Topo)
 	if err != nil {
@@ -326,6 +429,8 @@ func New(cfg Config) (*Network, error) {
 	n := &Network{
 		cfg:      cfg,
 		eng:      eng,
+		doms:     doms,
+		gproc:    eng.Proc(sim.GlobalDomain),
 		topo:     cfg.Topo,
 		fibs:     fibs,
 		utilized: routing.UtilizedPairs(cfg.Topo, fibs),
@@ -379,20 +484,22 @@ func New(cfg Config) (*Network, error) {
 
 	// Register snapshot-enabled switches with the observer and start
 	// their clock discipline tickers, in topology order for
-	// deterministic event sequencing.
+	// deterministic event sequencing. Each clock ticks in its own
+	// switch's domain: the clock is switch state.
 	for _, swSpec := range cfg.Topo.Switches {
 		es := n.sws[swSpec.ID]
 		if !cfg.SnapshotDisabled[swSpec.ID] {
 			n.obs.Register(swSpec.ID, es.DP.UnitIDs())
 		}
-		eng.NewTicker(sim.Duration(es.Clock.SyncInterval()), func() {
-			es.Clock.Sync(eng.Now())
+		es.proc.NewTicker(sim.Duration(es.Clock.SyncInterval()), func() {
+			es.Clock.Sync(es.proc.Now())
 		})
 	}
 
-	// Observer recovery ticker.
+	// Observer recovery ticker: global-domain, so it may touch any
+	// switch's state (workers are parked while it runs).
 	if cfg.RetryAfter > 0 || cfg.ExcludeAfter > 0 {
-		eng.NewTicker(sim.Millisecond, func() { n.handleTimeouts() })
+		n.gproc.NewTicker(sim.Millisecond, func() { n.handleTimeouts() })
 	}
 
 	return n, nil
@@ -408,7 +515,8 @@ func nonNeg(d sim.Duration) sim.Duration {
 func (n *Network) buildSwitch(spec *topology.Switch) error {
 	cfg := n.cfg
 	node := spec.ID
-	es := &EmuSwitch{Node: node, rng: n.eng.NewRand()}
+	es := &EmuSwitch{Node: node, dom: n.doms[node], rng: n.eng.NewRand()}
+	es.proc = n.eng.Proc(es.dom)
 	if n.tel.switchPkts != nil {
 		es.pkts = n.tel.switchPkts.With(fmt.Sprint(node))
 	}
@@ -482,8 +590,12 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 		Telemetry:          n.cpTel,
 		Journal:            cfg.Journal.For(int(node)),
 		OnResult: func(res control.Result) {
+			// The observer lives in the global domain: results cross the
+			// network as domain->global sends and land serialized.
 			lat := sim.Duration(cfg.ObserverLatency.Sample(es.rng))
-			n.eng.After(lat, func() { n.obs.OnResult(res, n.eng.Now()) })
+			es.proc.Send(sim.GlobalDomain, lat, func() {
+				n.obs.OnResult(res, n.gproc.Now())
+			})
 		},
 	})
 	if err != nil {
@@ -537,7 +649,33 @@ func (n *Network) completionChannels(spec *topology.Switch) func(dataplane.UnitI
 }
 
 // Engine exposes the simulation engine for workload drivers and tests.
-func (n *Network) Engine() *sim.Engine { return n.eng }
+// Drivers run in the engine's global domain: callbacks they schedule
+// directly on the engine are serialized with respect to every shard.
+func (n *Network) Engine() sim.Sim { return n.eng }
+
+// Proc returns a switch's scheduling handle. Events scheduled through
+// it run in that switch's domain — on its shard, in deterministic
+// order with the switch's own work. Use it for per-switch driver loops
+// that must scale with shards (a driver on Engine() serializes), and
+// as the clock source of metrics attached to the switch's units.
+func (n *Network) Proc(node topology.NodeID) sim.Proc {
+	dom, ok := n.doms[node]
+	if !ok {
+		panic(fmt.Sprintf("emunet: unknown switch %d", node))
+	}
+	return n.eng.Proc(dom)
+}
+
+// HostProc returns the scheduling handle of the switch a host hangs
+// off — the domain an independent per-host traffic source should run
+// in (see InjectFrom).
+func (n *Network) HostProc(host topology.HostID) sim.Proc {
+	h := n.topo.Host(host)
+	if h == nil {
+		panic(fmt.Sprintf("emunet: unknown host %d", host))
+	}
+	return n.sws[h.Node].proc
+}
 
 // Topo returns the network topology.
 func (n *Network) Topo() *topology.Topology { return n.topo }
@@ -614,7 +752,7 @@ func (n *Network) NotifDropsTotal() uint64 {
 }
 
 // WireDrops returns packets lost to injected link loss.
-func (n *Network) WireDrops() uint64 { return n.wireDrops }
+func (n *Network) WireDrops() uint64 { return n.wireDrops.Load() }
 
 // QueueDropsTotal sums packets dropped at full egress queues.
 func (n *Network) QueueDropsTotal() uint64 {
@@ -632,6 +770,8 @@ func (n *Network) QueueDropsTotal() uint64 {
 // carrying that ID (Section 8.1). The second result is false when no
 // notifications for the ID were observed.
 func (n *Network) SyncSpread(id packet.SeqID) (sim.Duration, bool) {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
 	w, ok := n.syncs[id]
 	if !ok || w.count == 0 {
 		return 0, false
@@ -639,8 +779,27 @@ func (n *Network) SyncSpread(id packet.SeqID) (sim.Duration, bool) {
 	return w.max.Sub(w.min), true
 }
 
+// contributorLess is the deterministic tie-break for sync-window
+// endpoints when two notifications carry the same timestamp: unit
+// identity, then channel. Without it, which contributor "wins" a tied
+// endpoint would depend on shard interleaving.
+func contributorLess(a, b SyncContributor) bool {
+	if a.Unit.Node != b.Unit.Node {
+		return a.Unit.Node < b.Unit.Node
+	}
+	if a.Unit.Port != b.Unit.Port {
+		return a.Unit.Port < b.Unit.Port
+	}
+	if a.Unit.Dir != b.Unit.Dir {
+		return a.Unit.Dir < b.Unit.Dir
+	}
+	return a.Channel < b.Channel
+}
+
 // recordSync folds a notification timestamp into the snapshot's
-// synchronization window.
+// synchronization window. Called from switch domains on concurrent
+// shards; everything it records is order-independent (min/max with
+// deterministic tie-breaks, and a count).
 func (n *Network) recordSync(id packet.SeqID, at sim.Time, unit dataplane.UnitID, channel int) {
 	if debugSync != nil {
 		debugSync(id, at, unit, channel)
@@ -649,16 +808,20 @@ func (n *Network) recordSync(id packet.SeqID, at sim.Time, unit dataplane.UnitID
 		n.cfg.OnProgress(id, at)
 	}
 	c := SyncContributor{Unit: unit, Channel: channel, At: at}
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
 	w, ok := n.syncs[id]
 	if !ok {
 		w = &syncWindow{min: at, max: at, first: c, last: c}
 		n.syncs[id] = w
+		w.count++
+		return
 	}
-	if at < w.min {
+	if at < w.min || (at == w.min && contributorLess(c, w.first)) {
 		w.min = at
 		w.first = c
 	}
-	if at > w.max {
+	if at > w.max || (at == w.max && contributorLess(w.last, c)) {
 		w.max = at
 		w.last = c
 	}
@@ -671,6 +834,8 @@ var debugSync func(id packet.SeqID, at sim.Time, unit dataplane.UnitID, channel 
 // SyncDetail returns the earliest and latest notifications contributing
 // to a snapshot's synchronization window, for diagnosing stragglers.
 func (n *Network) SyncDetail(id packet.SeqID) (first, last SyncContributor, ok bool) {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
 	w, found := n.syncs[id]
 	if !found || w.count == 0 {
 		return SyncContributor{}, SyncContributor{}, false
@@ -693,8 +858,18 @@ func (n *Network) serialization(es *EmuSwitch, port int, size uint32) sim.Durati
 }
 
 // InjectFromHost delivers a packet from a host into its leaf switch at
-// the current virtual time plus the host link latency.
+// the current virtual time plus the host link latency. Call it from
+// driver or global-domain context; per-host traffic sources that should
+// scale with shards use InjectFrom with the host's own proc instead.
 func (n *Network) InjectFromHost(host topology.HostID, pkt *packet.Packet) {
+	n.InjectFrom(n.gproc, host, pkt)
+}
+
+// InjectFrom delivers a packet from a host into its leaf switch using
+// the given scheduling handle. p must be either the global proc or the
+// host's own switch proc (HostProc) — i.e. the domain the calling event
+// runs in.
+func (n *Network) InjectFrom(p sim.Proc, host topology.HostID, pkt *packet.Packet) {
 	h := n.topo.Host(host)
 	if h == nil {
 		panic(fmt.Sprintf("emunet: unknown host %d", host))
@@ -702,16 +877,18 @@ func (n *Network) InjectFromHost(host topology.HostID, pkt *packet.Packet) {
 	pkt.SrcHost = uint32(host)
 	n.tel.injected.Inc()
 	if n.cfg.OnInject != nil {
-		n.cfg.OnInject(pkt, host, n.eng.Now())
+		n.cfg.OnInject(pkt, host, p.Now())
 	}
-	n.eng.After(sim.Duration(h.Latency), func() {
-		n.arrive(n.sws[h.Node], pkt, h.Port)
+	es := n.sws[h.Node]
+	p.Send(es.dom, sim.Duration(h.Latency), func() {
+		n.arrive(es, pkt, h.Port)
 	})
 }
 
 // arrive handles a packet arriving at a switch port from the wire.
+// Runs in es's domain.
 func (n *Network) arrive(es *EmuSwitch, pkt *packet.Packet, port int) {
-	now := n.eng.Now()
+	now := es.proc.Now()
 	es.pkts.Inc()
 	if topology.HostID(pkt.DstHost) == BroadcastHost {
 		// Marker broadcast from a neighbor: refresh this port's external
@@ -761,7 +938,7 @@ func (n *Network) scheduleTx(es *EmuSwitch, port int) {
 		return
 	}
 	head := q.perCoS[cos][0]
-	n.eng.After(n.serialization(es, port, head.pkt.Size), func() {
+	es.proc.After(n.serialization(es, port, head.pkt.Size), func() {
 		q.perCoS[cos] = q.perCoS[cos][1:]
 		n.setDepthGauge(es, port)
 		n.transmit(es, head.pkt, port)
@@ -770,9 +947,11 @@ func (n *Network) scheduleTx(es *EmuSwitch, port int) {
 }
 
 // transmit runs the egress unit and delivers the packet to the port's
-// peer.
+// peer. Runs in es's domain; the wire hop to a neighboring switch is a
+// cross-domain send whose latency is what the parallel engine's
+// lookahead is derived from.
 func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
-	now := n.eng.Now()
+	now := es.proc.Now()
 	isBroadcast := topology.HostID(pkt.DstHost) == BroadcastHost
 	res := es.DP.Egress(pkt, port, now)
 	n.drainNotifs(es)
@@ -788,42 +967,47 @@ func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 		if peer.Kind != topology.PeerSwitch {
 			return
 		}
-		if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
-			n.wireDrops++
-			n.tel.wireDrops.Inc()
-			return
-		}
-		next := n.sws[peer.Node]
-		n.eng.After(sim.Duration(peer.Latency), func() {
-			n.arrive(next, pkt, peer.Port)
-		})
+		n.wireHop(es, pkt, peer)
 		return
 	}
 	peer := n.topo.Peer(es.Node, port)
 	switch peer.Kind {
 	case topology.PeerSwitch:
-		if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
-			n.wireDrops++
-			n.tel.wireDrops.Inc()
-			return
-		}
-		next := n.sws[peer.Node]
-		n.eng.After(sim.Duration(peer.Latency), func() {
-			n.arrive(next, pkt, peer.Port)
-		})
+		n.wireHop(es, pkt, peer)
 	case topology.PeerHost:
 		if res.StripHeader {
 			pkt.HasSnap = false
 			pkt.Snap = packet.SnapshotHeader{}
 		}
 		host := peer.Host
-		n.eng.After(sim.Duration(peer.Latency), func() {
+		deliver := func() {
 			n.tel.delivered.Inc()
 			if n.cfg.OnDeliver != nil {
-				n.cfg.OnDeliver(pkt, host, n.eng.Now())
+				n.cfg.OnDeliver(pkt, host, n.gproc.Now())
 			}
-		})
+		}
+		if n.cfg.OnDeliver != nil {
+			// Serialize hook invocations (and their order) through the
+			// global domain.
+			es.proc.Send(sim.GlobalDomain, sim.Duration(peer.Latency), deliver)
+		} else {
+			es.proc.After(sim.Duration(peer.Latency), deliver)
+		}
 	}
+}
+
+// wireHop carries a packet across a switch-to-switch link, subject to
+// injected loss. Runs in es's domain; arrival runs in the neighbor's.
+func (n *Network) wireHop(es *EmuSwitch, pkt *packet.Packet, peer topology.Peer) {
+	if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
+		n.wireDrops.Add(1)
+		n.tel.wireDrops.Inc()
+		return
+	}
+	next := n.sws[peer.Node]
+	es.proc.Send(next.dom, sim.Duration(peer.Latency), func() {
+		n.arrive(next, pkt, peer.Port)
+	})
 }
 
 // setDepthGauge mirrors an egress queue's occupancy into the registered
@@ -846,7 +1030,7 @@ func (n *Network) drainNotifs(es *EmuSwitch) {
 	}
 	es.cpBusy = true
 	lat := sim.Duration(n.cfg.CPNotifLatency.Sample(es.rng))
-	n.eng.After(lat, func() { n.cpProcessOne(es) })
+	es.proc.After(lat, func() { n.cpProcessOne(es) })
 }
 
 // cpProcessOne handles one notification and reschedules itself while
@@ -857,9 +1041,9 @@ func (n *Network) cpProcessOne(es *EmuSwitch) {
 		es.cpBusy = false
 		return
 	}
-	es.CP.HandleNotification(notif, n.eng.Now())
+	es.CP.HandleNotification(notif, es.proc.Now())
 	svc := sim.Duration(n.cfg.CPServiceTime.Sample(es.rng))
-	n.eng.After(svc, func() { n.cpProcessOne(es) })
+	es.proc.After(svc, func() { n.cpProcessOne(es) })
 }
 
 // ScheduleSnapshot asks the observer to start a snapshot at the given
@@ -881,7 +1065,8 @@ func (n *Network) ScheduleSnapshot(localDeadline sim.Time) (packet.SeqID, error)
 			trueAt = n.eng.Now()
 		}
 		jitter := sim.Duration(n.cfg.InitiationLatency.Sample(es.rng))
-		n.eng.Schedule(trueAt.Add(jitter), func() { n.initiate(es, id) })
+		// The initiation runs in the switch's own domain.
+		n.gproc.SendAt(es.dom, trueAt.Add(jitter), func() { n.initiate(es, id) })
 	}
 	return id, nil
 }
@@ -907,16 +1092,17 @@ func (n *Network) ScheduleSnapshotSingle(node topology.NodeID, localDeadline sim
 		trueAt = n.eng.Now()
 	}
 	jitter := sim.Duration(n.cfg.InitiationLatency.Sample(es.rng))
-	n.eng.Schedule(trueAt.Add(jitter), func() { n.initiate(es, id) })
+	n.gproc.SendAt(es.dom, trueAt.Add(jitter), func() { n.initiate(es, id) })
 	return id, nil
 }
 
 // initiate runs a control-plane snapshot initiation on one switch:
 // every ingress unit processes the initiation message, which then
 // follows the same egress queues as data traffic (FIFO order matters;
-// Section 6).
+// Section 6). Runs in es's domain, or in the global domain during
+// recovery (workers parked, so touching es is safe either way).
 func (n *Network) initiate(es *EmuSwitch, id packet.SeqID) {
-	inits := es.CP.Initiate(id, n.eng.Now())
+	inits := es.CP.Initiate(id, es.proc.Now())
 	n.drainNotifs(es)
 	for _, init := range inits {
 		n.enqueue(es, init.Pkt, init.Port)
@@ -928,7 +1114,7 @@ func (n *Network) initiate(es *EmuSwitch, id packet.SeqID) {
 // notifications, and (in the channel-state variant) a marker broadcast
 // to force ID propagation on idle channels.
 func (n *Network) handleTimeouts() {
-	now := n.eng.Now()
+	now := n.gproc.Now()
 	for _, act := range n.obs.CheckTimeouts(now) {
 		if len(act.Retry) > 0 {
 			// A single retry is routine §6 liveness (idle channels need
@@ -956,7 +1142,7 @@ func (n *Network) handleTimeouts() {
 // egress copy then crosses one wire hop, refreshing the neighbors'
 // external channels (Section 6 liveness).
 func (n *Network) injectMarkers(es *EmuSwitch) {
-	now := n.eng.Now()
+	now := es.proc.Now()
 	for port := 0; port < es.DP.NumPorts(); port++ {
 		for cos := 0; cos < es.DP.NumCoS(); cos++ {
 			m := &packet.Packet{DstHost: uint32(BroadcastHost), Size: 64, CoS: uint8(cos)}

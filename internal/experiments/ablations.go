@@ -28,6 +28,9 @@ type AblationConfig struct {
 	// Snapshots per measurement series.
 	Snapshots int
 	Seed      int64
+	// Shards selects the simulation engine (0/1 serial, >=2 parallel).
+	// Results are identical either way.
+	Shards int
 }
 
 func (c *AblationConfig) defaults() {
@@ -52,7 +55,7 @@ type InitiatorsResult struct {
 func AblationInitiators(cfg AblationConfig) *InitiatorsResult {
 	cfg.defaults()
 	run := func(single bool) *stats.CDF {
-		n, ls := testbedNet(cfg.Seed, false, nil)
+		n, ls := testbedNet(cfg.Seed, cfg.Shards, false, nil)
 		bg := &workload.Uniform{Net: n, Hosts: hostIDs(n), Interval: 2 * sim.Microsecond}
 		bg.Start()
 		n.RunFor(2 * sim.Millisecond)
@@ -117,7 +120,7 @@ type ClocksResult struct {
 func AblationClocks(cfg AblationConfig) *ClocksResult {
 	cfg.defaults()
 	run := func(cc clock.Config) *stats.CDF {
-		n, _ := testbedNet(cfg.Seed, false, func(c *emunet.Config) { c.Clock = cc })
+		n, _ := testbedNet(cfg.Seed, cfg.Shards, false, func(c *emunet.Config) { c.Clock = cc })
 		bg := &workload.Uniform{Net: n, Hosts: hostIDs(n), Interval: 2 * sim.Microsecond}
 		bg.Start()
 		n.RunFor(2 * sim.Millisecond)
@@ -262,7 +265,7 @@ func AblationPartialDeployment(cfg AblationConfig) *PartialResult {
 	cfg.defaults()
 	res := &PartialResult{}
 	for disabled := 0; disabled <= 2; disabled++ {
-		n, ls := testbedNet(cfg.Seed, false, func(c *emunet.Config) {
+		n, ls := testbedNet(cfg.Seed, cfg.Shards, false, func(c *emunet.Config) {
 			c.SnapshotDisabled = map[topology.NodeID]bool{}
 			for i := 0; i < disabled; i++ {
 				c.SnapshotDisabled[topology.NodeID(2+i)] = true // spines are nodes 2,3

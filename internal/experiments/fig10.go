@@ -16,6 +16,10 @@ type Fig10Config struct {
 	// TrialDuration is how long each candidate rate is sustained.
 	TrialDuration sim.Duration
 	Seed          int64
+	// Shards selects the simulation engine (0/1 serial, >=2 parallel).
+	// A single-switch star cannot exploit parallelism, but the results
+	// are identical either way.
+	Shards int
 }
 
 func (c *Fig10Config) defaults() {
@@ -76,8 +80,9 @@ func starTopo(ports int) *topology.Topology {
 // snapshots at rateHz without notification loss or queue buildup.
 func sustains(ports int, rateHz float64, cfg Fig10Config) bool {
 	n, err := emunet.New(emunet.Config{
-		Topo: starTopo(ports),
-		Seed: cfg.Seed,
+		Topo:   starTopo(ports),
+		Seed:   cfg.Seed,
+		Shards: cfg.Shards,
 		// Unbounded ID space isolates the CP bottleneck from the
 		// observer's rollover window.
 		MaxID:        1 << 20,

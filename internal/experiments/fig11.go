@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"speedlight/internal/emunet"
 	"speedlight/internal/packet"
@@ -25,6 +27,9 @@ type Fig11Config struct {
 	// to collect the offset distribution.
 	CalibrationSnapshots int
 	Seed                 int64
+	// Shards selects the simulation engine for the calibration run
+	// (0/1 serial, >=2 parallel). Results are identical either way.
+	Shards int
 }
 
 func (c *Fig11Config) defaults() {
@@ -120,10 +125,15 @@ func collectTestbedOffsets(cfg Fig11Config) []float64 {
 		id packet.SeqID
 		at sim.Time
 	}
-	var recs []rec
-	n, _ := testbedNet(cfg.Seed, false, func(c *emunet.Config) {
+	var (
+		recsMu sync.Mutex // OnProgress fires concurrently under shards
+		recs   []rec
+	)
+	n, _ := testbedNet(cfg.Seed, cfg.Shards, false, func(c *emunet.Config) {
 		c.OnProgress = func(id packet.SeqID, at sim.Time) {
+			recsMu.Lock()
 			recs = append(recs, rec{id, at})
+			recsMu.Unlock()
 		}
 	})
 	bg := &workload.Uniform{Net: n, Hosts: hostIDs(n), Interval: 2 * sim.Microsecond}
@@ -142,6 +152,15 @@ func collectTestbedOffsets(cfg Fig11Config) []float64 {
 	}
 	n.RunFor(20 * sim.Millisecond)
 
+	// Under shards, OnProgress arrival order depends on goroutine
+	// interleaving; sorting by (id, at) restores a deterministic
+	// summation order (ties carry identical offset values).
+	sort.Slice(recs, func(a, b int) bool {
+		if recs[a].id != recs[b].id {
+			return recs[a].id < recs[b].id
+		}
+		return recs[a].at < recs[b].at
+	})
 	var offsets []float64
 	for _, r := range recs {
 		if deadline, ok := deadlines[r.id]; ok {

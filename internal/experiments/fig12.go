@@ -27,6 +27,9 @@ type Fig12Config struct {
 	// measurement).
 	Runs int
 	Seed int64
+	// Shards selects the simulation engine (0/1 serial, >=2 parallel).
+	// Results are identical either way.
+	Shards int
 }
 
 func (c *Fig12Config) defaults() {
@@ -104,7 +107,7 @@ func fig12Run(app, balancer string, cfg Fig12Config) (snapStd, pollStd []float64
 			c.NewBalancer = flowletFactory(100 * sim.Microsecond)
 		}
 	}
-	net, ls = testbedNet(cfg.Seed, false, mod)
+	net, ls = testbedNet(cfg.Seed, cfg.Shards, false, mod)
 
 	hosts := hostIDs(net)
 	var wl workload.App

@@ -21,6 +21,9 @@ type Fig13Config struct {
 	// Alpha is the significance cutoff (the paper uses p < 0.1).
 	Alpha float64
 	Seed  int64
+	// Shards selects the simulation engine (0/1 serial, >=2 parallel).
+	// Results are identical either way.
+	Shards int
 }
 
 func (c *Fig13Config) defaults() {
@@ -74,7 +77,7 @@ type Fig13Result struct {
 // (ECMP next-hops) must be positively correlated.
 func Fig13(cfg Fig13Config) *Fig13Result {
 	cfg.defaults()
-	net, ls := testbedNet(cfg.Seed, false, func(c *emunet.Config) {
+	net, ls := testbedNet(cfg.Seed, cfg.Shards, false, func(c *emunet.Config) {
 		c.Metrics = ewmaMetrics
 	})
 	hosts := hostIDs(net)

@@ -17,6 +17,9 @@ type Fig9Config struct {
 	// The paper plots a full CDF; 200 gives a smooth one.
 	Snapshots int
 	Seed      int64
+	// Shards selects the simulation engine (0/1 serial, >=2 parallel).
+	// Results are identical either way.
+	Shards int
 }
 
 func (c *Fig9Config) defaults() {
@@ -46,7 +49,7 @@ func Fig9(cfg Fig9Config) *Fig9Result {
 	res := &Fig9Result{}
 
 	snapshotRun := func(channelState bool) *stats.CDF {
-		n, _ := testbedNet(cfg.Seed, channelState, nil)
+		n, _ := testbedNet(cfg.Seed, cfg.Shards, channelState, nil)
 		// Heavy background load: the testbed measured synchronization
 		// under running application workloads, so every utilized
 		// channel sees fresh-epoch traffic within microseconds.
@@ -78,7 +81,7 @@ func Fig9(cfg Fig9Config) *Fig9Result {
 	res.SwitchChannelState = snapshotRun(true)
 
 	// Polling baseline: sequential sweeps over every unit.
-	n, _ := testbedNet(cfg.Seed+1, false, nil)
+	n, _ := testbedNet(cfg.Seed+1, cfg.Shards, false, nil)
 	bg := &workload.Uniform{Net: n, Hosts: hostIDs(n), Interval: 5 * sim.Microsecond}
 	bg.Start()
 	n.RunFor(2 * sim.Millisecond)

@@ -31,11 +31,14 @@ func testbedTopo() *topology.LeafSpine {
 }
 
 // testbedNet builds an emulated network over the testbed topology.
-func testbedNet(seed int64, channelState bool, mod func(*emunet.Config)) (*emunet.Network, *topology.LeafSpine) {
+// shards selects the simulation engine (0/1 serial, >=2 parallel);
+// results are byte-identical either way.
+func testbedNet(seed int64, shards int, channelState bool, mod func(*emunet.Config)) (*emunet.Network, *topology.LeafSpine) {
 	ls := testbedTopo()
 	cfg := emunet.Config{
 		Topo:         ls.Topology,
 		Seed:         seed,
+		Shards:       shards,
 		MaxID:        256,
 		WrapAround:   true,
 		ChannelState: channelState,
@@ -55,8 +58,10 @@ func testbedNet(seed int64, channelState bool, mod func(*emunet.Config)) (*emune
 // packet counter to every ingress unit.
 func ewmaMetrics(net *emunet.Network, id dataplane.UnitID) core.Metric {
 	if id.Dir == dataplane.Egress {
-		eng := net.Engine()
-		return counters.NewEWMAInterarrival(func() int64 { return int64(eng.Now()) })
+		// Clock from the unit's own domain: under shards the engine-wide
+		// clock lags shard-local virtual time.
+		proc := net.Proc(id.Node)
+		return counters.NewEWMAInterarrival(func() int64 { return int64(proc.Now()) })
 	}
 	return &counters.PacketCount{}
 }

@@ -11,6 +11,17 @@
 // overwritten — the "flight recorder" semantics: the recent past is
 // always available for dumping when an anomaly fires.
 //
+// Sequencing is per ring: an event's stamp is its ring's append
+// ordinal, not a position in some global order. Set.Events
+// reconstructs the merged stream deterministically — sorted by
+// (timestamp, ring, per-ring ordinal) and re-stamped — so the merged
+// journal of a run is a pure function of what each ring logged,
+// independent of wall-clock interleaving between rings. That is what
+// lets the sharded parallel engine produce byte-identical journals to
+// the serial reference: each ring is only appended from one
+// deterministic execution context, and the merge key contains nothing
+// an OS scheduler can influence.
+//
 // Like internal/telemetry, every method is safe on a nil receiver,
 // which is the disabled state: an un-journaled deployment pays one
 // predicted branch per potential event and nothing else.
@@ -28,7 +39,10 @@ import (
 )
 
 // ObserverNode is the pseudo switch ID under which observer-side
-// events are journaled in a Set.
+// events are journaled in a Set. It is negative, so the observer ring
+// sorts ahead of every switch ring when merged timestamps tie — an
+// observer action (e.g. a retry order) precedes the switch events it
+// triggers at the same instant.
 const ObserverNode = -1
 
 // DefaultCapacity is the per-ring event capacity used when a Set is
@@ -39,12 +53,10 @@ const DefaultCapacity = 4096
 // create rings with New or through a Set. A nil *Journal is the
 // disabled state: Append is a no-op and Events returns nil.
 type Journal struct {
-	// seq is the sequencer events are stamped from. Rings created
-	// through a Set share the Set's sequencer, so the merged event
-	// stream has a single total order — the causal replay order the
-	// auditor depends on.
-	seq  *atomic.Uint64
 	mask uint64
+	// next is both the append cursor and the sequencer: an event's
+	// stamp is its append ordinal in this ring. One atomic add per
+	// append, no cross-ring contention.
 	next atomic.Uint64
 	// slots hold published events. Pointer slots keep appends lock-free
 	// and dump reads race-free: a reader either sees the old event or
@@ -52,13 +64,9 @@ type Journal struct {
 	slots []atomic.Pointer[Event]
 }
 
-// New creates a standalone ring with its own sequencer. capacity is
-// rounded up to a power of two; non-positive means DefaultCapacity.
+// New creates a standalone ring. capacity is rounded up to a power of
+// two; non-positive means DefaultCapacity.
 func New(capacity int) *Journal {
-	return newJournal(capacity, &atomic.Uint64{})
-}
-
-func newJournal(capacity int, seq *atomic.Uint64) *Journal {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
@@ -67,7 +75,6 @@ func newJournal(capacity int, seq *atomic.Uint64) *Journal {
 		size <<= 1
 	}
 	return &Journal{
-		seq:   seq,
 		mask:  uint64(size - 1),
 		slots: make([]atomic.Pointer[Event], size),
 	}
@@ -81,18 +88,18 @@ func (j *Journal) Cap() int {
 	return len(j.slots)
 }
 
-// Append stamps the event with the next sequence number and publishes
-// it, overwriting the oldest event once the ring is full. Safe for
-// concurrent use and a no-op on a nil Journal.
+// Append stamps the event with its append ordinal in this ring and
+// publishes it, overwriting the oldest event once the ring is full.
+// Safe for concurrent use and a no-op on a nil Journal.
 //
 //speedlight:hotpath
 func (j *Journal) Append(ev Event) {
 	if j == nil {
 		return
 	}
-	ev.Seq = j.seq.Add(1)
-	e := &ev
 	pos := j.next.Add(1) - 1
+	ev.Seq = pos + 1
+	e := &ev
 	j.slots[pos&j.mask].Store(e)
 }
 
@@ -117,7 +124,7 @@ func (j *Journal) Overwritten() uint64 {
 	return 0
 }
 
-// Events returns a snapshot of the ring's current contents in sequence
+// Events returns a snapshot of the ring's current contents in append
 // order. Nil on a nil Journal.
 func (j *Journal) Events() []Event {
 	if j == nil {
@@ -133,13 +140,11 @@ func (j *Journal) Events() []Event {
 	return out
 }
 
-// Set groups the per-switch rings of one deployment behind a shared
-// sequencer, so the merged stream totally orders events across
-// switches and the observer. A nil *Set is the disabled state: For and
-// Observer return nil rings whose appends are no-ops.
+// Set groups the per-switch rings of one deployment. A nil *Set is the
+// disabled state: For and Observer return nil rings whose appends are
+// no-ops.
 type Set struct {
 	cap int
-	seq atomic.Uint64
 
 	mu    sync.Mutex
 	rings map[int]*Journal
@@ -162,7 +167,7 @@ func (s *Set) For(node int) *Journal {
 	defer s.mu.Unlock()
 	j, ok := s.rings[node]
 	if !ok {
-		j = newJournal(s.cap, &s.seq)
+		j = New(s.cap)
 		s.rings[node] = j
 	}
 	return j
@@ -171,12 +176,16 @@ func (s *Set) For(node int) *Journal {
 // Observer returns the observer-side ring.
 func (s *Set) Observer() *Journal { return s.For(ObserverNode) }
 
-// Appended returns the total number of events stamped across the set.
+// Appended returns the total number of events accepted across the set.
 func (s *Set) Appended() uint64 {
 	if s == nil {
 		return 0
 	}
-	return s.seq.Load()
+	var total uint64
+	for _, r := range s.sorted() {
+		total += r.ring.Appended()
+	}
+	return total
 }
 
 // Overwritten sums events lost to ring reuse across the set.
@@ -185,33 +194,65 @@ func (s *Set) Overwritten() uint64 {
 		return 0
 	}
 	var total uint64
-	for _, j := range s.journals() {
-		total += j.Overwritten()
+	for _, r := range s.sorted() {
+		total += r.ring.Overwritten()
 	}
 	return total
 }
 
-func (s *Set) journals() []*Journal {
+type nodeRing struct {
+	node int
+	ring *Journal
+}
+
+// sorted returns the rings keyed and ordered by node ID (observer
+// first), the deterministic merge rank.
+func (s *Set) sorted() []nodeRing {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*Journal, 0, len(s.rings))
-	for _, j := range s.rings {
-		out = append(out, j)
+	out := make([]nodeRing, 0, len(s.rings))
+	for node, j := range s.rings {
+		out = append(out, nodeRing{node: node, ring: j})
 	}
+	sort.Slice(out, func(a, b int) bool { return out[a].node < out[b].node })
 	return out
 }
 
-// Events merges every ring's current contents into one stream sorted
-// by sequence number. Nil on a nil Set.
+// Events merges every ring's current contents into one deterministic
+// stream: sorted by (timestamp, ring node, per-ring ordinal) and
+// re-stamped 1..n. Because each ring is appended from a single
+// deterministic execution context, the merged stream is identical for
+// any interleaving of rings — in particular, the parallel engine's
+// journal matches the serial engine's byte for byte. Nil on a nil Set.
 func (s *Set) Events() []Event {
 	if s == nil {
 		return nil
 	}
-	var out []Event
-	for _, j := range s.journals() {
-		out = append(out, j.Events()...)
+	type keyed struct {
+		ev   Event
+		node int
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	var all []keyed
+	for _, r := range s.sorted() {
+		for _, ev := range r.ring.Events() {
+			all = append(all, keyed{ev: ev, node: r.node})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		x, y := all[a], all[b]
+		if x.ev.AtNs != y.ev.AtNs {
+			return x.ev.AtNs < y.ev.AtNs
+		}
+		if x.node != y.node {
+			return x.node < y.node
+		}
+		return x.ev.Seq < y.ev.Seq
+	})
+	out := make([]Event, len(all))
+	for i, k := range all {
+		out[i] = k.ev
+		out[i].Seq = uint64(i + 1)
+	}
 	return out
 }
 

@@ -65,7 +65,7 @@ func TestCapacityRoundsUpToPowerOfTwo(t *testing.T) {
 	}
 }
 
-func TestSetSharedSequencerTotalOrder(t *testing.T) {
+func TestSetMergeTotalOrder(t *testing.T) {
 	s := NewSet(16)
 	s.For(0).Append(Poll(1, 0))
 	s.For(1).Append(Poll(2, 1))
@@ -85,6 +85,50 @@ func TestSetSharedSequencerTotalOrder(t *testing.T) {
 	}
 	if got := s.Tail(2); len(got) != 2 || got[0].Seq != 3 {
 		t.Fatalf("Tail(2) = %+v", got)
+	}
+}
+
+// TestSetMergeInterleavingIndependent: the merged stream is a pure
+// function of each ring's contents — the wall-clock order in which
+// different rings were appended must not show through. This is the
+// property the parallel engine's byte-identical-journal guarantee
+// rests on.
+func TestSetMergeInterleavingIndependent(t *testing.T) {
+	build := func(order []int) []Event {
+		s := NewSet(16)
+		appends := map[int][]Event{
+			0:            {Poll(10, 0), Poll(30, 0)},
+			1:            {Poll(10, 1), Poll(20, 1)},
+			ObserverNode: {ObsBegin(10, 7), ObsBegin(25, 8)},
+		}
+		idx := map[int]int{}
+		for _, node := range order {
+			s.For(node).Append(appends[node][idx[node]])
+			idx[node]++
+		}
+		return s.Events()
+	}
+	a := build([]int{0, 0, 1, 1, ObserverNode, ObserverNode})
+	b := build([]int{ObserverNode, 1, 0, 1, ObserverNode, 0})
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("merged lengths %d, %d, want 6", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("merge depends on append interleaving at %d:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	// Ties at AtNs=10 resolve observer ring first, then nodes ascending.
+	if a[0].Kind != KindObsBegin {
+		t.Errorf("tie at t=10: observer ring should rank first, got %+v", a[0])
+	}
+	if a[1].Switch != 0 || a[2].Switch != 1 {
+		t.Errorf("tie at t=10: switch rings out of node order: %+v, %+v", a[1], a[2])
+	}
+	for i, ev := range a {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("re-stamped seq %d at %d", ev.Seq, i)
+		}
 	}
 }
 

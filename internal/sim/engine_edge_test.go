@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHeapTieBreakOrder: events at the same instant order by
+// (src domain, per-domain sequence) — global first, then domains
+// ascending, insertion order within a domain — on both engines.
+func TestHeapTieBreakOrder(t *testing.T) {
+	type schedule struct {
+		dom int
+		tag string
+	}
+	cases := []struct {
+		name   string
+		scheds []schedule
+		want   []string
+	}{
+		{
+			name:   "insertion order within one domain",
+			scheds: []schedule{{0, "a"}, {0, "b"}, {0, "c"}},
+			want:   []string{"a", "b", "c"},
+		},
+		{
+			name:   "domains ascending regardless of insertion",
+			scheds: []schedule{{3, "d3"}, {1, "d1"}, {2, "d2"}},
+			want:   []string{"d1", "d2", "d3"},
+		},
+		{
+			name:   "global beats switch domains",
+			scheds: []schedule{{2, "sw"}, {0, "glob"}},
+			want:   []string{"glob", "sw"},
+		},
+		{
+			name:   "interleaved domains keep per-domain FIFO",
+			scheds: []schedule{{2, "b1"}, {1, "a1"}, {2, "b2"}, {1, "a2"}},
+			want:   []string{"a1", "a2", "b1", "b2"},
+		},
+	}
+	// The parallel engine runs single-shard here: cross-shard events at
+	// the same instant execute concurrently (their global wall order is
+	// undefined; only per-domain order and key-sorted merges are), so
+	// observing the heap's total (at, src, seq) order requires every
+	// domain on one shard.
+	engines := map[string]func() Sim{
+		"serial":   func() Sim { return NewEngine(1) },
+		"parallel": func() Sim { return NewParallel(1, 1, 10) },
+	}
+	for _, engName := range []string{"serial", "parallel"} {
+		mk := engines[engName]
+		for _, tc := range cases {
+			t.Run(engName+"/"+tc.name, func(t *testing.T) {
+				eng := mk()
+				var got []string
+				for _, s := range tc.scheds {
+					tag := s.tag
+					eng.Proc(s.dom).Schedule(100, func() { got = append(got, tag) })
+				}
+				eng.Run()
+				if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+					t.Errorf("fired %v, want %v", got, tc.want)
+				}
+			})
+		}
+	}
+}
+
+// TestCancelAlreadyFired: cancelling an event after it fired is a
+// harmless no-op on both engines, and does not disturb accounting.
+func TestCancelAlreadyFired(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Sim
+	}{
+		{"serial", func() Sim { return NewEngine(1) }},
+		{"parallel", func() Sim { return NewParallel(1, 2, 10) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := tc.mk()
+			fired := 0
+			ev := eng.Schedule(10, func() { fired++ })
+			eng.Schedule(20, func() {})
+			eng.Run()
+			eng.Cancel(ev)
+			eng.Cancel(ev)
+			if fired != 1 {
+				t.Errorf("fired %d times", fired)
+			}
+			if n := eng.Fired(); n != 2 {
+				t.Errorf("Fired = %d, want 2", n)
+			}
+			if n := eng.Pending(); n != 0 {
+				t.Errorf("Pending = %d, want 0", n)
+			}
+			// The engine must still schedule and run normally afterwards.
+			again := false
+			eng.After(5, func() { again = true })
+			eng.Run()
+			if !again {
+				t.Error("engine wedged after late Cancel")
+			}
+		})
+	}
+}
+
+// TestTickerCancelRearm: a stopped ticker stays stopped; a replacement
+// ticker armed afterwards (including from inside the stopping callback)
+// takes over cleanly.
+func TestTickerCancelRearm(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Sim
+	}{
+		{"serial", func() Sim { return NewEngine(1) }},
+		{"parallel", func() Sim { return NewParallel(1, 2, 10) }},
+	} {
+		t.Run(tc.name+"/stop then rearm from driver", func(t *testing.T) {
+			eng := tc.mk()
+			var first, second []Time
+			tk := eng.NewTicker(10, func() { first = append(first, eng.Now()) })
+			eng.RunUntil(25) // fires at 10, 20
+			tk.Stop()
+			tk.Stop() // double-stop is a no-op
+			eng.NewTicker(7, func() { second = append(second, eng.Now()) })
+			eng.RunUntil(50)
+			if len(first) != 2 {
+				t.Errorf("first ticker fired %v, want ticks at 10, 20", first)
+			}
+			// Re-armed at 25, period 7: 32, 39, 46.
+			want := []Time{32, 39, 46}
+			if fmt.Sprint(second) != fmt.Sprint(want) {
+				t.Errorf("second ticker fired %v, want %v", second, want)
+			}
+		})
+		t.Run(tc.name+"/rearm from inside callback", func(t *testing.T) {
+			eng := tc.mk()
+			var ticks []Time
+			var tk *Ticker
+			tk = eng.NewTicker(10, func() {
+				ticks = append(ticks, eng.Now())
+				if len(ticks) == 2 {
+					tk.Stop()
+					// Re-arm with a new cadence from within the firing
+					// callback — the replacement starts from "now".
+					tk = eng.NewTicker(3, func() {
+						ticks = append(ticks, eng.Now())
+						if len(ticks) >= 4 {
+							tk.Stop()
+						}
+					})
+				}
+			})
+			eng.RunUntil(100)
+			want := []Time{10, 20, 23, 26}
+			if fmt.Sprint(ticks) != fmt.Sprint(want) {
+				t.Errorf("ticks = %v, want %v", ticks, want)
+			}
+		})
+	}
+}
+
+// TestRunUntilBoundary: events exactly at the RunUntil bound fire;
+// events one tick later do not; the clock lands exactly on the bound.
+func TestRunUntilBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Sim
+	}{
+		{"serial", func() Sim { return NewEngine(1) }},
+		{"parallel", func() Sim { return NewParallel(1, 2, 10) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := tc.mk()
+			var fired []Time
+			for _, at := range []Time{99, 100, 100, 101} {
+				at := at
+				eng.Schedule(at, func() { fired = append(fired, at) })
+			}
+			eng.RunUntil(100)
+			if fmt.Sprint(fired) != fmt.Sprint([]Time{99, 100, 100}) {
+				t.Errorf("fired = %v, want [99 100 100]", fired)
+			}
+			if eng.Now() != 100 {
+				t.Errorf("Now = %d, want 100", eng.Now())
+			}
+			if eng.Pending() != 1 {
+				t.Errorf("Pending = %d, want 1", eng.Pending())
+			}
+			// An event scheduled *at* the current bound fires on the next
+			// boundary run.
+			eng.Schedule(100, func() { fired = append(fired, 100) })
+			eng.RunUntil(100)
+			if len(fired) != 4 {
+				t.Errorf("event at current time did not fire on re-run: %v", fired)
+			}
+		})
+	}
+}

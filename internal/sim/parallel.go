@@ -1,0 +1,528 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Parallel is the sharded implementation of Sim: a conservative
+// parallel discrete-event engine. Domains (one per emulated switch)
+// are partitioned across shards; each shard owns an event heap drained
+// by one worker goroutine. Execution proceeds in null-message-free
+// barrier rounds: with S the earliest pending shard event and L the
+// lookahead (the minimum latency of any cross-shard interaction), every
+// shard may safely execute all its events with time < S+L, because no
+// event another shard produces during the round can land below that
+// horizon. GlobalDomain events serialize: they run between rounds, on
+// the coordinating goroutine, with every worker parked — the horizon
+// never crosses a pending global event.
+//
+// Determinism. Event order within a shard follows the same
+// (time, src, seq) key as the serial Engine; cross-shard events carry
+// keys assigned by their (deterministic) scheduling domain, so merge
+// order is independent of goroutine interleaving, GOMAXPROCS and shard
+// count. A send between shards below the current horizon is a
+// causality violation and panics — it means the configured lookahead
+// exceeds the actual minimum cross-shard latency.
+//
+// Context rules (the serial engine forgives these; this one does not):
+// domain state must only be touched by its own domain's events or by
+// GlobalDomain events; a domain's Proc must not be used from another
+// (non-global) domain's events; Rand is driver/global-context only.
+type Parallel struct {
+	lookahead Duration
+	now       Time // driver/global-context clock (low-water mark)
+	horizon   Time // current round's exclusive bound, valid while roundActive
+	// roundActive marks worker execution in flight. Written by the
+	// coordinator strictly before dispatching and after joining a
+	// round, so worker reads are ordered by the dispatch channel and
+	// the barrier.
+	roundActive bool
+	domains     []pardom
+	shards      []*pshard
+	global      *pshard // GlobalDomain-owned events, run by the coordinator
+	rng         *rand.Rand
+	seedSrc     *rand.Rand
+	fired       uint64 // events executed in global context
+	wg          sync.WaitGroup
+	workersUp   bool
+	active      []*pshard // per-round scratch
+}
+
+var _ Sim = (*Parallel)(nil)
+
+// pardom is one domain's placement and schedule counter. The counter is
+// only touched by the shard (or the parked-coordinator context)
+// currently executing the domain; padding keeps neighboring domains'
+// counters off one cache line.
+type pardom struct {
+	shard int32 // -1 = global
+	seq   uint64
+	_     [48]byte
+}
+
+// pshard is one shard: an event heap plus a mailbox for cross-shard
+// arrivals, merged at barriers.
+type pshard struct {
+	heap     eventHeap
+	now      Time
+	fired    uint64
+	job      chan Time
+	panicked any // panic captured by the worker, re-raised at the barrier
+
+	mailMu sync.Mutex
+	mail   []*Event
+	spare  []*Event
+}
+
+func (sh *pshard) pushMail(ev *Event) {
+	sh.mailMu.Lock()
+	sh.mail = append(sh.mail, ev)
+	sh.mailMu.Unlock()
+}
+
+// nextTime returns the shard's earliest live event time, discarding
+// cancelled heap tops. Coordinator context only.
+func (sh *pshard) nextTime() Time {
+	for len(sh.heap) > 0 {
+		if sh.heap[0].canceled {
+			heap.Pop(&sh.heap)
+			continue
+		}
+		return sh.heap[0].at
+	}
+	return maxTime
+}
+
+// NewParallel returns a sharded engine with the given worker shard
+// count and conservative lookahead. The lookahead must not exceed the
+// minimum virtual-time latency of any cross-shard interaction the
+// simulation performs; larger values are detected at run time as
+// causality violations. Randomness derives entirely from seed, exactly
+// as in NewEngine.
+func NewParallel(seed int64, shards int, lookahead Duration) *Parallel {
+	if shards < 1 {
+		shards = 1
+	}
+	if lookahead < 0 {
+		lookahead = 0
+	}
+	p := &Parallel{
+		lookahead: lookahead,
+		rng:       rand.New(rand.NewSource(seed)),
+		seedSrc:   rand.New(rand.NewSource(seed ^ 0x5eed_11a7)),
+		global:    &pshard{},
+		shards:    make([]*pshard, shards),
+		domains:   []pardom{{shard: -1}}, // GlobalDomain
+	}
+	for i := range p.shards {
+		p.shards[i] = &pshard{}
+	}
+	return p
+}
+
+// Shards returns the worker shard count.
+func (p *Parallel) Shards() int { return len(p.shards) }
+
+// Lookahead returns the configured conservative lookahead.
+func (p *Parallel) Lookahead() Duration { return p.lookahead }
+
+// Place assigns a domain to a shard. All placements must happen before
+// the first Run* call; unplaced domains default to (domain-1) modulo
+// the shard count. GlobalDomain cannot be placed.
+func (p *Parallel) Place(domain, shard int) {
+	if domain <= 0 {
+		panic(fmt.Sprintf("sim: cannot place domain %d", domain))
+	}
+	if shard < 0 || shard >= len(p.shards) {
+		panic(fmt.Sprintf("sim: shard %d out of range [0,%d)", shard, len(p.shards)))
+	}
+	p.ensureDomain(domain)
+	p.domains[domain].shard = int32(shard)
+}
+
+func (p *Parallel) ensureDomain(domain int) {
+	if p.roundActive {
+		panic("sim: domain table grown during a round")
+	}
+	for len(p.domains) <= domain {
+		d := len(p.domains)
+		p.domains = append(p.domains, pardom{shard: int32((d - 1) % len(p.shards))})
+	}
+}
+
+// Now returns the driver-context virtual time. It is only meaningful
+// between Run* calls and inside GlobalDomain events; domain code must
+// use its own Proc's Now.
+func (p *Parallel) Now() Time { return p.now }
+
+// Rand returns the engine's main random stream (driver/global-context
+// only).
+func (p *Parallel) Rand() *rand.Rand { return p.rng }
+
+// NewRand returns a fresh stream seeded from the engine. Call it in a
+// deterministic order (normally at build time) and use each stream from
+// a single domain.
+func (p *Parallel) NewRand() *rand.Rand {
+	return rand.New(rand.NewSource(p.seedSrc.Int63()))
+}
+
+// Fired returns the total number of events executed so far.
+func (p *Parallel) Fired() uint64 {
+	n := p.fired
+	for _, sh := range p.shards {
+		n += sh.fired
+	}
+	return n
+}
+
+// Pending returns the number of scheduled, uncancelled events.
+func (p *Parallel) Pending() int {
+	n := 0
+	count := func(sh *pshard) {
+		for _, ev := range sh.heap {
+			if !ev.canceled {
+				n++
+			}
+		}
+		sh.mailMu.Lock()
+		n += len(sh.mail)
+		sh.mailMu.Unlock()
+	}
+	count(p.global)
+	for _, sh := range p.shards {
+		count(sh)
+	}
+	return n
+}
+
+// Proc returns the scheduling handle of one domain.
+func (p *Parallel) Proc(domain int) Proc {
+	if domain < 0 {
+		panic(fmt.Sprintf("sim: negative domain %d", domain))
+	}
+	p.ensureDomain(domain)
+	return parProc{p: p, dom: domain}
+}
+
+// Schedule runs fn at virtual time at in the global domain.
+func (p *Parallel) Schedule(at Time, fn func()) *Event {
+	return parProc{p: p, dom: GlobalDomain}.Schedule(at, fn)
+}
+
+// After runs fn d after the current time in the global domain.
+func (p *Parallel) After(d Duration, fn func()) *Event {
+	return parProc{p: p, dom: GlobalDomain}.After(d, fn)
+}
+
+// Cancel suppresses a scheduled event. On the Parallel engine the slot
+// is reclaimed lazily when the event's time is reached.
+func (p *Parallel) Cancel(ev *Event) {
+	parProc{p: p, dom: GlobalDomain}.Cancel(ev)
+}
+
+// NewTicker schedules fn every period in the global domain.
+func (p *Parallel) NewTicker(period Duration, fn func()) *Ticker {
+	return parProc{p: p, dom: GlobalDomain}.NewTicker(period, fn)
+}
+
+// Run executes events until none remain.
+func (p *Parallel) Run() {
+	p.run(maxTime)
+	for _, sh := range p.shards {
+		if sh.now > p.now {
+			p.now = sh.now
+		}
+	}
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+func (p *Parallel) RunUntil(t Time) {
+	if t < maxTime {
+		p.run(t + 1)
+	} else {
+		p.run(maxTime)
+	}
+	if p.now < t {
+		p.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (p *Parallel) RunFor(d Duration) { p.RunUntil(p.now.Add(d)) }
+
+// run is the coordinator loop: alternate serial global events and
+// parallel shard rounds until no event below limit remains.
+func (p *Parallel) run(limit Time) {
+	defer p.stopWorkers()
+	for {
+		p.drainMail()
+		g := p.global.nextTime()
+		s := maxTime
+		for _, sh := range p.shards {
+			if t := sh.nextTime(); t < s {
+				s = t
+			}
+		}
+		next := g
+		if s < next {
+			next = s
+		}
+		if next >= limit {
+			return
+		}
+		if g <= s {
+			// Global events serialize: workers are parked, so the
+			// event may touch any domain's state.
+			ev := heap.Pop(&p.global.heap).(*Event)
+			if ev.canceled {
+				continue
+			}
+			p.now = ev.at
+			p.fired++
+			ev.fn()
+			continue
+		}
+		horizon := s.Add(p.lookahead)
+		if horizon <= s {
+			horizon = s + 1 // progress under zero lookahead (or overflow)
+		}
+		if g < horizon {
+			horizon = g
+		}
+		if limit < horizon {
+			horizon = limit
+		}
+		p.runRound(horizon)
+	}
+}
+
+// runRound executes every shard's events below horizon, in parallel
+// when more than one shard has work.
+func (p *Parallel) runRound(horizon Time) {
+	active := p.active[:0]
+	for _, sh := range p.shards {
+		if len(sh.heap) > 0 && sh.heap[0].at < horizon {
+			active = append(active, sh)
+		}
+	}
+	p.active = active
+	p.horizon = horizon
+	p.roundActive = true
+	if len(active) == 1 {
+		// Single busy shard: run inline, skip the barrier round-trip.
+		p.process(active[0], horizon)
+	} else {
+		p.startWorkers()
+		p.wg.Add(len(active))
+		for _, sh := range active {
+			sh.job <- horizon
+		}
+		p.wg.Wait()
+	}
+	p.roundActive = false
+	// Re-raise worker panics on the coordinator so they reach the Run*
+	// caller like a serial panic would. Lowest shard wins for a
+	// deterministic message.
+	for _, sh := range p.shards {
+		if r := sh.panicked; r != nil {
+			sh.panicked = nil
+			panic(r)
+		}
+	}
+}
+
+// process drains one shard's events below horizon in (time, src, seq)
+// order. Runs on the shard's worker during rounds (or inline on the
+// coordinator when the shard is the only active one).
+func (p *Parallel) process(sh *pshard, horizon Time) {
+	for len(sh.heap) > 0 {
+		top := sh.heap[0]
+		if top.at >= horizon {
+			break
+		}
+		heap.Pop(&sh.heap)
+		if top.canceled {
+			continue
+		}
+		sh.now = top.at
+		sh.fired++
+		top.fn()
+	}
+}
+
+// drainMail merges cross-shard arrivals into their heaps. Coordinator
+// context only (workers parked).
+func (p *Parallel) drainMail() {
+	p.drainInto(p.global)
+	for _, sh := range p.shards {
+		p.drainInto(sh)
+	}
+}
+
+func (p *Parallel) drainInto(sh *pshard) {
+	sh.mailMu.Lock()
+	mail := sh.mail
+	sh.mail = sh.spare[:0]
+	sh.spare = mail
+	sh.mailMu.Unlock()
+	for _, ev := range mail {
+		heap.Push(&sh.heap, ev)
+	}
+}
+
+func (p *Parallel) startWorkers() {
+	if p.workersUp {
+		return
+	}
+	p.workersUp = true
+	for _, sh := range p.shards {
+		// The worker receives the channel as an argument: a retired
+		// worker from a previous Run* call may not have executed its
+		// first instruction yet, so it must never load the job field
+		// the next generation's startWorkers is about to overwrite.
+		job := make(chan Time, 1)
+		sh.job = job
+		go func(sh *pshard, job chan Time) {
+			for h := range job {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							sh.panicked = r
+						}
+						p.wg.Done()
+					}()
+					p.process(sh, h)
+				}()
+			}
+		}(sh, job)
+	}
+}
+
+// stopWorkers retires the round workers at the end of each Run* call,
+// so an idle engine holds no goroutines.
+func (p *Parallel) stopWorkers() {
+	if !p.workersUp {
+		return
+	}
+	p.workersUp = false
+	for _, sh := range p.shards {
+		close(sh.job)
+	}
+}
+
+// parProc is one domain's scheduling handle on the Parallel engine.
+type parProc struct {
+	p   *Parallel
+	dom int
+}
+
+func (pr parProc) Domain() int { return pr.dom }
+
+// Now returns the domain's shard-local clock during rounds and the
+// global clock otherwise (driver context, or a GlobalDomain event
+// executing with workers parked).
+func (pr parProc) Now() Time {
+	p := pr.p
+	if p.roundActive {
+		if sh := p.shardOf(pr.dom); sh != nil {
+			return sh.now
+		}
+	}
+	return p.now
+}
+
+func (p *Parallel) shardOf(dom int) *pshard {
+	if s := p.domains[dom].shard; s >= 0 {
+		return p.shards[s]
+	}
+	return nil
+}
+
+func (pr parProc) Schedule(at Time, fn func()) *Event {
+	return pr.sendAt(pr.dom, at, fn)
+}
+
+func (pr parProc) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return pr.sendAt(pr.dom, pr.Now().Add(d), fn)
+}
+
+func (pr parProc) Send(owner int, d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return pr.sendAt(owner, pr.Now().Add(d), fn)
+}
+
+func (pr parProc) SendAt(owner int, at Time, fn func()) *Event {
+	return pr.sendAt(owner, at, fn)
+}
+
+// sendAt schedules fn in domain owner at time at, keyed by this
+// domain's schedule counter.
+func (pr parProc) sendAt(owner int, at Time, fn func()) *Event {
+	p := pr.p
+	if owner < 0 || owner >= len(p.domains) {
+		panic(fmt.Sprintf("sim: send to unknown domain %d", owner))
+	}
+	ds := &p.domains[pr.dom]
+	ev := &Event{at: at, src: int32(pr.dom), seq: ds.seq, owner: int32(owner), fn: fn, index: -1}
+	ds.seq++
+	tgt := p.domains[owner].shard
+	if !p.roundActive {
+		// Coordinator or driver context: workers are parked, push
+		// straight into the owning heap.
+		if at < p.now {
+			panic(fmt.Sprintf("sim: schedule at %d before now %d", at, p.now))
+		}
+		dst := p.global
+		if tgt >= 0 {
+			dst = p.shards[tgt]
+		}
+		heap.Push(&dst.heap, ev)
+		return ev
+	}
+	src := ds.shard
+	if src < 0 {
+		panic("sim: GlobalDomain proc used inside a shard round")
+	}
+	sh := p.shards[src]
+	if at < sh.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, sh.now))
+	}
+	switch {
+	case tgt == src:
+		heap.Push(&sh.heap, ev)
+	case tgt < 0:
+		// To the global domain: executes at the next barrier at the
+		// correct position of the global order.
+		p.global.pushMail(ev)
+	default:
+		if at < p.horizon {
+			panic(fmt.Sprintf(
+				"sim: causality violation: cross-shard send at %d inside round horizon %d (lookahead %d exceeds the minimum cross-shard latency)",
+				at, p.horizon, p.lookahead))
+		}
+		p.shards[tgt].pushMail(ev)
+	}
+	return ev
+}
+
+// Cancel suppresses a scheduled event of this domain. The slot is
+// reclaimed lazily. Cancelling another domain's event is a context
+// violation (the flag write would race with that domain's shard).
+func (pr parProc) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.canceled = true
+}
+
+func (pr parProc) NewTicker(period Duration, fn func()) *Ticker {
+	return newTicker(pr, period, fn)
+}

@@ -1,12 +1,27 @@
 // Package sim implements the deterministic discrete-event simulation
-// engine that drives Speedlight's emulated networks.
+// engines that drive Speedlight's emulated networks.
 //
 // The paper evaluated Speedlight on a hardware testbed for small
 // topologies and in simulation for large ones (its Figure 11). Without a
-// Tofino, this repository runs every experiment on the engine here: a
-// classic event-heap simulator with virtual nanosecond time and fully
-// seeded randomness, so that any run is reproducible bit-for-bit from its
-// seed.
+// Tofino, this repository runs every experiment on the engines here.
+// Two implementations share one contract (the Sim interface):
+//
+//   - Engine: the serial reference — a classic event-heap simulator
+//     with virtual nanosecond time and fully seeded randomness.
+//   - Parallel (parallel.go): a conservatively synchronized sharded
+//     engine that partitions simulation domains across worker
+//     goroutines and executes barrier rounds bounded by a link-latency
+//     lookahead.
+//
+// Determinism contract. Every event carries a tie-break key
+// (time, src, seq): src is the scheduling domain and seq a per-domain
+// counter incremented in that domain's own (deterministic) execution
+// order. Because the key depends only on virtual time and on the
+// scheduling domain's logical history — never on goroutine
+// interleaving, shard count, or GOMAXPROCS — both engines order
+// same-time events identically, and a given seed produces the identical
+// run on either engine at any shard count. See DESIGN.md, "Parallel
+// simulation and the determinism contract".
 package sim
 
 import (
@@ -54,26 +69,47 @@ func DurationOfSeconds(s float64) Duration { return Duration(s * float64(Second)
 // DurationOfMicros converts a float64 microsecond count to a Duration.
 func DurationOfMicros(us float64) Duration { return Duration(us * float64(Microsecond)) }
 
+// GlobalDomain is the serializing domain: events owned by it execute
+// with exclusive access to the whole simulation (on the Parallel engine
+// they run between rounds, with every worker parked). Drivers,
+// observers and anything that touches more than one domain's state
+// belong here. It is also the domain of every event scheduled through
+// an engine's legacy top-level Schedule/After methods.
+const GlobalDomain = 0
+
+// maxTime is the sentinel "no event" time.
+const maxTime = Time(1<<63 - 1)
+
 // Event is a scheduled callback. Events are single-shot; cancel with
-// Engine.Cancel before they fire to suppress them.
+// Cancel before they fire to suppress them.
 type Event struct {
-	at       Time
-	seq      uint64 // insertion order; breaks ties deterministically
+	at Time
+	// src and seq are the determinism key: the scheduling domain and
+	// its per-domain schedule counter. Ties at one instant resolve by
+	// (src, seq), which both engines compute identically.
+	src int32
+	seq uint64
+	// owner is the domain whose state the callback touches; it decides
+	// which shard executes the event on the Parallel engine.
+	owner    int32
 	fn       func()
-	index    int // heap index, -1 once popped or cancelled
+	index    int // heap index, -1 while in a mailbox or once popped
 	canceled bool
 }
 
 // At returns the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-// eventHeap orders events by (time, insertion sequence).
+// eventHeap orders events by (time, src domain, per-domain sequence).
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].src != h[j].src {
+		return h[i].src < h[j].src
 	}
 	return h[i].seq < h[j].seq
 }
@@ -97,17 +133,90 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// Engine is a discrete-event simulator. It is not safe for concurrent
-// use; a simulation is a single logical thread of control that the
-// engine advances event by event.
+// Sim is the contract shared by the serial Engine and the Parallel
+// sharded engine. Emulations program against it so a network can run on
+// either engine unchanged; the conformance tests prove the two produce
+// identical journals, audits and snapshots from one seed.
+type Sim interface {
+	// Now returns the current virtual time of the driver context. On
+	// the Parallel engine it is only meaningful between Run* calls and
+	// inside GlobalDomain events; domain code must use its Proc's Now.
+	Now() Time
+	// Rand returns the engine's main random stream (driver context
+	// only — never from inside a non-global domain's events).
+	Rand() *rand.Rand
+	// NewRand returns a fresh stream seeded from the engine, for a
+	// component that wants randomness independent of interleaving.
+	NewRand() *rand.Rand
+	// Proc returns the scheduling handle of one domain. Proc(GlobalDomain)
+	// is the driver/observer context.
+	Proc(domain int) Proc
+	// Schedule, After, Cancel and NewTicker are conveniences for
+	// Proc(GlobalDomain); see Proc for the context rules.
+	Schedule(at Time, fn func()) *Event
+	After(d Duration, fn func()) *Event
+	Cancel(ev *Event)
+	NewTicker(period Duration, fn func()) *Ticker
+	// Run executes events until none remain.
+	Run()
+	// RunUntil executes events with time <= t, then sets the clock to t.
+	RunUntil(t Time)
+	// RunFor advances the simulation by d from the current time.
+	RunFor(d Duration)
+	// Fired returns the total number of events executed so far.
+	Fired() uint64
+	// Pending returns the number of scheduled, uncancelled events.
+	Pending() int
+}
+
+// Proc is one domain's scheduling handle. A domain is a logical thread
+// of the simulation (one emulated switch, say): its events run in a
+// single deterministic order, and everything it schedules is keyed by
+// the domain's own counter, independent of goroutine interleaving.
+//
+// Context rule: a Proc may only be used from its own domain's executing
+// events, from GlobalDomain events, or from the driver between Run*
+// calls — never from another domain's events. The serial Engine cannot
+// tell the difference; the Parallel engine's determinism depends on it.
+type Proc interface {
+	// Domain returns the domain this handle schedules as.
+	Domain() int
+	// Now returns the domain's current virtual time: the executing
+	// event's timestamp inside the domain, the global time otherwise.
+	Now() Time
+	// Schedule runs fn at time at in this domain. Scheduling in the
+	// past panics: it always indicates a logic error.
+	Schedule(at Time, fn func()) *Event
+	// After runs fn d after Now in this domain. Negative d clamps to 0.
+	After(d Duration, fn func()) *Event
+	// Send schedules fn in another domain, d after Now. On the Parallel
+	// engine a send between different shards must satisfy the lookahead
+	// (d at least the configured inter-shard lookahead) or it panics
+	// with a causality violation.
+	Send(owner int, d Duration, fn func()) *Event
+	// SendAt is Send with an absolute time.
+	SendAt(owner int, at Time, fn func()) *Event
+	// Cancel suppresses a scheduled event of this domain. Cancelling an
+	// already-fired or already-cancelled event is a no-op.
+	Cancel(ev *Event)
+	// NewTicker schedules fn every period in this domain, first firing
+	// one period from Now.
+	NewTicker(period Duration, fn func()) *Ticker
+}
+
+// Engine is the serial reference implementation of Sim: a single
+// event heap drained by one logical thread of control. It is not safe
+// for concurrent use.
 type Engine struct {
 	now     Time
 	events  eventHeap
-	seq     uint64
+	domSeq  []uint64 // per-domain schedule counters (the seq key)
 	rng     *rand.Rand
 	seedSrc *rand.Rand // derives seeds for component substreams
 	fired   uint64
 }
+
+var _ Sim = (*Engine)(nil)
 
 // NewEngine returns an engine whose randomness derives entirely from
 // seed. Two engines built with the same seed and driven by the same
@@ -147,16 +256,41 @@ func (e *Engine) Pending() int {
 	return n
 }
 
-// Schedule runs fn at virtual time at. Scheduling in the past panics:
-// it always indicates a logic error in the simulation.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+// nextSeq returns the per-domain sequence counter value for dom and
+// advances it, growing the counter table on first use of a domain.
+func (e *Engine) nextSeq(dom int) uint64 {
+	for len(e.domSeq) <= dom {
+		e.domSeq = append(e.domSeq, 0)
+	}
+	s := e.domSeq[dom]
+	e.domSeq[dom]++
+	return s
+}
+
+// Proc returns the scheduling handle of one domain.
+func (e *Engine) Proc(domain int) Proc {
+	if domain < 0 {
+		panic(fmt.Sprintf("sim: negative domain %d", domain))
+	}
+	return engineProc{e: e, dom: domain}
+}
+
+// schedule is the common path: an event scheduled by domain src to run
+// in domain owner.
+func (e *Engine) schedule(src, owner int, at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	e.seq++
+	ev := &Event{at: at, src: int32(src), seq: e.nextSeq(src), owner: int32(owner), fn: fn}
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// Schedule runs fn at virtual time at in the global domain. Scheduling
+// in the past panics: it always indicates a logic error in the
+// simulation.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	return e.schedule(GlobalDomain, GlobalDomain, at, fn)
 }
 
 // After runs fn d after the current time. Negative d schedules for now.
@@ -232,27 +366,71 @@ func (e *Engine) peek() (Time, bool) {
 	return 0, false
 }
 
+// NewTicker schedules fn every period in the global domain, first
+// firing one period from now.
+func (e *Engine) NewTicker(period Duration, fn func()) *Ticker {
+	return e.Proc(GlobalDomain).NewTicker(period, fn)
+}
+
+// engineProc is the serial engine's Proc: every domain shares the one
+// heap and clock; only the (src, seq) key differs.
+type engineProc struct {
+	e   *Engine
+	dom int
+}
+
+func (p engineProc) Domain() int { return p.dom }
+func (p engineProc) Now() Time   { return p.e.now }
+
+func (p engineProc) Schedule(at Time, fn func()) *Event {
+	return p.e.schedule(p.dom, p.dom, at, fn)
+}
+
+func (p engineProc) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return p.e.schedule(p.dom, p.dom, p.e.now.Add(d), fn)
+}
+
+func (p engineProc) Send(owner int, d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return p.e.schedule(p.dom, owner, p.e.now.Add(d), fn)
+}
+
+func (p engineProc) SendAt(owner int, at Time, fn func()) *Event {
+	return p.e.schedule(p.dom, owner, at, fn)
+}
+
+func (p engineProc) Cancel(ev *Event) { p.e.Cancel(ev) }
+
+func (p engineProc) NewTicker(period Duration, fn func()) *Ticker {
+	return newTicker(p, period, fn)
+}
+
 // Ticker repeatedly invokes a callback at a fixed period until stopped.
+// The callback runs in the domain of the Proc that created the ticker.
 type Ticker struct {
-	e      *Engine
+	p      Proc
 	period Duration
 	fn     func()
 	ev     *Event
 	stop   bool
 }
 
-// NewTicker schedules fn every period, first firing one period from now.
-func (e *Engine) NewTicker(period Duration, fn func()) *Ticker {
+func newTicker(p Proc, period Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}
-	t := &Ticker{e: e, period: period, fn: fn}
+	t := &Ticker{p: p, period: period, fn: fn}
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.e.After(t.period, func() {
+	t.ev = t.p.After(t.period, func() {
 		if t.stop {
 			return
 		}
@@ -263,8 +441,9 @@ func (t *Ticker) arm() {
 	})
 }
 
-// Stop cancels the ticker. The callback will not fire again.
+// Stop cancels the ticker. The callback will not fire again. Stop must
+// be called from the ticker's own domain context (or the driver).
 func (t *Ticker) Stop() {
 	t.stop = true
-	t.e.Cancel(t.ev)
+	t.p.Cancel(t.ev)
 }

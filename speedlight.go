@@ -110,6 +110,11 @@ type Config struct {
 	CoSLevels int
 	// Seed makes runs reproducible. Default 1.
 	Seed int64
+	// Shards selects the simulation engine: 0 or 1 runs the serial
+	// reference engine; >= 2 runs the sharded parallel engine with that
+	// many workers. Results are byte-identical for the same seed either
+	// way; see DESIGN.md ("Parallel simulation").
+	Shards int
 	// Registry, when set, enables telemetry on every layer of the
 	// emulation (data plane, control plane, observer, network). Nil
 	// disables instrumentation at zero hot-path cost.
@@ -189,6 +194,7 @@ func New(cfg Config) (*Network, error) {
 	ecfg := emunet.Config{
 		Topo:         ls.Topology,
 		Seed:         cfg.Seed,
+		Shards:       cfg.Shards,
 		MaxID:        256,
 		WrapAround:   true,
 		ChannelState: cfg.ChannelState,
@@ -204,8 +210,10 @@ func New(cfg Config) (*Network, error) {
 			return &counters.ByteCount{}
 		case EWMAInterarrival:
 			if id.Dir == dataplane.Egress {
-				eng := net.Engine()
-				return counters.NewEWMAInterarrival(func() int64 { return int64(eng.Now()) })
+				// The clock source must be the unit's own domain: under
+				// shards, the engine-wide clock lags the shard-local one.
+				proc := net.Proc(id.Node)
+				return counters.NewEWMAInterarrival(func() int64 { return int64(proc.Now()) })
 			}
 			return &counters.PacketCount{}
 		case QueueDepth:
