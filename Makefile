@@ -3,9 +3,22 @@
 
 SLVET := $(CURDIR)/bin/speedlightvet
 
-.PHONY: all build test race lint vet bench-shards clean
+.PHONY: all help build test race lint vet bench-shards bench-json clean
 
 all: build lint test
+
+help:
+	@echo "Speedlight build targets:"
+	@echo "  all          build + lint + test"
+	@echo "  build        go build ./..."
+	@echo "  test         go test -shuffle=on ./..."
+	@echo "  race         go test -race ./..."
+	@echo "  lint         build speedlightvet and run the analyzer suite"
+	@echo "  vet          plain go vet"
+	@echo "  bench-shards serial-vs-sharded scaling benchmarks (CI gate)"
+	@echo "  bench-json   regenerate BENCH_5.json (hot-path allocs/op +"
+	@echo "               events/sec, with the frozen pre-PR baseline)"
+	@echo "  clean        remove bin/"
 
 build:
 	go build ./...
@@ -33,6 +46,13 @@ vet:
 # multi-core runners only).
 bench-shards:
 	go test -run '^$$' -bench BenchmarkShardScaling -benchtime 5x -timeout 30m .
+
+# bench-json reruns the hot-path and scaling benchmarks and rewrites
+# BENCH_5.json (committed) with after-numbers from this machine next to
+# the frozen pre-PR baseline. CI uploads the file as an artifact and
+# gates allocs/op == 0 on the hot-path benchmarks.
+bench-json:
+	sh scripts/bench_json.sh BENCH_5.json
 
 clean:
 	rm -rf bin

@@ -204,15 +204,13 @@ func BenchmarkSwitchPipeline(b *testing.B) {
 // BenchmarkHeaderCodec measures the snapshot header wire codec.
 func BenchmarkHeaderCodec(b *testing.B) {
 	h := packet.SnapshotHeader{Type: packet.TypeData, ID: 123456, Channel: 17}
+	buf := make([]byte, 0, packet.HeaderLen)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		data, err := h.MarshalBinary()
-		if err != nil {
-			b.Fatal(err)
-		}
+		buf = h.AppendBinary(buf[:0])
 		var out packet.SnapshotHeader
-		if err := out.UnmarshalBinary(data); err != nil {
+		if err := out.UnmarshalBinary(buf); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -253,15 +251,20 @@ func BenchmarkEmulationThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng := n.Engine()
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := eng.Fired()
 	for i := 0; i < b.N; i++ {
-		n.InjectFromHost(0, &packet.Packet{DstHost: 3, SrcPort: uint16(i), Proto: 6, Size: 1000})
+		pkt := n.NewPacket()
+		pkt.DstHost, pkt.SrcPort, pkt.Proto, pkt.Size = 3, uint16(i), 6, 1000
+		n.InjectFromHost(0, pkt)
 		if i%1024 == 1023 {
 			n.RunFor(sim.Millisecond)
 		}
 	}
 	n.RunFor(10 * sim.Millisecond)
+	b.ReportMetric(float64(eng.Fired()-start)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkEmulationThroughputTelemetry is BenchmarkEmulationThroughput
@@ -285,15 +288,20 @@ func BenchmarkEmulationThroughputTelemetry(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng := n.Engine()
 	b.ReportAllocs()
 	b.ResetTimer()
+	start := eng.Fired()
 	for i := 0; i < b.N; i++ {
-		n.InjectFromHost(0, &packet.Packet{DstHost: 3, SrcPort: uint16(i), Proto: 6, Size: 1000})
+		pkt := n.NewPacket()
+		pkt.DstHost, pkt.SrcPort, pkt.Proto, pkt.Size = 3, uint16(i), 6, 1000
+		n.InjectFromHost(0, pkt)
 		if i%1024 == 1023 {
 			n.RunFor(sim.Millisecond)
 		}
 	}
 	n.RunFor(10 * sim.Millisecond)
+	b.ReportMetric(float64(eng.Fired()-start)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkTelemetryHotPath measures the instrumentation primitives on
@@ -403,13 +411,13 @@ func BenchmarkShardScaling(b *testing.B) {
 							return
 						}
 						seq++
-						n.InjectFrom(p, h.ID, &packet.Packet{
-							DstHost: uint32(dst.ID),
-							SrcPort: 1000 + seq,
-							DstPort: 80,
-							Proto:   6,
-							Size:    1000,
-						})
+						pkt := n.NewPacketFor(h.ID)
+						pkt.DstHost = uint32(dst.ID)
+						pkt.SrcPort = 1000 + seq
+						pkt.DstPort = 80
+						pkt.Proto = 6
+						pkt.Size = 1000
+						n.InjectFrom(p, h.ID, pkt)
 					})
 				}
 				n.RunFor(sim.Millisecond) // warm up queues and flows

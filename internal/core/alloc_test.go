@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"testing"
+
+	"speedlight/internal/core"
+	"speedlight/internal/counters"
+	"speedlight/internal/packet"
+)
+
+// TestOnPacketAllocs pins the protocol inner loop at zero allocations
+// per packet — the contract the //speedlight:hotpath marker and the
+// hotalloc analyzer enforce statically.
+func TestOnPacketAllocs(t *testing.T) {
+	u, err := core.NewUnit(core.Config{
+		MaxID: 256, WrapAround: true, ChannelState: true,
+		NumChannels: 2, CPChannel: 1,
+	}, &counters.PacketCount{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &packet.Packet{
+		HasSnap: true,
+		Snap:    packet.SnapshotHeader{Type: packet.TypeData},
+	}
+	var i uint64
+	if n := testing.AllocsPerRun(10000, func() {
+		pkt.Snap.ID = packet.WireIDFromRaw(uint32((i / 1024) % 256))
+		i++
+		u.OnPacket(pkt, 0)
+	}); n != 0 {
+		t.Fatalf("OnPacket allocates %v per packet, want 0", n)
+	}
+}

@@ -155,7 +155,11 @@ type Switch struct {
 	tel   *Telemetry
 	jr    *journal.Journal
 
+	// notifs is a head-indexed FIFO (pops advance notifHead instead of
+	// re-slicing, so steady state queues without allocating; the buffer
+	// compacts when the dead prefix dominates).
 	notifs     []CPUNotification
+	notifHead  int
 	notifDrops uint64
 	notifCap   int
 }
@@ -353,7 +357,7 @@ func (s *Switch) pushNotif(n CPUNotification) {
 	if s.cfg.OnNotify != nil {
 		s.cfg.OnNotify(n)
 	}
-	if len(s.notifs) >= s.notifCap {
+	if len(s.notifs)-s.notifHead >= s.notifCap {
 		s.notifDrops++
 		s.tel.NotifsDropped.Inc()
 		if s.jr != nil {
@@ -362,21 +366,31 @@ func (s *Switch) pushNotif(n CPUNotification) {
 		return
 	}
 	s.notifs = append(s.notifs, n)
-	s.tel.NotifQueueHighWater.SetMax(int64(len(s.notifs)))
+	s.tel.NotifQueueHighWater.SetMax(int64(len(s.notifs) - s.notifHead))
 }
 
 // PopNotif removes and returns the oldest pending notification.
+//
+//speedlight:hotpath
 func (s *Switch) PopNotif() (CPUNotification, bool) {
-	if len(s.notifs) == 0 {
+	if s.notifHead == len(s.notifs) {
 		return CPUNotification{}, false
 	}
-	n := s.notifs[0]
-	s.notifs = s.notifs[1:]
+	n := s.notifs[s.notifHead]
+	s.notifHead++
+	if s.notifHead == len(s.notifs) {
+		s.notifs = s.notifs[:0]
+		s.notifHead = 0
+	} else if s.notifHead >= 64 && s.notifHead*2 >= len(s.notifs) {
+		kept := copy(s.notifs, s.notifs[s.notifHead:])
+		s.notifs = s.notifs[:kept]
+		s.notifHead = 0
+	}
 	return n, true
 }
 
 // PendingNotifs returns the number of queued notifications.
-func (s *Switch) PendingNotifs() int { return len(s.notifs) }
+func (s *Switch) PendingNotifs() int { return len(s.notifs) - s.notifHead }
 
 // NotifDrops returns how many notifications were dropped at the full
 // CPU queue.

@@ -211,28 +211,71 @@ type queuedPkt struct {
 	pkt *packet.Packet
 }
 
+// pktFIFO is a head-indexed FIFO: pops advance a cursor instead of
+// re-slicing the front (which strands the backing array's prefix and
+// forces append to keep growing fresh arrays), and the buffer compacts
+// once the dead prefix dominates. Steady state pushes and pops without
+// allocating.
+type pktFIFO struct {
+	items []queuedPkt
+	head  int
+}
+
+func (f *pktFIFO) len() int { return len(f.items) - f.head }
+
+//speedlight:hotpath
+func (f *pktFIFO) push(q queuedPkt) { f.items = append(f.items, q) }
+
+//speedlight:hotpath
+func (f *pktFIFO) peek() queuedPkt { return f.items[f.head] }
+
+//speedlight:hotpath
+func (f *pktFIFO) pop() queuedPkt {
+	q := f.items[f.head]
+	f.items[f.head].pkt = nil // unpin
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	} else if f.head >= 64 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		clearTail(f.items[n:])
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	return q
+}
+
+func clearTail(s []queuedPkt) {
+	for i := range s {
+		s[i].pkt = nil
+	}
+}
+
 // portQueue is one egress port's set of per-class FIFO queues with a
 // single strict-priority transmitter: within a class order holds, but
 // a higher class's packets overtake lower ones — exactly the CoS
 // channel model of Section 4.1.
 type portQueue struct {
-	perCoS      [][]queuedPkt
+	perCoS      []pktFIFO
 	txScheduled bool
 	drops       uint64
 }
 
 func (q *portQueue) length() int {
 	n := 0
-	for _, items := range q.perCoS {
-		n += len(items)
+	for i := range q.perCoS {
+		n += q.perCoS[i].len()
 	}
 	return n
 }
 
 // head returns the highest-priority non-empty class, or -1.
+//
+//speedlight:hotpath
 func (q *portQueue) head() int {
 	for cos := len(q.perCoS) - 1; cos >= 0; cos-- {
-		if len(q.perCoS[cos]) > 0 {
+		if q.perCoS[cos].len() > 0 {
 			return cos
 		}
 	}
@@ -259,6 +302,11 @@ type EmuSwitch struct {
 	rng    *rand.Rand
 	// pkts counts this switch's wire arrivals (per-switch throughput).
 	pkts *telemetry.Counter
+	// ppool is the switch's packet free list (see packet.Pool): touched
+	// only by this switch's domain events or with workers parked, and
+	// balanced against other switches through the network's central
+	// exchange.
+	ppool packet.Pool
 }
 
 // QueueLen returns the occupancy of an egress queue in packets, summed
@@ -323,6 +371,22 @@ type Network struct {
 	dpTel *dataplane.Telemetry
 	cpTel *control.Telemetry
 	tel   netTelemetry
+
+	// Packet pooling: central is the exchange behind every switch's
+	// free list; dpool is the driver/global-context pool (NewPacket,
+	// global-domain deliveries).
+	central *packet.Central
+	dpool   packet.Pool
+
+	// Cached closure-free callbacks (method values evaluate to a fresh
+	// allocation each time, so they are bound once here). These carry
+	// the hottest per-packet schedules: wire arrival, head-of-line
+	// transmit, host delivery, and the CP notification loop.
+	arriveFn        sim.CallFn
+	txFn            sim.CallFn
+	deliverLocalFn  sim.CallFn
+	deliverGlobalFn sim.CallFn
+	cpFn            sim.CallFn
 }
 
 // netTelemetry is the emulation harness's own metric set, covering the
@@ -442,7 +506,14 @@ func New(cfg Config) (*Network, error) {
 		dpTel:    dataplane.NewTelemetry(cfg.Registry),
 		cpTel:    control.NewTelemetry(cfg.Registry),
 		tel:      newNetTelemetry(cfg.Registry),
+		central:  packet.NewCentral(),
 	}
+	n.dpool = n.central.NewPool()
+	n.arriveFn = n.arriveCall
+	n.txFn = n.txCall
+	n.deliverLocalFn = n.deliverLocalCall
+	n.deliverGlobalFn = n.deliverGlobalCall
+	n.cpFn = n.cpCall
 
 	// Stamp the deployment parameters into the journal so offline
 	// audits (doctor) recover them without side-channel configuration.
@@ -606,8 +677,9 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 
 	es.queues = make([]*portQueue, len(spec.Ports))
 	for i := range es.queues {
-		es.queues[i] = &portQueue{perCoS: make([][]queuedPkt, cfg.NumCoS)}
+		es.queues[i] = &portQueue{perCoS: make([]pktFIFO, cfg.NumCoS)}
 	}
+	es.ppool = n.central.NewPool()
 	n.sws[node] = es
 	return nil
 }
@@ -880,13 +952,40 @@ func (n *Network) InjectFrom(p sim.Proc, host topology.HostID, pkt *packet.Packe
 		n.cfg.OnInject(pkt, host, p.Now())
 	}
 	es := n.sws[h.Node]
-	p.Send(es.dom, sim.Duration(h.Latency), func() {
-		n.arrive(es, pkt, h.Port)
-	})
+	p.SendCall(es.dom, sim.Duration(h.Latency), n.arriveFn, es, pkt, int64(h.Port))
+}
+
+// NewPacket returns a zeroed pool-owned packet for injection from
+// driver or global-domain context. Ownership passes to the network at
+// InjectFrom*; the packet is recycled at its terminal point (host
+// delivery or any drop), so the caller — including OnInject/OnDeliver
+// hooks — must not retain it past the hand-off. Packets built directly
+// with &packet.Packet{...} remain outside the pool and are never
+// recycled.
+func (n *Network) NewPacket() *packet.Packet { return n.dpool.Get() }
+
+// NewPacketFor is NewPacket for a per-host traffic source running in
+// the host's own switch domain (InjectFrom with HostProc): the packet
+// comes from that switch's pool, which the calling context owns.
+func (n *Network) NewPacketFor(host topology.HostID) *packet.Packet {
+	h := n.topo.Host(host)
+	if h == nil {
+		panic(fmt.Sprintf("emunet: unknown host %d", host))
+	}
+	return n.sws[h.Node].ppool.Get()
+}
+
+// arriveCall, txCall, deliverLocalCall, deliverGlobalCall and cpCall
+// are the closure-free event callbacks behind the per-packet schedules
+// (bound once into the *Fn fields at construction).
+func (n *Network) arriveCall(a, b any, i int64) {
+	n.arrive(a.(*EmuSwitch), b.(*packet.Packet), int(i))
 }
 
 // arrive handles a packet arriving at a switch port from the wire.
 // Runs in es's domain.
+//
+//speedlight:hotpath
 func (n *Network) arrive(es *EmuSwitch, pkt *packet.Packet, port int) {
 	now := es.proc.Now()
 	es.pkts.Inc()
@@ -896,12 +995,14 @@ func (n *Network) arrive(es *EmuSwitch, pkt *packet.Packet, port int) {
 		// device's own CP-injected markers, so no re-flood is needed —
 		// which also rules out flooding loops.
 		es.DP.IngressOnly(pkt, port, now)
+		es.ppool.Put(pkt)
 		n.drainNotifs(es)
 		return
 	}
 	res := es.DP.Ingress(pkt, port, now)
 	n.drainNotifs(es)
 	if res.Drop {
+		es.ppool.Put(pkt)
 		return
 	}
 	n.enqueue(es, pkt, res.EgressPort)
@@ -909,18 +1010,21 @@ func (n *Network) arrive(es *EmuSwitch, pkt *packet.Packet, port int) {
 
 // enqueue places a packet into an egress queue, dropping at capacity,
 // and starts the transmitter if idle.
+//
+//speedlight:hotpath
 func (n *Network) enqueue(es *EmuSwitch, pkt *packet.Packet, port int) {
 	q := es.queues[port]
 	if q.length() >= n.cfg.QueueCapacity {
 		q.drops++
 		n.tel.queueDrops.Inc()
+		es.ppool.Put(pkt)
 		return
 	}
 	cos := int(pkt.CoS)
 	if cos >= len(q.perCoS) {
 		cos = len(q.perCoS) - 1
 	}
-	q.perCoS[cos] = append(q.perCoS[cos], queuedPkt{pkt: pkt})
+	q.perCoS[cos].push(queuedPkt{pkt: pkt})
 	n.tel.queueHighWater.SetMax(int64(q.length()))
 	n.setDepthGauge(es, port)
 	if !q.txScheduled {
@@ -929,7 +1033,13 @@ func (n *Network) enqueue(es *EmuSwitch, pkt *packet.Packet, port int) {
 	}
 }
 
-// scheduleTx transmits the head-of-line packet of a queue.
+// scheduleTx arms the transmitter for the current head-of-line packet.
+// The chosen class rides in the event (i = port<<8 | cos): strict
+// priority is decided when the transmitter is armed, and FIFO order
+// within a class guarantees the class's head at fire time is the same
+// packet that was priced here.
+//
+//speedlight:hotpath
 func (n *Network) scheduleTx(es *EmuSwitch, port int) {
 	q := es.queues[port]
 	cos := q.head()
@@ -937,25 +1047,36 @@ func (n *Network) scheduleTx(es *EmuSwitch, port int) {
 		q.txScheduled = false
 		return
 	}
-	head := q.perCoS[cos][0]
-	es.proc.After(n.serialization(es, port, head.pkt.Size), func() {
-		q.perCoS[cos] = q.perCoS[cos][1:]
-		n.setDepthGauge(es, port)
-		n.transmit(es, head.pkt, port)
-		n.scheduleTx(es, port)
-	})
+	head := q.perCoS[cos].peek()
+	es.proc.AfterCall(n.serialization(es, port, head.pkt.Size),
+		n.txFn, es, nil, int64(port)<<8|int64(cos))
+}
+
+// txCall fires when the head-of-line packet finishes serializing: pop
+// it, run egress, and re-arm for the next head.
+//
+//speedlight:hotpath
+func (n *Network) txCall(a, _ any, i int64) {
+	es := a.(*EmuSwitch)
+	port, cos := int(i>>8), int(i&0xff)
+	head := es.queues[port].perCoS[cos].pop()
+	n.setDepthGauge(es, port)
+	n.transmit(es, head.pkt, port)
+	n.scheduleTx(es, port)
 }
 
 // transmit runs the egress unit and delivers the packet to the port's
 // peer. Runs in es's domain; the wire hop to a neighboring switch is a
 // cross-domain send whose latency is what the parallel engine's
 // lookahead is derived from.
+//speedlight:hotpath
 func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 	now := es.proc.Now()
 	isBroadcast := topology.HostID(pkt.DstHost) == BroadcastHost
 	res := es.DP.Egress(pkt, port, now)
 	n.drainNotifs(es)
 	if res.Drop {
+		es.ppool.Put(pkt)
 		return
 	}
 	if isBroadcast {
@@ -965,6 +1086,7 @@ func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 		// recovery round resends them.
 		peer := n.topo.Peer(es.Node, port)
 		if peer.Kind != topology.PeerSwitch {
+			es.ppool.Put(pkt)
 			return
 		}
 		n.wireHop(es, pkt, peer)
@@ -979,35 +1101,51 @@ func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 			pkt.HasSnap = false
 			pkt.Snap = packet.SnapshotHeader{}
 		}
-		host := peer.Host
-		deliver := func() {
-			n.tel.delivered.Inc()
-			if n.cfg.OnDeliver != nil {
-				n.cfg.OnDeliver(pkt, host, n.gproc.Now())
-			}
-		}
 		if n.cfg.OnDeliver != nil {
 			// Serialize hook invocations (and their order) through the
-			// global domain.
-			es.proc.Send(sim.GlobalDomain, sim.Duration(peer.Latency), deliver)
+			// global domain; the packet's pooled life ends in driver
+			// context after the hook returns.
+			es.proc.SendCall(sim.GlobalDomain, sim.Duration(peer.Latency),
+				n.deliverGlobalFn, nil, pkt, int64(peer.Host))
 		} else {
-			es.proc.After(sim.Duration(peer.Latency), deliver)
+			es.proc.AfterCall(sim.Duration(peer.Latency),
+				n.deliverLocalFn, es, pkt, 0)
 		}
 	}
 }
 
+// deliverLocalCall is host delivery with no OnDeliver hook: count it
+// and recycle the packet in the delivering switch's domain.
+//
+//speedlight:hotpath
+func (n *Network) deliverLocalCall(a, b any, _ int64) {
+	n.tel.delivered.Inc()
+	a.(*EmuSwitch).ppool.Put(b.(*packet.Packet))
+}
+
+// deliverGlobalCall is host delivery serialized through the global
+// domain for the OnDeliver hook; the packet dies into the driver pool.
+func (n *Network) deliverGlobalCall(_, b any, i int64) {
+	pkt := b.(*packet.Packet)
+	n.tel.delivered.Inc()
+	n.cfg.OnDeliver(pkt, topology.HostID(uint32(i)), n.gproc.Now())
+	n.dpool.Put(pkt)
+}
+
 // wireHop carries a packet across a switch-to-switch link, subject to
 // injected loss. Runs in es's domain; arrival runs in the neighbor's.
+//
+//speedlight:hotpath
 func (n *Network) wireHop(es *EmuSwitch, pkt *packet.Packet, peer topology.Peer) {
 	if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
 		n.wireDrops.Add(1)
 		n.tel.wireDrops.Inc()
+		es.ppool.Put(pkt)
 		return
 	}
 	next := n.sws[peer.Node]
-	es.proc.Send(next.dom, sim.Duration(peer.Latency), func() {
-		n.arrive(next, pkt, peer.Port)
-	})
+	es.proc.SendCall(next.dom, sim.Duration(peer.Latency),
+		n.arriveFn, next, pkt, int64(peer.Port))
 }
 
 // setDepthGauge mirrors an egress queue's occupancy into the registered
@@ -1024,14 +1162,18 @@ func (n *Network) setDepthGauge(es *EmuSwitch, port int) {
 // plane's bounded queue is the socket buffer; the loop drains it one
 // notification per service time, so a sustained notification rate above
 // the service rate builds the queue up and eventually drops (Figure 10).
+//speedlight:hotpath
 func (n *Network) drainNotifs(es *EmuSwitch) {
 	if es.cpBusy || es.DP.PendingNotifs() == 0 {
 		return
 	}
 	es.cpBusy = true
 	lat := sim.Duration(n.cfg.CPNotifLatency.Sample(es.rng))
-	es.proc.After(lat, func() { n.cpProcessOne(es) })
+	es.proc.AfterCall(lat, n.cpFn, es, nil, 0)
 }
+
+// cpCall dispatches the CP processing loop's closure-free events.
+func (n *Network) cpCall(a, _ any, _ int64) { n.cpProcessOne(a.(*EmuSwitch)) }
 
 // cpProcessOne handles one notification and reschedules itself while
 // work remains.
@@ -1043,7 +1185,7 @@ func (n *Network) cpProcessOne(es *EmuSwitch) {
 	}
 	es.CP.HandleNotification(notif, es.proc.Now())
 	svc := sim.Duration(n.cfg.CPServiceTime.Sample(es.rng))
-	es.proc.After(svc, func() { n.cpProcessOne(es) })
+	es.proc.AfterCall(svc, n.cpFn, es, nil, 0)
 }
 
 // ScheduleSnapshot asks the observer to start a snapshot at the given

@@ -1,0 +1,17 @@
+package journal
+
+import "testing"
+
+// TestAppendAllocs pins the hot-path contract: Append costs zero
+// amortized allocations per event. Cell blocks are allocated one ring
+// of events at a time, so per-append cost is 1/size allocations —
+// which AllocsPerRun's integer average reports as 0.
+func TestAppendAllocs(t *testing.T) {
+	j := New(1024)
+	ev := Event{Kind: KindInitiate, Switch: 1, AtNs: 5}
+	if n := testing.AllocsPerRun(10000, func() {
+		j.Append(ev)
+	}); n != 0 {
+		t.Fatalf("Append allocates %v per event, want 0 amortized", n)
+	}
+}

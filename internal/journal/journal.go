@@ -62,6 +62,19 @@ type Journal struct {
 	// and dump reads race-free: a reader either sees the old event or
 	// the new one, never a torn mix.
 	slots []atomic.Pointer[Event]
+	// cells is the current block of write-once event storage. Appends
+	// claim cells from it instead of heap-allocating per event; when a
+	// block is exhausted a fresh one is CASed in, so the allocation is
+	// amortized over a whole block. Cells are never rewritten after
+	// publication (claimed exactly once, blocks never recycled), which
+	// keeps concurrent dump reads race-free.
+	cells atomic.Pointer[cellBlock]
+}
+
+// cellBlock is one batch of event cells; pos is the claim cursor.
+type cellBlock struct {
+	pos atomic.Uint64
+	evs []Event
 }
 
 // New creates a standalone ring. capacity is rounded up to a power of
@@ -74,10 +87,12 @@ func New(capacity int) *Journal {
 	for size < capacity {
 		size <<= 1
 	}
-	return &Journal{
+	j := &Journal{
 		mask:  uint64(size - 1),
 		slots: make([]atomic.Pointer[Event], size),
 	}
+	j.cells.Store(&cellBlock{evs: make([]Event, size)})
+	return j
 }
 
 // Cap returns the ring capacity in events.
@@ -99,8 +114,31 @@ func (j *Journal) Append(ev Event) {
 	}
 	pos := j.next.Add(1) - 1
 	ev.Seq = pos + 1
-	e := &ev
+	e := j.cell()
+	*e = ev
 	j.slots[pos&j.mask].Store(e)
+}
+
+// cell claims the next write-once event cell, advancing to a fresh
+// block when the current one is spent.
+//
+//speedlight:hotpath
+func (j *Journal) cell() *Event {
+	for {
+		blk := j.cells.Load()
+		i := blk.pos.Add(1) - 1
+		if i < uint64(len(blk.evs)) {
+			return &blk.evs[i]
+		}
+		j.growCells(blk)
+	}
+}
+
+// growCells is the amortized cold path: install a fresh block in place
+// of the spent one. A lost CAS means another appender already did.
+func (j *Journal) growCells(spent *cellBlock) {
+	blk := &cellBlock{evs: make([]Event, len(j.slots))}
+	j.cells.CompareAndSwap(spent, blk)
 }
 
 // Appended returns how many events this ring has accepted in total

@@ -9,13 +9,21 @@
 //	//speedlight:hotpath
 //
 // directive in its doc comment. Inside a marked function hotalloc
-// flags fmt formatting calls, non-constant string concatenation, and
-// map/slice composite literals. Arguments to panic are exempt: a
-// failing assertion is already off the hot path.
+// flags fmt formatting calls, non-constant string concatenation,
+// map/slice composite literals, make and new builtins, pointer
+// composite literals (&T{...}), function literals (closure creation),
+// and any use of sync.Pool — pooling on marked paths must go through
+// the repo's plain per-context free lists (internal/packet.Pool, the
+// sim event pool), whose Get/Put are unsynchronized slice operations
+// with explicit ownership, not sync.Pool's escape-prone interface
+// boxing. Arguments to panic are exempt: a failing assertion is
+// already off the hot path. Cold fallbacks (batch refills, block
+// growth) belong in separate unmarked functions.
 package hotalloc
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -24,8 +32,9 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
-	Doc: "flag fmt calls, string concatenation, and map/slice literals inside " +
-		"functions marked //speedlight:hotpath (per-packet allocation-free discipline)",
+	Doc: "flag fmt calls, string concatenation, map/slice literals, make/new, " +
+		"pointer literals, closures, and sync.Pool use inside functions marked " +
+		"//speedlight:hotpath (per-packet allocation-free discipline)",
 	Run: run,
 }
 
@@ -72,12 +81,39 @@ func checkHot(pass *analysis.Pass, body *ast.BlockStmt) {
 			if isPanic(pass.TypesInfo, n) {
 				return false // assertion failure path is cold
 			}
+			if name, ok := builtinName(pass.TypesInfo, n); ok {
+				switch name {
+				case "make":
+					pass.Reportf(n.Pos(),
+						"make in //speedlight:hotpath function allocates per packet: preallocate or pool the storage")
+				case "new":
+					pass.Reportf(n.Pos(),
+						"new in //speedlight:hotpath function allocates per packet: preallocate or pool the storage")
+				}
+			}
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
 				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
 					fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtAllocs[fn.Name()] {
 					pass.Reportf(n.Pos(),
 						"fmt.%s in //speedlight:hotpath function allocates per packet: format off the hot path",
 						fn.Name())
+				}
+				if isSyncPoolMethod(pass.TypesInfo, sel) {
+					pass.Reportf(n.Pos(),
+						"sync.Pool %s in //speedlight:hotpath function: use the per-context free lists (interface boxing escapes)",
+						sel.Sel.Name)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"function literal in //speedlight:hotpath function allocates a closure per packet: use a cached CallFn")
+			return false // don't double-report the closure's body
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(),
+						"pointer composite literal in //speedlight:hotpath function heap-allocates per packet: take cells from a pool")
+					return false // the literal itself would be re-flagged below
 				}
 			}
 		case *ast.BinaryExpr:
@@ -111,10 +147,38 @@ func checkHot(pass *analysis.Pass, body *ast.BlockStmt) {
 }
 
 func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	name, ok := builtinName(info, call)
+	return ok && name == "panic"
+}
+
+// builtinName returns the name of the builtin a call invokes, if any.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
 	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	if !ok {
+		return "", false
+	}
+	return b.Name(), true
+}
+
+// isSyncPoolMethod reports whether sel names a method on sync.Pool
+// (directly or through a pointer).
+func isSyncPoolMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
 	if !ok {
 		return false
 	}
-	b, ok := info.Uses[id].(*types.Builtin)
-	return ok && b.Name() == "panic"
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
 }

@@ -1,7 +1,10 @@
 // Package hot exercises the //speedlight:hotpath marker.
 package hot
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // OnPacket stands in for a per-packet pipeline stage.
 //
@@ -31,4 +34,73 @@ func Advance(a, b uint64) uint64 {
 	const tag = "x" + "y" // constant-folded concat costs nothing
 	_ = tag
 	return a + b
+}
+
+// Schedule stands in for the event-scheduling hot path: builtin
+// allocation, closures, and boxed pooling are all flagged.
+//
+//speedlight:hotpath
+func Schedule(n int) {
+	buf := make([]byte, n) // want `make in //speedlight:hotpath function`
+	_ = buf
+	p := new(int) // want `new in //speedlight:hotpath function`
+	_ = p
+	ev := &event{at: n} // want `pointer composite literal in //speedlight:hotpath function`
+	_ = ev
+	fn := func() { _ = n } // want `function literal in //speedlight:hotpath function`
+	fn()
+	var sp sync.Pool
+	got := sp.Get() // want `sync\.Pool Get in //speedlight:hotpath function`
+	sp.Put(got)     // want `sync\.Pool Put in //speedlight:hotpath function`
+}
+
+// event is a stand-in pooled object.
+type event struct {
+	at    int
+	state uint8
+}
+
+// pool is a stand-in per-context free list.
+type pool struct {
+	free []*event
+}
+
+// Get is the blessed pooled fast path: popping a plain free list and
+// resetting the object in place allocates nothing. This case pins the
+// pattern the analyzer must keep accepting — free-list pop, value
+// (non-pointer) composite literal reset, index/slice expressions.
+//
+//speedlight:hotpath
+func (p *pool) Get() *event {
+	n := len(p.free)
+	if n == 0 {
+		return p.refill()
+	}
+	ev := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	*ev = event{state: 1} // value literal: no heap allocation
+	return ev
+}
+
+// Append is the blessed append-codec fast path: appending into a
+// caller-provided buffer with byte operands allocates nothing (growth
+// beyond capacity is the caller's sizing bug, not this function's
+// allocation).
+//
+//speedlight:hotpath
+func Append(dst []byte, port int, payload byte) []byte {
+	return append(dst, 0x01, byte(port>>8), byte(port), payload)
+}
+
+// refill is the unmarked cold path backing Get: batch allocation is
+// fine here.
+func (p *pool) refill() *event {
+	block := make([]event, 8)
+	for i := range block {
+		p.free = append(p.free, &block[i])
+	}
+	ev := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return ev
 }

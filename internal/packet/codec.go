@@ -45,32 +45,36 @@ var (
 
 // MarshalBinary encodes the packet.
 func (p *Packet) MarshalBinary() ([]byte, error) {
-	n := PacketBaseLen
+	return p.AppendBinary(nil), nil
+}
+
+// AppendBinary appends the packet's encoding to dst and returns the
+// extended slice. With at least PacketMaxLen of spare capacity in dst
+// it allocates nothing; this is the hot-path form of MarshalBinary.
+//
+//speedlight:hotpath
+func (p *Packet) AppendBinary(dst []byte) []byte {
+	flags := (p.CoS & 0x0f) << 4
 	if p.HasSnap {
-		n = PacketMaxLen
+		flags |= flagHasSnap
 	}
-	buf := make([]byte, n)
-	buf[0] = pktMagic
-	buf[1] = pktVersion
+	dst = append(dst,
+		pktMagic,
+		pktVersion,
+		flags,
+		p.Proto,
+		byte(p.SrcHost>>24), byte(p.SrcHost>>16), byte(p.SrcHost>>8), byte(p.SrcHost),
+		byte(p.DstHost>>24), byte(p.DstHost>>16), byte(p.DstHost>>8), byte(p.DstHost),
+		byte(p.SrcPort>>8), byte(p.SrcPort),
+		byte(p.DstPort>>8), byte(p.DstPort),
+		byte(p.Size>>24), byte(p.Size>>16), byte(p.Size>>8), byte(p.Size),
+		byte(p.Seq>>56), byte(p.Seq>>48), byte(p.Seq>>40), byte(p.Seq>>32),
+		byte(p.Seq>>24), byte(p.Seq>>16), byte(p.Seq>>8), byte(p.Seq),
+	)
 	if p.HasSnap {
-		buf[2] |= flagHasSnap
+		dst = p.Snap.AppendBinary(dst)
 	}
-	buf[2] |= (p.CoS & 0x0f) << 4
-	buf[3] = p.Proto
-	binary.BigEndian.PutUint32(buf[4:8], p.SrcHost)
-	binary.BigEndian.PutUint32(buf[8:12], p.DstHost)
-	binary.BigEndian.PutUint16(buf[12:14], p.SrcPort)
-	binary.BigEndian.PutUint16(buf[14:16], p.DstPort)
-	binary.BigEndian.PutUint32(buf[16:20], p.Size)
-	binary.BigEndian.PutUint64(buf[20:28], p.Seq)
-	if p.HasSnap {
-		h, err := p.Snap.MarshalBinary()
-		if err != nil {
-			return nil, err
-		}
-		copy(buf[PacketBaseLen:], h)
-	}
-	return buf, nil
+	return dst
 }
 
 // UnmarshalBinary decodes a packet.

@@ -107,6 +107,10 @@ type Packet struct {
 	// adds it (partial deployment, Section 10).
 	HasSnap bool
 	Snap    SnapshotHeader
+
+	// pstate is the pool lifecycle state (see pool.go). Zero for
+	// packets built directly by callers, which pools never manage.
+	pstate uint8
 }
 
 // FlowHash returns a stable hash of the packet's 5-tuple, used by ECMP
@@ -137,9 +141,11 @@ func (p *Packet) FlowHash() uint64 {
 
 // Clone returns a copy of the packet. Data plane hops mutate the
 // snapshot header, so emulations that fan a packet out to multiple
-// queues must clone it per copy.
+// queues must clone it per copy. A clone is always external (never
+// pool-managed), whatever the original's lifecycle.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.pstate = pkExternal
 	return &q
 }
 
@@ -165,12 +171,21 @@ var (
 
 // MarshalBinary encodes the header into an 8-byte slice.
 func (h SnapshotHeader) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, HeaderLen)
-	buf[0] = wireMagic
-	buf[1] = wireVersion<<4 | uint8(h.Type)&0x0f
-	binary.BigEndian.PutUint32(buf[2:6], h.ID.Raw())
-	binary.BigEndian.PutUint16(buf[6:8], h.Channel)
-	return buf, nil
+	return h.AppendBinary(nil), nil
+}
+
+// AppendBinary appends the 8-byte encoding of the header to dst and
+// returns the extended slice. With capacity in dst it allocates
+// nothing; this is the hot-path form of MarshalBinary.
+//
+//speedlight:hotpath
+func (h SnapshotHeader) AppendBinary(dst []byte) []byte {
+	return append(dst,
+		wireMagic,
+		wireVersion<<4|uint8(h.Type)&0x0f,
+		byte(h.ID.Raw()>>24), byte(h.ID.Raw()>>16), byte(h.ID.Raw()>>8), byte(h.ID.Raw()),
+		byte(h.Channel>>8), byte(h.Channel),
+	)
 }
 
 // UnmarshalBinary decodes the header from data.

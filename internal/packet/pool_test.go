@@ -1,0 +1,130 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPoolGetReturnsZeroedLivePacket(t *testing.T) {
+	c := NewCentral()
+	p := c.NewPool()
+
+	pkt := p.Get()
+	if pkt.pstate != pkLive {
+		t.Fatalf("Get returned pstate %d, want live", pkt.pstate)
+	}
+	// Dirty every visible field, recycle, and check the next Get is clean.
+	pkt.SrcHost, pkt.DstHost = 7, 9
+	pkt.Seq = 42
+	pkt.HasSnap = true
+	pkt.Snap = SnapshotHeader{Type: TypeData, ID: 5, Channel: 1}
+	p.Put(pkt)
+
+	got := p.Get()
+	want := Packet{pstate: pkLive}
+	if *got != want {
+		t.Fatalf("recycled packet not zeroed: %+v", *got)
+	}
+}
+
+func TestPoolDoublePutPanics(t *testing.T) {
+	c := NewCentral()
+	p := c.NewPool()
+	pkt := p.Get()
+	p.Put(pkt)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double Put did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "double Put") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	p.Put(pkt)
+}
+
+func TestPoolExternalPutIgnored(t *testing.T) {
+	c := NewCentral()
+	p := c.NewPool()
+	ext := &Packet{SrcHost: 1, DstHost: 2}
+	p.Put(ext) // must not panic, must not enroll the packet
+	p.Put(ext) // and must stay a no-op on repeat
+	if len(p.free) != 0 {
+		t.Fatalf("external packet enrolled in free list (len %d)", len(p.free))
+	}
+}
+
+func TestPoolCloneIsExternal(t *testing.T) {
+	c := NewCentral()
+	p := c.NewPool()
+	pkt := p.Get()
+	pkt.SrcHost = 3
+	clone := pkt.Clone()
+	if clone.pstate != pkExternal {
+		t.Fatalf("Clone pstate %d, want external", clone.pstate)
+	}
+	p.Put(pkt)
+	p.Put(clone) // external: no-op, no panic
+	p.Put(clone)
+}
+
+func TestPoolSpillAndRefillBalance(t *testing.T) {
+	c := NewCentral()
+	src := c.NewPool()
+	sink := c.NewPool()
+
+	// The source allocates a wave of packets; the sink frees them all.
+	pkts := make([]*Packet, 5*poolBatch)
+	for i := range pkts {
+		pkts[i] = src.Get()
+	}
+	for _, pkt := range pkts {
+		sink.Put(pkt)
+	}
+	c.mu.Lock()
+	central := len(c.free)
+	c.mu.Unlock()
+	if central == 0 {
+		t.Fatal("sink pool never spilled to the central exchange")
+	}
+	if len(sink.free) >= 2*poolBatch {
+		t.Fatalf("sink free list kept %d packets, spill threshold is %d",
+			len(sink.free), 2*poolBatch)
+	}
+
+	// A fresh wave from the source must drain the central exchange
+	// rather than allocating from scratch.
+	got := src.Get()
+	c.mu.Lock()
+	after := len(c.free)
+	c.mu.Unlock()
+	if after >= central {
+		t.Fatalf("refill did not take from central: %d -> %d", central, after)
+	}
+	if got.pstate != pkLive {
+		t.Fatalf("refilled packet pstate %d, want live", got.pstate)
+	}
+}
+
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	c := NewCentral()
+	p := c.NewPool()
+	// Warm the free list past one batch so Get never refills.
+	warm := make([]*Packet, poolBatch)
+	for i := range warm {
+		warm[i] = p.Get()
+	}
+	for _, pkt := range warm {
+		p.Put(pkt)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		pkt := p.Get()
+		pkt.Seq++
+		p.Put(pkt)
+	}); n != 0 {
+		t.Fatalf("steady-state Get/Put allocates %v per run, want 0", n)
+	}
+}

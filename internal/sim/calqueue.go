@@ -1,0 +1,194 @@
+package sim
+
+import "container/heap"
+
+// This file holds the engines' pending-event queue. The default is the
+// classic binary heap (eventHeap); an opt-in bucketed calendar queue
+// (Brown, CACM 1988) can be selected instead via CalendarQueue. Both
+// are priority queues over the identical total order (time, src, seq),
+// so pop sequences — and therefore journals, audits and snapshots —
+// are byte-identical whichever queue an engine uses; only the constant
+// factors differ. BenchmarkShardScaling and BenchmarkEventQueue price
+// the two against each other; the heap remains the default because it
+// wins on the emulation workloads (see DESIGN.md, "Memory management
+// and hot paths").
+
+// CalendarQueue, when set, makes engines constructed afterwards use the
+// bucketed calendar queue instead of the binary event heap. It is a
+// construction-time choice: flipping it does not affect engines that
+// already exist. Because both queues realize the same total order, the
+// choice is invisible to determinism — it is purely a performance
+// experiment knob.
+var CalendarQueue = false
+
+// evq is one execution context's pending-event queue: a binary heap by
+// default, or the opt-in calendar queue. The two-field struct (instead
+// of an interface) keeps dispatch a predictable nil check on the hot
+// path rather than a dynamic call.
+type evq struct {
+	h   eventHeap
+	cal *calQueue
+}
+
+func newEvq() evq {
+	if CalendarQueue {
+		return evq{cal: newCalQueue()}
+	}
+	return evq{}
+}
+
+//speedlight:hotpath
+func (q *evq) push(ev *Event) {
+	if q.cal != nil {
+		q.cal.push(ev)
+		return
+	}
+	heap.Push(&q.h, ev)
+}
+
+// pop removes and returns the earliest event (cancelled or not), or nil
+// when the queue is empty.
+//
+//speedlight:hotpath
+func (q *evq) pop() *Event {
+	if q.cal != nil {
+		return q.cal.pop()
+	}
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// peek returns the earliest event without removing it, or nil.
+//
+//speedlight:hotpath
+func (q *evq) peek() *Event {
+	if q.cal != nil {
+		return q.cal.peek()
+	}
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// remove unlinks an event that is currently queued (ev.index >= 0).
+func (q *evq) remove(ev *Event) {
+	if q.cal != nil {
+		q.cal.remove(ev)
+		return
+	}
+	heap.Remove(&q.h, ev.index)
+}
+
+func (q *evq) len() int {
+	if q.cal != nil {
+		return q.cal.size
+	}
+	return len(q.h)
+}
+
+func (q *evq) forEach(f func(*Event)) {
+	if q.cal != nil {
+		for i := range q.cal.buckets {
+			for _, ev := range q.cal.buckets[i] {
+				f(ev)
+			}
+		}
+		return
+	}
+	for _, ev := range q.h {
+		f(ev)
+	}
+}
+
+// Calendar-queue geometry. Bucket width 2^calShift virtual nanoseconds
+// (2.048 µs — the scale of link latencies and serialization delays in
+// the emulation workloads), calBuckets buckets, so one "year" spans
+// ~2 ms of virtual time.
+const (
+	calShift   = 11
+	calBuckets = 1024
+	calWidth   = Time(1) << calShift
+)
+
+// calQueue is a bucketed calendar queue: events hash by time into a
+// ring of buckets, each bucket a small binary heap in the engines'
+// (time, src, seq) order. Pops scan forward from the last popped time,
+// accepting a bucket's top only when it falls inside the bucket's
+// current year window; a fruitless full-year scan falls back to a
+// direct minimum search (the sparse regime).
+//
+// Correctness relies on the engines' no-scheduling-in-the-past rule:
+// every push is at or after the last popped time, so the scan cursor
+// (curT, which only advances to popped event times) never passes a
+// pending or future event.
+type calQueue struct {
+	buckets []eventHeap
+	size    int
+	curT    Time // last popped event time: the scan's lower bound
+}
+
+func newCalQueue() *calQueue {
+	return &calQueue{buckets: make([]eventHeap, calBuckets)}
+}
+
+func calBucket(at Time) int {
+	return int((uint64(at) >> calShift) & (calBuckets - 1))
+}
+
+//speedlight:hotpath
+func (c *calQueue) push(ev *Event) {
+	heap.Push(&c.buckets[calBucket(ev.at)], ev)
+	c.size++
+}
+
+//speedlight:hotpath
+func (c *calQueue) pop() *Event {
+	ev := c.scan()
+	if ev == nil {
+		return nil
+	}
+	heap.Remove(&c.buckets[calBucket(ev.at)], ev.index)
+	c.size--
+	c.curT = ev.at
+	return ev
+}
+
+//speedlight:hotpath
+func (c *calQueue) peek() *Event { return c.scan() }
+
+// scan locates the minimum event without removing it.
+func (c *calQueue) scan() *Event {
+	if c.size == 0 {
+		return nil
+	}
+	// Walk bucket windows forward from the last popped time; the first
+	// top that falls inside its window is the global minimum, because
+	// every earlier window has been scanned empty.
+	t := c.curT
+	for i := 0; i < calBuckets; i++ {
+		h := c.buckets[calBucket(t)]
+		winEnd := (t >> calShift << calShift) + calWidth
+		if len(h) > 0 && h[0].at < winEnd {
+			return h[0]
+		}
+		t = winEnd
+	}
+	// Sparse regime: nothing within a full year of curT. Direct search.
+	var best *Event
+	for i := range c.buckets {
+		h := c.buckets[i]
+		if len(h) > 0 && (best == nil || eventLess(h[0], best)) {
+			best = h[0]
+		}
+	}
+	return best
+}
+
+// remove unlinks a queued event (ev.index >= 0 within its bucket).
+func (c *calQueue) remove(ev *Event) {
+	heap.Remove(&c.buckets[calBucket(ev.at)], ev.index)
+	c.size--
+}

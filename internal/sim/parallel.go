@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -9,7 +8,7 @@ import (
 
 // Parallel is the sharded implementation of Sim: a conservative
 // parallel discrete-event engine. Domains (one per emulated switch)
-// are partitioned across shards; each shard owns an event heap drained
+// are partitioned across shards; each shard owns an event queue drained
 // by one worker goroutine. Execution proceeds in null-message-free
 // barrier rounds: with S the earliest pending shard event and L the
 // lookahead (the minimum latency of any cross-shard interaction), every
@@ -26,6 +25,15 @@ import (
 // count. A send between shards below the current horizon is a
 // causality violation and panics — it means the configured lookahead
 // exceeds the actual minimum cross-shard latency.
+//
+// Event pooling. Each shard (and the coordinator, via the global
+// pseudo-shard) keeps its own event free list. An event is drawn from
+// the scheduling context's pool — the worker's own shard during a
+// round, any pool from the parked-coordinator context — and returned
+// to the pool of whichever context pops it, so cross-shard events
+// simply migrate between free lists. No pool is ever touched by two
+// goroutines at once: workers only reach their own shard's pool, and
+// the coordinator only runs while workers are parked.
 //
 // Context rules (the serial engine forgives these; this one does not):
 // domain state must only be touched by its own domain's events or by
@@ -63,10 +71,11 @@ type pardom struct {
 	_     [48]byte
 }
 
-// pshard is one shard: an event heap plus a mailbox for cross-shard
-// arrivals, merged at barriers.
+// pshard is one shard: an event queue plus a mailbox for cross-shard
+// arrivals, merged at barriers, plus the shard's event free list.
 type pshard struct {
-	heap     eventHeap
+	q        evq
+	pool     eventPool
 	now      Time
 	fired    uint64
 	job      chan Time
@@ -83,17 +92,21 @@ func (sh *pshard) pushMail(ev *Event) {
 	sh.mailMu.Unlock()
 }
 
-// nextTime returns the shard's earliest live event time, discarding
-// cancelled heap tops. Coordinator context only.
+// nextTime returns the shard's earliest live event time, recycling
+// cancelled queue tops. Coordinator context only.
 func (sh *pshard) nextTime() Time {
-	for len(sh.heap) > 0 {
-		if sh.heap[0].canceled {
-			heap.Pop(&sh.heap)
+	for {
+		ev := sh.q.peek()
+		if ev == nil {
+			return maxTime
+		}
+		if ev.canceled {
+			sh.q.pop()
+			sh.pool.put(ev)
 			continue
 		}
-		return sh.heap[0].at
+		return ev.at
 	}
-	return maxTime
 }
 
 // NewParallel returns a sharded engine with the given worker shard
@@ -113,12 +126,12 @@ func NewParallel(seed int64, shards int, lookahead Duration) *Parallel {
 		lookahead: lookahead,
 		rng:       rand.New(rand.NewSource(seed)),
 		seedSrc:   rand.New(rand.NewSource(seed ^ 0x5eed_11a7)),
-		global:    &pshard{},
+		global:    &pshard{q: newEvq()},
 		shards:    make([]*pshard, shards),
 		domains:   []pardom{{shard: -1}}, // GlobalDomain
 	}
 	for i := range p.shards {
-		p.shards[i] = &pshard{}
+		p.shards[i] = &pshard{q: newEvq()}
 	}
 	return p
 }
@@ -182,11 +195,11 @@ func (p *Parallel) Fired() uint64 {
 func (p *Parallel) Pending() int {
 	n := 0
 	count := func(sh *pshard) {
-		for _, ev := range sh.heap {
+		sh.q.forEach(func(ev *Event) {
 			if !ev.canceled {
 				n++
 			}
-		}
+		})
 		sh.mailMu.Lock()
 		n += len(sh.mail)
 		sh.mailMu.Unlock()
@@ -208,19 +221,19 @@ func (p *Parallel) Proc(domain int) Proc {
 }
 
 // Schedule runs fn at virtual time at in the global domain.
-func (p *Parallel) Schedule(at Time, fn func()) *Event {
+func (p *Parallel) Schedule(at Time, fn func()) Handle {
 	return parProc{p: p, dom: GlobalDomain}.Schedule(at, fn)
 }
 
 // After runs fn d after the current time in the global domain.
-func (p *Parallel) After(d Duration, fn func()) *Event {
+func (p *Parallel) After(d Duration, fn func()) Handle {
 	return parProc{p: p, dom: GlobalDomain}.After(d, fn)
 }
 
 // Cancel suppresses a scheduled event. On the Parallel engine the slot
 // is reclaimed lazily when the event's time is reached.
-func (p *Parallel) Cancel(ev *Event) {
-	parProc{p: p, dom: GlobalDomain}.Cancel(ev)
+func (p *Parallel) Cancel(h Handle) {
+	parProc{p: p, dom: GlobalDomain}.Cancel(h)
 }
 
 // NewTicker schedules fn every period in the global domain.
@@ -276,13 +289,15 @@ func (p *Parallel) run(limit Time) {
 		if g <= s {
 			// Global events serialize: workers are parked, so the
 			// event may touch any domain's state.
-			ev := heap.Pop(&p.global.heap).(*Event)
+			ev := p.global.q.pop()
 			if ev.canceled {
+				p.global.pool.put(ev)
 				continue
 			}
 			p.now = ev.at
 			p.fired++
-			ev.fn()
+			ev.fire()
+			p.global.pool.put(ev)
 			continue
 		}
 		horizon := s.Add(p.lookahead)
@@ -304,7 +319,7 @@ func (p *Parallel) run(limit Time) {
 func (p *Parallel) runRound(horizon Time) {
 	active := p.active[:0]
 	for _, sh := range p.shards {
-		if len(sh.heap) > 0 && sh.heap[0].at < horizon {
+		if ev := sh.q.peek(); ev != nil && ev.at < horizon {
 			active = append(active, sh)
 		}
 	}
@@ -336,24 +351,30 @@ func (p *Parallel) runRound(horizon Time) {
 
 // process drains one shard's events below horizon in (time, src, seq)
 // order. Runs on the shard's worker during rounds (or inline on the
-// coordinator when the shard is the only active one).
+// coordinator when the shard is the only active one). Fired and
+// cancelled events return to this shard's pool — the popping context
+// owns the recycle.
+//
+//speedlight:hotpath
 func (p *Parallel) process(sh *pshard, horizon Time) {
-	for len(sh.heap) > 0 {
-		top := sh.heap[0]
-		if top.at >= horizon {
+	for {
+		top := sh.q.peek()
+		if top == nil || top.at >= horizon {
 			break
 		}
-		heap.Pop(&sh.heap)
+		sh.q.pop()
 		if top.canceled {
+			sh.pool.put(top)
 			continue
 		}
 		sh.now = top.at
 		sh.fired++
-		top.fn()
+		top.fire()
+		sh.pool.put(top)
 	}
 }
 
-// drainMail merges cross-shard arrivals into their heaps. Coordinator
+// drainMail merges cross-shard arrivals into their queues. Coordinator
 // context only (workers parked).
 func (p *Parallel) drainMail() {
 	p.drainInto(p.global)
@@ -369,7 +390,7 @@ func (p *Parallel) drainInto(sh *pshard) {
 	sh.spare = mail
 	sh.mailMu.Unlock()
 	for _, ev := range mail {
-		heap.Push(&sh.heap, ev)
+		sh.q.push(ev)
 	}
 }
 
@@ -441,42 +462,81 @@ func (p *Parallel) shardOf(dom int) *pshard {
 	return nil
 }
 
-func (pr parProc) Schedule(at Time, fn func()) *Event {
-	return pr.sendAt(pr.dom, at, fn)
+func (pr parProc) Schedule(at Time, fn func()) Handle {
+	return pr.sendAt(pr.dom, at, fn, nil, nil, nil, 0)
 }
 
-func (pr parProc) After(d Duration, fn func()) *Event {
+func (pr parProc) After(d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
-	return pr.sendAt(pr.dom, pr.Now().Add(d), fn)
+	return pr.sendAt(pr.dom, pr.Now().Add(d), fn, nil, nil, nil, 0)
 }
 
-func (pr parProc) Send(owner int, d Duration, fn func()) *Event {
+func (pr parProc) Send(owner int, d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
-	return pr.sendAt(owner, pr.Now().Add(d), fn)
+	return pr.sendAt(owner, pr.Now().Add(d), fn, nil, nil, nil, 0)
 }
 
-func (pr parProc) SendAt(owner int, at Time, fn func()) *Event {
-	return pr.sendAt(owner, at, fn)
+func (pr parProc) SendAt(owner int, at Time, fn func()) Handle {
+	return pr.sendAt(owner, at, fn, nil, nil, nil, 0)
 }
 
-// sendAt schedules fn in domain owner at time at, keyed by this
-// domain's schedule counter.
-func (pr parProc) sendAt(owner int, at Time, fn func()) *Event {
+func (pr parProc) ScheduleCall(at Time, fn CallFn, a, b any, i int64) Handle {
+	return pr.sendAt(pr.dom, at, nil, fn, a, b, i)
+}
+
+func (pr parProc) AfterCall(d Duration, fn CallFn, a, b any, i int64) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return pr.sendAt(pr.dom, pr.Now().Add(d), nil, fn, a, b, i)
+}
+
+func (pr parProc) SendCall(owner int, d Duration, fn CallFn, a, b any, i int64) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return pr.sendAt(owner, pr.Now().Add(d), nil, fn, a, b, i)
+}
+
+// sendAt schedules a callback in domain owner at time at, keyed by this
+// domain's schedule counter. The event comes from the scheduling
+// context's free list: the worker's own shard pool during a round
+// (workers never reach another shard's pool), or — from driver/global
+// context, with every worker parked — the scheduling domain's home
+// pool.
+//
+//speedlight:hotpath
+func (pr parProc) sendAt(owner int, at Time, fn func(), cfn CallFn, a, b any, i int64) Handle {
 	p := pr.p
 	if owner < 0 || owner >= len(p.domains) {
 		panic(fmt.Sprintf("sim: send to unknown domain %d", owner))
 	}
 	ds := &p.domains[pr.dom]
-	ev := &Event{at: at, src: int32(pr.dom), seq: ds.seq, owner: int32(owner), fn: fn, index: -1}
+	src := ds.shard
+	home := p.global
+	if src >= 0 {
+		home = p.shards[src]
+	}
+	ev := home.pool.get()
+	ev.at = at
+	ev.src = int32(pr.dom)
+	ev.seq = ds.seq
+	ev.owner = int32(owner)
+	ev.fn = fn
+	ev.cfn = cfn
+	ev.a = a
+	ev.b = b
+	ev.i = i
 	ds.seq++
+	h := Handle{ev: ev, gen: ev.gen}
 	tgt := p.domains[owner].shard
 	if !p.roundActive {
 		// Coordinator or driver context: workers are parked, push
-		// straight into the owning heap.
+		// straight into the owning queue.
 		if at < p.now {
 			panic(fmt.Sprintf("sim: schedule at %d before now %d", at, p.now))
 		}
@@ -484,10 +544,9 @@ func (pr parProc) sendAt(owner int, at Time, fn func()) *Event {
 		if tgt >= 0 {
 			dst = p.shards[tgt]
 		}
-		heap.Push(&dst.heap, ev)
-		return ev
+		dst.q.push(ev)
+		return h
 	}
-	src := ds.shard
 	if src < 0 {
 		panic("sim: GlobalDomain proc used inside a shard round")
 	}
@@ -497,7 +556,7 @@ func (pr parProc) sendAt(owner int, at Time, fn func()) *Event {
 	}
 	switch {
 	case tgt == src:
-		heap.Push(&sh.heap, ev)
+		sh.q.push(ev)
 	case tgt < 0:
 		// To the global domain: executes at the next barrier at the
 		// correct position of the global order.
@@ -510,15 +569,23 @@ func (pr parProc) sendAt(owner int, at Time, fn func()) *Event {
 		}
 		p.shards[tgt].pushMail(ev)
 	}
-	return ev
+	return h
 }
 
 // Cancel suppresses a scheduled event of this domain. The slot is
-// reclaimed lazily. Cancelling another domain's event is a context
-// violation (the flag write would race with that domain's shard).
-func (pr parProc) Cancel(ev *Event) {
+// reclaimed lazily when the event's time is reached. Cancelling a
+// fired-but-not-yet-recycled event is a no-op; cancelling through a
+// stale handle (event already recycled) panics. Cancelling another
+// domain's event is a context violation (the flag write would race
+// with that domain's shard).
+func (pr parProc) Cancel(h Handle) {
+	ev := h.ev
 	if ev == nil {
 		return
+	}
+	h.checkGen()
+	if ev.pooled {
+		return // fired (or reclaimed) and not yet reused: no-op
 	}
 	ev.canceled = true
 }

@@ -271,7 +271,7 @@ func TestParallelCancelCrossRound(t *testing.T) {
 	p := NewParallel(1, 2, 50)
 	fired := false
 	pr1, pr2 := p.Proc(1), p.Proc(2)
-	var ev *Event
+	var ev Handle
 	pr2.Schedule(10, func() {
 		ev = pr2.After(500, func() { fired = true })
 	})

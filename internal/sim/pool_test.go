@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStaleHandleCancelPanics: once an event has fired AND its object
+// has been recycled for a new schedule, cancelling through the old
+// handle is a use-after-free and must panic with a clear message — not
+// silently cancel the new tenant.
+func TestStaleHandleCancelPanics(t *testing.T) {
+	e := NewEngine(1)
+	h1 := e.Schedule(10, func() {})
+	e.Run() // fires; the event returns to the free list
+	// The free list has exactly one event; this schedule recycles it.
+	h2 := e.Schedule(20, func() {})
+	if h1.ev != h2.ev {
+		t.Fatal("free list did not recycle the fired event (test setup)")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Cancel through a stale handle did not panic")
+		}
+		if !strings.Contains(r.(string), "stale Handle") {
+			t.Fatalf("panic message %q does not name the stale handle", r)
+		}
+	}()
+	e.Cancel(h1)
+}
+
+// TestStaleHandleCancelPanicsParallel: same contract on the sharded
+// engine (where reclamation is lazy for in-queue cancels but eager at
+// pop time).
+func TestStaleHandleCancelPanicsParallel(t *testing.T) {
+	p := NewParallel(1, 2, 10)
+	pr := p.Proc(1)
+	h1 := pr.Schedule(10, func() {})
+	p.RunUntil(50)
+	h2 := pr.Schedule(60, func() {})
+	if h1.ev != h2.ev {
+		t.Fatal("shard free list did not recycle the fired event (test setup)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cancel through a stale handle did not panic on Parallel")
+		}
+	}()
+	pr.Cancel(h1)
+}
+
+// TestCancelRecyclesEagerly: on the serial engine a cancelled in-queue
+// event is unlinked and recycled immediately, so the very next schedule
+// reuses its object (and the cancelled handle goes stale).
+func TestCancelRecyclesEagerly(t *testing.T) {
+	e := NewEngine(1)
+	h1 := e.Schedule(10, func() { t.Error("cancelled event fired") })
+	e.Cancel(h1)
+	h2 := e.Schedule(20, func() {})
+	if h1.ev != h2.ev {
+		t.Error("cancelled event was not recycled eagerly")
+	}
+	e.Run()
+}
+
+// TestPooledSchedulingAllocs: steady-state closure-free scheduling —
+// AfterCall with a package-level callback plus the event pop — must not
+// allocate. This is the engine half of the zero-allocation hot-path
+// contract (the emunet half is gated in the emulation's own tests).
+func TestPooledSchedulingAllocs(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Proc(GlobalDomain)
+	var sink int64
+	fn := CallFn(func(_, _ any, i int64) { sink += i })
+	// Warm the pool and the per-domain counter table.
+	for i := 0; i < 64; i++ {
+		p.AfterCall(1, fn, nil, nil, 1)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		p.AfterCall(1, fn, nil, nil, 1)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Errorf("pooled AfterCall+Step allocates %v allocs/op, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestTickerSteadyStateAllocs: a running ticker re-arms through the
+// pooled closure-free path, so steady-state ticks allocate nothing.
+func TestTickerSteadyStateAllocs(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	e.NewTicker(10, func() { ticks++ })
+	e.RunUntil(100) // warm-up: pool populated
+	avg := testing.AllocsPerRun(500, func() {
+		e.RunFor(10)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state ticker tick allocates %v allocs/op, want 0", avg)
+	}
+	if ticks == 0 {
+		t.Fatal("ticker never fired")
+	}
+}
+
+// withCalendarQueue runs f with the opt-in calendar queue enabled.
+func withCalendarQueue(t *testing.T, f func()) {
+	t.Helper()
+	CalendarQueue = true
+	defer func() { CalendarQueue = false }()
+	f()
+}
+
+// TestCalendarQueueEquivalence: the opt-in calendar queue realizes the
+// same (time, src, seq) total order as the binary heap, so the full
+// random scenario produces a byte-identical record log on both queue
+// types, serial and sharded.
+func TestCalendarQueueEquivalence(t *testing.T) {
+	ref := formatRecords(runScenario(NewEngine(11), 4, 100))
+	refPar := formatRecords(runScenario(NewParallel(11, 4, 100), 4, 100))
+	if ref != refPar {
+		t.Fatal("heap-backed serial and parallel diverge (pre-existing)")
+	}
+	withCalendarQueue(t, func() {
+		if got := formatRecords(runScenario(NewEngine(11), 4, 100)); got != ref {
+			t.Error("calendar-queue serial engine diverges from heap-backed run")
+		}
+		if got := formatRecords(runScenario(NewParallel(11, 4, 100), 4, 100)); got != ref {
+			t.Error("calendar-queue parallel engine diverges from heap-backed run")
+		}
+	})
+}
+
+// TestCalendarQueueSparse: events far beyond one bucket ring "year"
+// (2ms of virtual time) exercise the sparse fallback scan.
+func TestCalendarQueueSparse(t *testing.T) {
+	withCalendarQueue(t, func() {
+		e := NewEngine(1)
+		var fired []Time
+		for _, at := range []Time{5, 3 * Time(Millisecond), 10 * Time(Second), 7} {
+			at := at
+			e.Schedule(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		want := []Time{5, 7, 3 * Time(Millisecond), 10 * Time(Second)}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("fired = %v, want %v", fired, want)
+			}
+		}
+	})
+}
+
+// TestCalendarQueueCancel: eager cancel unlinks from the right bucket.
+func TestCalendarQueueCancel(t *testing.T) {
+	withCalendarQueue(t, func() {
+		e := NewEngine(1)
+		fired := false
+		h := e.Schedule(10*Time(Millisecond), func() { fired = true })
+		e.Schedule(20, func() {})
+		e.Cancel(h)
+		e.Run()
+		if fired {
+			t.Error("cancelled event fired")
+		}
+		if e.Pending() != 0 {
+			t.Errorf("Pending = %d, want 0", e.Pending())
+		}
+	})
+}
+
+// BenchmarkEventQueue prices the two queue implementations against each
+// other on a churning hold-model workload (the pattern emulation
+// produces: pop the minimum, push a successor a short latency out).
+func BenchmarkEventQueue(b *testing.B) {
+	for _, impl := range []struct {
+		name string
+		cal  bool
+	}{{"heap", false}, {"calendar", true}} {
+		b.Run(impl.name, func(b *testing.B) {
+			CalendarQueue = impl.cal
+			defer func() { CalendarQueue = false }()
+			e := NewEngine(1)
+			p := e.Proc(GlobalDomain)
+			r := e.NewRand()
+			var churn CallFn
+			churn = func(_, _ any, _ int64) {
+				p.AfterCall(Duration(1+r.Intn(2000)), churn, nil, nil, 0)
+			}
+			// 512 concurrent event chains approximates a busy fabric.
+			for i := 0; i < 512; i++ {
+				p.AfterCall(Duration(1+r.Intn(2000)), churn, nil, nil, 0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}

@@ -22,10 +22,20 @@
 // same-time events identically, and a given seed produces the identical
 // run on either engine at any shard count. See DESIGN.md, "Parallel
 // simulation and the determinism contract".
+//
+// Memory discipline. Events are pooled: each execution context (the
+// serial engine; each shard of the parallel engine) keeps a free list,
+// and a fired or cancelled event returns to the popping context's list.
+// Schedulers hand out generation-counted Handles instead of raw event
+// pointers, so a stale handle (one whose event has already been
+// recycled) is detected at Cancel time and panics instead of corrupting
+// an unrelated event. The *Call scheduling variants (ScheduleCall,
+// AfterCall, SendCall) carry their arguments inside the pooled event,
+// so the hottest emulation paths schedule without allocating a closure.
+// See DESIGN.md, "Memory management and hot paths".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -80,8 +90,16 @@ const GlobalDomain = 0
 // maxTime is the sentinel "no event" time.
 const maxTime = Time(1<<63 - 1)
 
-// Event is a scheduled callback. Events are single-shot; cancel with
-// Cancel before they fire to suppress them.
+// CallFn is the closure-free event callback form: the scheduling site
+// stores its arguments in the pooled event (two pointer-shaped values
+// and one integer), so scheduling captures no heap state. Package-level
+// functions and cached method values convert to CallFn without
+// allocating.
+type CallFn func(a, b any, i int64)
+
+// Event is a scheduled callback. Events are pooled and recycled after
+// they fire; outside this package they are referred to only through
+// generation-counted Handles.
 type Event struct {
 	at Time
 	// src and seq are the determinism key: the scheduling domain and
@@ -91,28 +109,126 @@ type Event struct {
 	seq uint64
 	// owner is the domain whose state the callback touches; it decides
 	// which shard executes the event on the Parallel engine.
-	owner    int32
-	fn       func()
-	index    int // heap index, -1 while in a mailbox or once popped
+	owner int32
+	// Exactly one of fn and cfn is set: fn is the legacy closure form,
+	// cfn the closure-free form with its arguments stored alongside.
+	fn  func()
+	cfn CallFn
+	a   any
+	b   any
+	i   int64
+
+	index    int // queue index, -1 while in a mailbox or once popped
 	canceled bool
+	// gen counts reuses: it is incremented every time the event leaves
+	// a free list, invalidating handles to its previous life. pooled
+	// marks the event as sitting in a free list (fired or cancelled,
+	// not yet reused).
+	gen    uint64
+	pooled bool
 }
 
 // At returns the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
+// fire invokes the event's callback.
+//
+//speedlight:hotpath
+func (e *Event) fire() {
+	if e.cfn != nil {
+		e.cfn(e.a, e.b, e.i)
+		return
+	}
+	e.fn()
+}
+
+// Handle refers to a scheduled event. It stays valid after the event
+// fires — cancelling a fired event is a no-op — but only until the
+// engine recycles the event for a new schedule: cancelling through a
+// handle that outlived its event panics, turning a use-after-free into
+// a caught bug instead of a silently cancelled stranger. The zero
+// Handle is valid and cancels as a no-op.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
+
+// At returns the virtual time the event was scheduled for. It must only
+// be inspected while the handle is live (before the event is recycled).
+func (h Handle) At() Time {
+	if h.ev == nil {
+		return 0
+	}
+	return h.ev.at
+}
+
+// checkGen panics when the handle's event has been recycled.
+func (h Handle) checkGen() {
+	if h.ev.gen != h.gen {
+		panic("sim: Cancel through a stale Handle: the event already fired and was recycled for a new schedule (use after free)")
+	}
+}
+
+// eventPool is one execution context's free list of events. It is
+// deliberately not a sync.Pool: each pool is owned by a single
+// execution context (the serial engine, one shard, or the parallel
+// coordinator), so get and put are plain slice operations with no
+// synchronization and no per-P caching behavior to reason about.
+type eventPool struct {
+	free []*Event
+}
+
+//speedlight:hotpath
+func (p *eventPool) get() *Event {
+	n := len(p.free)
+	if n == 0 {
+		return newPoolEvent()
+	}
+	ev := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	ev.gen++ // invalidate handles to the previous life
+	ev.pooled = false
+	ev.canceled = false
+	ev.index = -1
+	return ev
+}
+
+// newPoolEvent is the pool's cold allocation path, kept out of the
+// hot-path functions so the hotalloc analyzer can bless get.
+func newPoolEvent() *Event {
+	return &Event{index: -1}
+}
+
+//speedlight:hotpath
+func (p *eventPool) put(ev *Event) {
+	// Drop callback and argument references so pooled events don't pin
+	// dead objects.
+	ev.fn = nil
+	ev.cfn = nil
+	ev.a = nil
+	ev.b = nil
+	ev.pooled = true
+	p.free = append(p.free, ev)
+}
+
+// eventLess is the engines' total event order: (time, src domain,
+// per-domain sequence).
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
 // eventHeap orders events by (time, src domain, per-domain sequence).
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].src != h[j].src {
-		return h[i].src < h[j].src
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
@@ -153,9 +269,9 @@ type Sim interface {
 	Proc(domain int) Proc
 	// Schedule, After, Cancel and NewTicker are conveniences for
 	// Proc(GlobalDomain); see Proc for the context rules.
-	Schedule(at Time, fn func()) *Event
-	After(d Duration, fn func()) *Event
-	Cancel(ev *Event)
+	Schedule(at Time, fn func()) Handle
+	After(d Duration, fn func()) Handle
+	Cancel(h Handle)
 	NewTicker(period Duration, fn func()) *Ticker
 	// Run executes events until none remain.
 	Run()
@@ -186,31 +302,41 @@ type Proc interface {
 	Now() Time
 	// Schedule runs fn at time at in this domain. Scheduling in the
 	// past panics: it always indicates a logic error.
-	Schedule(at Time, fn func()) *Event
+	Schedule(at Time, fn func()) Handle
 	// After runs fn d after Now in this domain. Negative d clamps to 0.
-	After(d Duration, fn func()) *Event
+	After(d Duration, fn func()) Handle
 	// Send schedules fn in another domain, d after Now. On the Parallel
 	// engine a send between different shards must satisfy the lookahead
 	// (d at least the configured inter-shard lookahead) or it panics
 	// with a causality violation.
-	Send(owner int, d Duration, fn func()) *Event
+	Send(owner int, d Duration, fn func()) Handle
 	// SendAt is Send with an absolute time.
-	SendAt(owner int, at Time, fn func()) *Event
+	SendAt(owner int, at Time, fn func()) Handle
+	// ScheduleCall, AfterCall and SendCall are the closure-free forms
+	// of Schedule, After and Send: fn must be a package-level function
+	// or a cached method value, and its arguments travel inside the
+	// pooled event, so the call site allocates nothing.
+	ScheduleCall(at Time, fn CallFn, a, b any, i int64) Handle
+	AfterCall(d Duration, fn CallFn, a, b any, i int64) Handle
+	SendCall(owner int, d Duration, fn CallFn, a, b any, i int64) Handle
 	// Cancel suppresses a scheduled event of this domain. Cancelling an
-	// already-fired or already-cancelled event is a no-op.
-	Cancel(ev *Event)
+	// already-fired (or already-cancelled) event whose Event has not
+	// been recycled yet is a no-op; cancelling through a handle whose
+	// event has been recycled panics (use-after-free detection).
+	Cancel(h Handle)
 	// NewTicker schedules fn every period in this domain, first firing
 	// one period from Now.
 	NewTicker(period Duration, fn func()) *Ticker
 }
 
 // Engine is the serial reference implementation of Sim: a single
-// event heap drained by one logical thread of control. It is not safe
+// event queue drained by one logical thread of control. It is not safe
 // for concurrent use.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	domSeq  []uint64 // per-domain schedule counters (the seq key)
+	now    Time
+	q      evq
+	domSeq []uint64 // per-domain schedule counters (the seq key)
+	pool   eventPool
 	rng     *rand.Rand
 	seedSrc *rand.Rand // derives seeds for component substreams
 	fired   uint64
@@ -223,6 +349,7 @@ var _ Sim = (*Engine)(nil)
 // logic produce identical runs.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
+		q:   newEvq(),
 		rng: rand.New(rand.NewSource(seed)),
 		// The xor only decorrelates the substream-seed source from
 		// the main RNG stream.
@@ -248,11 +375,11 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of scheduled, uncancelled events.
 func (e *Engine) Pending() int {
 	n := 0
-	for _, ev := range e.events {
+	e.q.forEach(func(ev *Event) {
 		if !ev.canceled {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -276,25 +403,36 @@ func (e *Engine) Proc(domain int) Proc {
 }
 
 // schedule is the common path: an event scheduled by domain src to run
-// in domain owner.
-func (e *Engine) schedule(src, owner int, at Time, fn func()) *Event {
+// in domain owner. Exactly one of fn and cfn must be set.
+//
+//speedlight:hotpath
+func (e *Engine) schedule(src, owner int, at Time, fn func(), cfn CallFn, a, b any, i int64) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	ev := &Event{at: at, src: int32(src), seq: e.nextSeq(src), owner: int32(owner), fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	ev := e.pool.get()
+	ev.at = at
+	ev.src = int32(src)
+	ev.seq = e.nextSeq(src)
+	ev.owner = int32(owner)
+	ev.fn = fn
+	ev.cfn = cfn
+	ev.a = a
+	ev.b = b
+	ev.i = i
+	e.q.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // Schedule runs fn at virtual time at in the global domain. Scheduling
 // in the past panics: it always indicates a logic error in the
 // simulation.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
-	return e.schedule(GlobalDomain, GlobalDomain, at, fn)
+func (e *Engine) Schedule(at Time, fn func()) Handle {
+	return e.schedule(GlobalDomain, GlobalDomain, at, fn, nil, nil, nil, 0)
 }
 
 // After runs fn d after the current time. Negative d schedules for now.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
@@ -302,32 +440,45 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 }
 
 // Cancel suppresses a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+// already-cancelled event is a no-op while its Event object has not
+// been reused; once the engine has recycled the event for a new
+// schedule, Cancel panics (see Handle).
+func (e *Engine) Cancel(h Handle) {
+	ev := h.ev
+	if ev == nil {
 		return
 	}
+	h.checkGen()
+	if ev.pooled || ev.canceled {
+		return // already fired or already cancelled: no-op
+	}
 	ev.canceled = true
-	heap.Remove(&e.events, ev.index)
+	if ev.index >= 0 {
+		e.q.remove(ev)
+		e.pool.put(ev)
+	}
 }
 
 // Step executes the next event, advancing virtual time. It returns false
 // when no events remain.
+//
+//speedlight:hotpath
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+	for {
+		ev := e.q.pop()
+		if ev == nil {
+			return false
+		}
 		if ev.canceled {
+			e.pool.put(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		ev.fire()
+		e.pool.put(ev)
 		return true
 	}
-	return false
 }
 
 // Run executes events until none remain.
@@ -356,14 +507,18 @@ func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 
 // peek returns the time of the next uncancelled event.
 func (e *Engine) peek() (Time, bool) {
-	for len(e.events) > 0 {
-		if e.events[0].canceled {
-			heap.Pop(&e.events)
+	for {
+		ev := e.q.peek()
+		if ev == nil {
+			return 0, false
+		}
+		if ev.canceled {
+			e.q.pop()
+			e.pool.put(ev)
 			continue
 		}
-		return e.events[0].at, true
+		return ev.at, true
 	}
-	return 0, false
 }
 
 // NewTicker schedules fn every period in the global domain, first
@@ -373,7 +528,7 @@ func (e *Engine) NewTicker(period Duration, fn func()) *Ticker {
 }
 
 // engineProc is the serial engine's Proc: every domain shares the one
-// heap and clock; only the (src, seq) key differs.
+// queue and clock; only the (src, seq) key differs.
 type engineProc struct {
 	e   *Engine
 	dom int
@@ -382,29 +537,47 @@ type engineProc struct {
 func (p engineProc) Domain() int { return p.dom }
 func (p engineProc) Now() Time   { return p.e.now }
 
-func (p engineProc) Schedule(at Time, fn func()) *Event {
-	return p.e.schedule(p.dom, p.dom, at, fn)
+func (p engineProc) Schedule(at Time, fn func()) Handle {
+	return p.e.schedule(p.dom, p.dom, at, fn, nil, nil, nil, 0)
 }
 
-func (p engineProc) After(d Duration, fn func()) *Event {
+func (p engineProc) After(d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
-	return p.e.schedule(p.dom, p.dom, p.e.now.Add(d), fn)
+	return p.e.schedule(p.dom, p.dom, p.e.now.Add(d), fn, nil, nil, nil, 0)
 }
 
-func (p engineProc) Send(owner int, d Duration, fn func()) *Event {
+func (p engineProc) Send(owner int, d Duration, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
-	return p.e.schedule(p.dom, owner, p.e.now.Add(d), fn)
+	return p.e.schedule(p.dom, owner, p.e.now.Add(d), fn, nil, nil, nil, 0)
 }
 
-func (p engineProc) SendAt(owner int, at Time, fn func()) *Event {
-	return p.e.schedule(p.dom, owner, at, fn)
+func (p engineProc) SendAt(owner int, at Time, fn func()) Handle {
+	return p.e.schedule(p.dom, owner, at, fn, nil, nil, nil, 0)
 }
 
-func (p engineProc) Cancel(ev *Event) { p.e.Cancel(ev) }
+func (p engineProc) ScheduleCall(at Time, fn CallFn, a, b any, i int64) Handle {
+	return p.e.schedule(p.dom, p.dom, at, nil, fn, a, b, i)
+}
+
+func (p engineProc) AfterCall(d Duration, fn CallFn, a, b any, i int64) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return p.e.schedule(p.dom, p.dom, p.e.now.Add(d), nil, fn, a, b, i)
+}
+
+func (p engineProc) SendCall(owner int, d Duration, fn CallFn, a, b any, i int64) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return p.e.schedule(p.dom, owner, p.e.now.Add(d), nil, fn, a, b, i)
+}
+
+func (p engineProc) Cancel(h Handle) { p.e.Cancel(h) }
 
 func (p engineProc) NewTicker(period Duration, fn func()) *Ticker {
 	return newTicker(p, period, fn)
@@ -416,7 +589,7 @@ type Ticker struct {
 	p      Proc
 	period Duration
 	fn     func()
-	ev     *Event
+	h      Handle
 	stop   bool
 }
 
@@ -429,21 +602,32 @@ func newTicker(p Proc, period Duration, fn func()) *Ticker {
 	return t
 }
 
+// tickerTick is the shared closure-free ticker callback: the Ticker
+// itself travels as the event argument, so re-arming every period
+// allocates nothing.
+func tickerTick(a, _ any, _ int64) {
+	t := a.(*Ticker)
+	if t.stop {
+		return
+	}
+	t.fn()
+	if !t.stop {
+		t.arm()
+	}
+}
+
+//speedlight:hotpath
 func (t *Ticker) arm() {
-	t.ev = t.p.After(t.period, func() {
-		if t.stop {
-			return
-		}
-		t.fn()
-		if !t.stop {
-			t.arm()
-		}
-	})
+	t.h = t.p.AfterCall(t.period, tickerTick, t, nil, 0)
 }
 
 // Stop cancels the ticker. The callback will not fire again. Stop must
-// be called from the ticker's own domain context (or the driver).
+// be called from the ticker's own domain context (or the driver), and
+// is idempotent.
 func (t *Ticker) Stop() {
+	if t.stop {
+		return
+	}
 	t.stop = true
-	t.p.Cancel(t.ev)
+	t.p.Cancel(t.h)
 }

@@ -96,7 +96,7 @@ func TestCancel(t *testing.T) {
 	ev := e.Schedule(10, func() { fired = true })
 	e.Cancel(ev)
 	e.Cancel(ev) // double-cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 	e.Run()
 	if fired {
 		t.Error("cancelled event fired")
@@ -109,7 +109,7 @@ func TestCancel(t *testing.T) {
 func TestCancelFromWithinEvent(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
-	var later *Event
+	var later Handle
 	later = e.Schedule(20, func() { fired = true })
 	e.Schedule(10, func() { e.Cancel(later) })
 	e.Run()

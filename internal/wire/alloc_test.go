@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"testing"
+
+	"speedlight/internal/control"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/packet"
+)
+
+// TestAppendCodecAllocs pins the wire hot path: encoding into a reused
+// scratch buffer allocates nothing. This is the contract that lets a
+// switch node's egress loop run allocation-free per forwarded packet.
+func TestAppendCodecAllocs(t *testing.T) {
+	p := &packet.Packet{SrcHost: 1, DstHost: 2, Size: 100, HasSnap: true,
+		Snap: packet.SnapshotHeader{Type: packet.TypeData, ID: 7, Channel: 3}}
+	res := control.Result{
+		Unit:       dataplane.UnitID{Node: 3, Port: 9, Dir: dataplane.Egress},
+		SnapshotID: 55, Value: 1 << 40, Consistent: true, ReadAt: 123456789,
+	}
+	scratch := make([]byte, 0, maxMsgLen)
+
+	if n := testing.AllocsPerRun(1000, func() {
+		scratch = appendData(scratch[:0], 12, p)
+	}); n != 0 {
+		t.Fatalf("appendData allocates %v per message, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		scratch = appendHostDeliver(scratch[:0], 42, p)
+	}); n != 0 {
+		t.Fatalf("appendHostDeliver allocates %v per message, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		scratch = appendInitiate(scratch[:0], 987654321)
+	}); n != 0 {
+		t.Fatalf("appendInitiate allocates %v per message, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		scratch = appendResult(scratch[:0], res)
+	}); n != 0 {
+		t.Fatalf("appendResult allocates %v per message, want 0", n)
+	}
+}

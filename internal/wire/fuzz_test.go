@@ -27,15 +27,11 @@ func FuzzWireMessages(f *testing.F) {
 		Seq:     99,
 		CoS:     1,
 	}
-	if db, err := encodeData(3, pkt); err == nil {
-		f.Add(db)
-	}
-	if hb, err := encodeHostDeliver(topology.HostID(12), pkt); err == nil {
-		f.Add(hb)
-	}
-	f.Add(encodeInitiate(packet.SeqID(41)))
-	f.Add(encodePoll())
-	f.Add(encodeResult(control.Result{
+	f.Add(appendData(nil, 3, pkt))
+	f.Add(appendHostDeliver(nil, topology.HostID(12), pkt))
+	f.Add(appendInitiate(nil, packet.SeqID(41)))
+	f.Add(pollMsg[:])
+	f.Add(appendResult(nil, control.Result{
 		Unit:       dataplane.UnitID{Node: 2, Port: 5, Dir: dataplane.Egress},
 		SnapshotID: 17,
 		Value:      123456,
@@ -58,10 +54,7 @@ func FuzzWireMessages(f *testing.F) {
 			if err != nil {
 				return
 			}
-			enc, err := encodeData(port, p)
-			if err != nil {
-				t.Fatalf("decoded data message does not re-encode: %v", err)
-			}
+			enc := appendData(nil, port, p)
 			port2, p2, err := decodeData(enc)
 			if err != nil {
 				t.Fatalf("re-encoded data message does not decode: %v", err)
@@ -74,10 +67,7 @@ func FuzzWireMessages(f *testing.F) {
 			if err != nil {
 				return
 			}
-			enc, err := encodeHostDeliver(host, p)
-			if err != nil {
-				t.Fatalf("decoded host-deliver does not re-encode: %v", err)
-			}
+			enc := appendHostDeliver(nil, host, p)
 			host2, p2, err := decodeHostDeliver(enc)
 			if err != nil {
 				t.Fatalf("re-encoded host-deliver does not decode: %v", err)
@@ -90,7 +80,7 @@ func FuzzWireMessages(f *testing.F) {
 			if err != nil {
 				return
 			}
-			id2, err := decodeInitiate(encodeInitiate(id))
+			id2, err := decodeInitiate(appendInitiate(nil, id))
 			if err != nil || id2 != id {
 				t.Fatalf("initiate round trip: %d -> %d (%v)", id, id2, err)
 			}
@@ -99,12 +89,12 @@ func FuzzWireMessages(f *testing.F) {
 			if err != nil {
 				return
 			}
-			r2, err := decodeResult(encodeResult(r))
+			r2, err := decodeResult(appendResult(nil, r))
 			if err != nil || r2 != r {
 				t.Fatalf("result round trip: %+v -> %+v (%v)", r, r2, err)
 			}
 		case msgPoll:
-			if !bytes.Equal(encodePoll(), []byte{msgPoll}) {
+			if !bytes.Equal(pollMsg[:], []byte{msgPoll}) {
 				t.Fatal("poll encoding changed shape")
 			}
 		}

@@ -46,17 +46,24 @@ var (
 	ErrMsgUnknown = errors.New("wire: unknown message type")
 )
 
-// encodeData frames a packet arriving at a switch ingress port.
-func encodeData(port int, p *packet.Packet) ([]byte, error) {
-	pb, err := p.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 3+len(pb))
-	buf[0] = msgData
-	binary.BigEndian.PutUint16(buf[1:3], uint16(port))
-	copy(buf[3:], pb)
-	return buf, nil
+// The encoders are append-into-caller-buffer APIs: each appends one
+// framed message to dst and returns the extended slice, so a caller
+// that reuses a scratch buffer (appendX(scratch[:0], ...)) encodes
+// without allocating. Every send context in this package owns its
+// scratch exclusively: a switch node's goroutine is the only writer of
+// its connection (results included — OnResult fires on the switch
+// goroutine), and the retry loop keeps its own.
+
+// maxMsgLen bounds every framed message this package produces, sizing
+// scratch buffers so steady state never grows them.
+const maxMsgLen = 5 + packet.PacketMaxLen
+
+// appendData appends a framed packet arriving at a switch ingress port.
+//
+//speedlight:hotpath
+func appendData(dst []byte, port int, p *packet.Packet) []byte {
+	dst = append(dst, msgData, byte(port>>8), byte(port))
+	return p.AppendBinary(dst)
 }
 
 // decodeData parses a msgData payload (after the type byte check).
@@ -72,17 +79,13 @@ func decodeData(data []byte) (port int, p *packet.Packet, err error) {
 	return port, p, nil
 }
 
-// encodeHostDeliver frames a packet delivered to a host.
-func encodeHostDeliver(host topology.HostID, p *packet.Packet) ([]byte, error) {
-	pb, err := p.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 5+len(pb))
-	buf[0] = msgHostDeliver
-	binary.BigEndian.PutUint32(buf[1:5], uint32(host))
-	copy(buf[5:], pb)
-	return buf, nil
+// appendHostDeliver appends a framed packet delivered to a host.
+//
+//speedlight:hotpath
+func appendHostDeliver(dst []byte, host topology.HostID, p *packet.Packet) []byte {
+	h := uint32(host)
+	dst = append(dst, msgHostDeliver, byte(h>>24), byte(h>>16), byte(h>>8), byte(h))
+	return p.AppendBinary(dst)
 }
 
 func decodeHostDeliver(data []byte) (topology.HostID, *packet.Packet, error) {
@@ -97,12 +100,12 @@ func decodeHostDeliver(data []byte) (topology.HostID, *packet.Packet, error) {
 	return host, p, nil
 }
 
-// encodeInitiate frames a snapshot initiation command.
-func encodeInitiate(id packet.SeqID) []byte {
-	buf := make([]byte, 9)
-	buf[0] = msgInitiate
-	binary.BigEndian.PutUint64(buf[1:9], uint64(id))
-	return buf
+// appendInitiate appends a framed snapshot initiation command.
+func appendInitiate(dst []byte, id packet.SeqID) []byte {
+	v := uint64(id)
+	return append(dst, msgInitiate,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
 func decodeInitiate(data []byte) (packet.SeqID, error) {
@@ -112,28 +115,39 @@ func decodeInitiate(data []byte) (packet.SeqID, error) {
 	return packet.SeqID(binary.BigEndian.Uint64(data[1:9])), nil
 }
 
-// encodePoll frames a register-poll command.
-func encodePoll() []byte { return []byte{msgPoll} }
+// pollMsg is the (static, immutable) register-poll command frame.
+var pollMsg = [1]byte{msgPoll}
 
 // resultLen is the encoded size of a control.Result.
 const resultLen = 1 + 4 + 2 + 1 + 8 + 8 + 1 + 8
 
-// encodeResult frames one finished unit snapshot for the observer.
-func encodeResult(r control.Result) []byte {
-	buf := make([]byte, resultLen)
-	buf[0] = msgResult
-	binary.BigEndian.PutUint32(buf[1:5], uint32(r.Unit.Node))
-	binary.BigEndian.PutUint16(buf[5:7], uint16(r.Unit.Port))
+// appendResult appends one framed unit snapshot for the observer.
+//
+//speedlight:hotpath
+func appendResult(dst []byte, r control.Result) []byte {
+	var dir byte
 	if r.Unit.Dir == dataplane.Egress {
-		buf[7] = 1
+		dir = 1
 	}
-	binary.BigEndian.PutUint64(buf[8:16], uint64(r.SnapshotID))
-	binary.BigEndian.PutUint64(buf[16:24], r.Value)
+	var consistent byte
 	if r.Consistent {
-		buf[24] = 1
+		consistent = 1
 	}
-	binary.BigEndian.PutUint64(buf[25:33], uint64(r.ReadAt))
-	return buf
+	node := uint32(r.Unit.Node)
+	port := uint16(r.Unit.Port)
+	sid := uint64(r.SnapshotID)
+	readAt := uint64(r.ReadAt)
+	return append(dst, msgResult,
+		byte(node>>24), byte(node>>16), byte(node>>8), byte(node),
+		byte(port>>8), byte(port),
+		dir,
+		byte(sid>>56), byte(sid>>48), byte(sid>>40), byte(sid>>32),
+		byte(sid>>24), byte(sid>>16), byte(sid>>8), byte(sid),
+		byte(r.Value>>56), byte(r.Value>>48), byte(r.Value>>40), byte(r.Value>>32),
+		byte(r.Value>>24), byte(r.Value>>16), byte(r.Value>>8), byte(r.Value),
+		consistent,
+		byte(readAt>>56), byte(readAt>>48), byte(readAt>>40), byte(readAt>>32),
+		byte(readAt>>24), byte(readAt>>16), byte(readAt>>8), byte(readAt))
 }
 
 func decodeResult(data []byte) (control.Result, error) {

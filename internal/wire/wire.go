@@ -75,6 +75,12 @@ type switchNode struct {
 
 	channelState bool
 	started      time.Time
+	// scratch is the node's reusable encode buffer. The switch
+	// goroutine is the only sender on this connection (results
+	// included: OnResult fires inside its handle loop), and every
+	// encoded frame is written out before the next encode, so one
+	// buffer per node suffices and steady-state sends allocate nothing.
+	scratch []byte
 }
 
 func (s *switchNode) now() sim.Time {
@@ -138,11 +144,8 @@ func (s *switchNode) egress(pkt *packet.Packet, port int) {
 	if peer, ok := s.peers[port]; ok {
 		// The neighbor's ingress port is resolved at deployment time
 		// and encoded by the sender.
-		data, err := encodeData(s.peerPort[port], pkt)
-		if err != nil {
-			return
-		}
-		s.conn.WriteToUDP(data, peer)
+		s.scratch = appendData(s.scratch[:0], s.peerPort[port], pkt)
+		s.conn.WriteToUDP(s.scratch, peer)
 		return
 	}
 	if host, ok := s.hosts[port]; ok {
@@ -150,9 +153,8 @@ func (s *switchNode) egress(pkt *packet.Packet, port int) {
 			pkt.HasSnap = false
 			pkt.Snap = packet.SnapshotHeader{}
 		}
-		if data, err := encodeHostDeliver(host, pkt); err == nil {
-			s.conn.WriteToUDP(data, s.sink)
-		}
+		s.scratch = appendHostDeliver(s.scratch[:0], host, pkt)
+		s.conn.WriteToUDP(s.scratch, s.sink)
 	}
 }
 
@@ -361,13 +363,16 @@ func (d *Deployment) buildSwitch(spec *topology.Switch, fib *routing.FIB,
 		sink:         d.sinkConn.LocalAddr().(*net.UDPAddr),
 		obs:          d.obsConn.LocalAddr().(*net.UDPAddr),
 		started:      d.started,
+		scratch:      make([]byte, 0, maxMsgLen),
 	}
 	cp, err := control.New(control.Config{
 		Switch:  dp,
 		Journal: d.cfg.Journal.For(int(spec.ID)),
 		OnResult: func(res control.Result) {
-			// Ship over the wire to the observer.
-			sn.conn.WriteToUDP(encodeResult(res), sn.obs)
+			// Ship over the wire to the observer. Runs on the switch
+			// goroutine (inside handle), so the scratch is free.
+			sn.scratch = appendResult(sn.scratch[:0], res)
+			sn.conn.WriteToUDP(sn.scratch, sn.obs)
 		},
 	})
 	if err != nil {
@@ -429,6 +434,7 @@ func (d *Deployment) runRetries() {
 	defer d.wg.Done()
 	t := time.NewTicker(d.cfg.RetryEvery)
 	defer t.Stop()
+	scratch := make([]byte, 0, maxMsgLen) // goroutine-local encode buffer
 	for {
 		select {
 		case <-d.closeCh:
@@ -440,8 +446,9 @@ func (d *Deployment) runRetries() {
 			for _, act := range acts {
 				for _, node := range act.Retry {
 					addr := d.obsAddrs[node]
-					d.obsConn.WriteToUDP(encodeInitiate(act.SnapshotID), addr)
-					d.obsConn.WriteToUDP(encodePoll(), addr)
+					scratch = appendInitiate(scratch[:0], act.SnapshotID)
+					d.obsConn.WriteToUDP(scratch, addr)
+					d.obsConn.WriteToUDP(pollMsg[:], addr)
 				}
 			}
 		}
@@ -474,11 +481,10 @@ func (d *Deployment) Inject(host topology.HostID, pkt *packet.Packet) error {
 		return fmt.Errorf("wire: unknown host %d", host)
 	}
 	pkt.SrcHost = uint32(host)
-	data, err := encodeData(dst.port, pkt)
-	if err != nil {
-		return err
-	}
-	_, err = d.hostConn.WriteToUDP(data, dst.addr)
+	// Inject is public API reachable from any goroutine, so it encodes
+	// into a fresh buffer rather than sharing a scratch.
+	data := appendData(make([]byte, 0, maxMsgLen), dst.port, pkt)
+	_, err := d.hostConn.WriteToUDP(data, dst.addr)
 	return err
 }
 
@@ -495,8 +501,9 @@ func (d *Deployment) TakeSnapshot() (packet.SeqID, <-chan *observer.GlobalSnapsh
 	d.subs[id] = sub
 	d.obsMu.Unlock()
 
+	msg := appendInitiate(make([]byte, 0, maxMsgLen), id)
 	for _, addr := range d.obsAddrs {
-		d.obsConn.WriteToUDP(encodeInitiate(id), addr)
+		d.obsConn.WriteToUDP(msg, addr)
 	}
 	return id, sub, nil
 }

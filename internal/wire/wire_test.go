@@ -30,10 +30,7 @@ func TestMessageCodecs(t *testing.T) {
 	// Data.
 	p := &packet.Packet{SrcHost: 1, DstHost: 2, Size: 100, HasSnap: true,
 		Snap: packet.SnapshotHeader{Type: packet.TypeData, ID: 7, Channel: 3}}
-	data, err := encodeData(12, p)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := appendData(nil, 12, p)
 	if typ, _ := msgTypeOf(data); typ != msgData {
 		t.Fatal("data type byte")
 	}
@@ -43,17 +40,14 @@ func TestMessageCodecs(t *testing.T) {
 	}
 
 	// Host deliver.
-	hd, err := encodeHostDeliver(42, p)
-	if err != nil {
-		t.Fatal(err)
-	}
+	hd := appendHostDeliver(nil, 42, p)
 	host, got2, err := decodeHostDeliver(hd)
 	if err != nil || host != 42 || *got2 != *p {
 		t.Fatalf("host round trip: %v %d", err, host)
 	}
 
 	// Initiate.
-	id, err := decodeInitiate(encodeInitiate(987654321))
+	id, err := decodeInitiate(appendInitiate(nil, 987654321))
 	if err != nil || id != 987654321 {
 		t.Fatalf("initiate round trip: %v %d", err, id)
 	}
@@ -63,13 +57,13 @@ func TestMessageCodecs(t *testing.T) {
 		Unit:       dataplane.UnitID{Node: 3, Port: 9, Dir: dataplane.Egress},
 		SnapshotID: 55, Value: 1 << 40, Consistent: true, ReadAt: 123456789,
 	}
-	got3, err := decodeResult(encodeResult(res))
+	got3, err := decodeResult(appendResult(nil, res))
 	if err != nil || got3 != res {
 		t.Fatalf("result round trip: %v %+v", err, got3)
 	}
 
 	// Poll.
-	if typ, _ := msgTypeOf(encodePoll()); typ != msgPoll {
+	if typ, _ := msgTypeOf(pollMsg[:]); typ != msgPoll {
 		t.Fatal("poll type byte")
 	}
 }
@@ -85,7 +79,7 @@ func TestResultCodecProperty(t *testing.T) {
 			SnapshotID: packet.SeqID(id), Value: value, Consistent: consistent,
 			ReadAt: sim.Time(at & (1<<62 - 1)), // keep non-negative: protocol time
 		}
-		got, err := decodeResult(encodeResult(res))
+		got, err := decodeResult(appendResult(nil, res))
 		return err == nil && got == res
 	}
 	if err := quick.Check(f, nil); err != nil {
