@@ -16,8 +16,9 @@ help:
 	@echo "  lint         build speedlightvet and run the analyzer suite"
 	@echo "  vet          plain go vet"
 	@echo "  bench-shards serial-vs-sharded scaling benchmarks (CI gate)"
-	@echo "  bench-json   regenerate BENCH_5.json (hot-path allocs/op +"
-	@echo "               events/sec, with the frozen pre-PR baseline)"
+	@echo "  bench-json   regenerate BENCH_6.json (hot-path allocs/op,"
+	@echo "               snapstore ingest/query rates, events/sec, with"
+	@echo "               the frozen pre-PR baseline)"
 	@echo "  clean        remove bin/"
 
 build:
@@ -47,12 +48,13 @@ vet:
 bench-shards:
 	go test -run '^$$' -bench BenchmarkShardScaling -benchtime 5x -timeout 30m .
 
-# bench-json reruns the hot-path and scaling benchmarks and rewrites
-# BENCH_5.json (committed) with after-numbers from this machine next to
-# the frozen pre-PR baseline. CI uploads the file as an artifact and
-# gates allocs/op == 0 on the hot-path benchmarks.
+# bench-json reruns the hot-path, snapstore and scaling benchmarks and
+# rewrites BENCH_6.json (committed) with after-numbers from this machine
+# next to the frozen pre-PR baseline. CI uploads the file as an artifact
+# and gates allocs/op == 0 on the hot-path benchmarks, including the
+# snapshot-store ingest path.
 bench-json:
-	sh scripts/bench_json.sh BENCH_5.json
+	sh scripts/bench_json.sh BENCH_6.json
 
 clean:
 	rm -rf bin

@@ -11,14 +11,17 @@ import (
 	"testing"
 	"time"
 
+	"speedlight/internal/control"
 	"speedlight/internal/core"
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
 	"speedlight/internal/experiments"
+	"speedlight/internal/observer"
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
+	"speedlight/internal/snapstore"
 	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 	"speedlight/internal/wire"
@@ -436,6 +439,145 @@ func BenchmarkShardScaling(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchStoreUnits enumerates the snapshot units of an emulated fabric:
+// `switches` devices with `ports` ingress units each. 64x16 is the
+// 1024-port configuration the snapstore benchmarks are gated on.
+func benchStoreUnits(switches, ports int) []dataplane.UnitID {
+	units := make([]dataplane.UnitID, 0, switches*ports)
+	for sw := 0; sw < switches; sw++ {
+		for p := 0; p < ports; p++ {
+			units = append(units, dataplane.UnitID{
+				Node: topology.NodeID(sw), Port: p, Dir: dataplane.Ingress,
+			})
+		}
+	}
+	return units
+}
+
+// benchGlobalSnapshot assembles a completed global snapshot over the
+// given units, with per-unit values offset by salt so consecutive
+// epochs differ at every register (the delta encoder's worst case).
+func benchGlobalSnapshot(units []dataplane.UnitID, salt uint64) *observer.GlobalSnapshot {
+	results := make(map[dataplane.UnitID]control.Result, len(units))
+	for i, u := range units {
+		results[u] = control.Result{
+			Unit: u, Value: uint64(i)*7 + salt, Consistent: true,
+		}
+	}
+	return &observer.GlobalSnapshot{ID: 1, Results: results, Consistent: true}
+}
+
+// BenchmarkStoreIngest measures full-epoch ingestion into the snapshot
+// history store on a 1024-port fabric: one completed global snapshot
+// in, one sealed delta-encoded epoch out, per iteration. Alternating
+// value sets force a delta for every register — the encoder's worst
+// case; steady fabrics seal far fewer.
+func BenchmarkStoreIngest(b *testing.B) {
+	units := benchStoreUnits(64, 16)
+	gs := [2]*observer.GlobalSnapshot{
+		benchGlobalSnapshot(units, 0),
+		benchGlobalSnapshot(units, 1),
+	}
+	store := snapstore.New(snapstore.Config{Retention: 256, CheckpointEvery: 16})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := gs[i&1]
+		g.ID = packet.SeqID(i + 1)
+		store.Ingest(g, 0)
+	}
+	b.ReportMetric(float64(b.N)*float64(len(units))/b.Elapsed().Seconds(), "registers/sec")
+}
+
+// BenchmarkSnapshotIngestHot isolates the per-register ingest hot path
+// — Store.Observe, the //speedlight:hotpath the hotalloc analyzer and
+// the CI allocation gate hold at 0 allocs/op. Every observation lands
+// a fresh value (no elision), and epochs seal at fabric width, so the
+// occasional seal/checkpoint allocations amortize into the figure.
+func BenchmarkSnapshotIngestHot(b *testing.B) {
+	units := benchStoreUnits(64, 16)
+	store := snapstore.New(snapstore.Config{Retention: 256, CheckpointEvery: 16})
+	// Register every unit and seal a first epoch: steady state starts
+	// with the unit table warm, as it is after one campaign epoch.
+	store.Begin(1, 0)
+	for _, u := range units {
+		store.Observe(u, 0, true)
+	}
+	store.Seal(0, true, nil, 0)
+	id := packet.SeqID(2)
+	store.Begin(id, 0)
+	n := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Observe(units[n], uint64(i), true)
+		if n++; n == len(units) {
+			n = 0
+			store.Seal(0, true, nil, 0)
+			id++
+			store.Begin(id, 0)
+		}
+	}
+}
+
+// BenchmarkSnapshotQuery prices the read side of the query plane under
+// load: epoch-state reconstruction (nearest checkpoint plus forward
+// delta replay) from a copy-on-write view of a 1024-port fabric, while
+// a writer goroutine keeps sealing epochs into the same store. The
+// queries/sec metric is the one recorded in BENCH_6.json.
+func BenchmarkSnapshotQuery(b *testing.B) {
+	units := benchStoreUnits(64, 16)
+	store := snapstore.New(snapstore.Config{Retention: 256, CheckpointEvery: 16})
+	gs := [2]*observer.GlobalSnapshot{
+		benchGlobalSnapshot(units, 0),
+		benchGlobalSnapshot(units, 1),
+	}
+	ingest := func(i int) {
+		g := gs[i&1]
+		g.ID = packet.SeqID(i + 1)
+		store.Ingest(g, 0)
+	}
+	// Fill retention so every query pays a realistic replay distance.
+	epoch := 0
+	for ; epoch < 256; epoch++ {
+		ingest(epoch)
+	}
+	// The load: a single writer (the store's concurrency contract)
+	// sealing continuously while the benchmark queries.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ingest(epoch)
+				epoch++
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := store.View()
+		epochs := v.Epochs()
+		e := epochs[i%len(epochs)]
+		st, err := v.State(e.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(st.Regs) != len(units) {
+			b.Fatalf("reconstructed %d registers, want %d", len(st.Regs), len(units))
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
 }
 
 // BenchmarkUDPSnapshot measures one complete snapshot round over the

@@ -8,23 +8,31 @@
 //	speedlight -metric ewma -balancer flowlet -workload hadoop
 //	speedlight -channel-state -workload memcache -verbose
 //	speedlight -journal-out run.jsonl -audit -flight-dir dumps/
+//	speedlight -snapstore-out history.jsonl -invariants-out invariants.csv
 //	speedlight doctor run.jsonl
+//	speedlight doctor http://127.0.0.1:9090
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"speedlight/internal/audit"
+	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
 	"speedlight/internal/export"
+	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
 	"speedlight/internal/sim"
+	"speedlight/internal/snapstore"
 	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 	"speedlight/internal/workload"
@@ -63,6 +71,13 @@ func campaign() {
 			"serve observability endpoints (/metrics, /debug/vars, /debug/pprof, /trace, /healthz, /journal, /audit) on this address while the campaign runs")
 		traceOut = flag.String("trace-out", "", "write the campaign's Chrome trace_event JSON to this file (load in Perfetto)")
 		summary  = flag.Bool("summary", false, "print an end-of-run telemetry summary table")
+
+		snapstoreOut = flag.String("snapstore-out", "",
+			"retain snapshot history and write it to this file as JSON Lines (one reconstructed epoch per line)")
+		snapstoreRetain = flag.Int("snapstore-retain", 1024,
+			"snapshot-history retention bound in epochs")
+		invariantsOut = flag.String("invariants-out", "",
+			"write invariant status and violation history to this CSV file")
 
 		journalOut = flag.String("journal-out", "",
 			"write the flight-recorder journal to this file (.csv writes CSV, anything else JSON Lines)")
@@ -133,26 +148,60 @@ func campaign() {
 		fatalf("unknown balancer %q", *balancer)
 	}
 
+	// Any snapshot-history flag — or a metrics server, whose query
+	// plane serves /snapshots and /invariants — turns the store and the
+	// invariant engine on.
+	if *snapstoreOut != "" || *invariantsOut != "" || *metricsAddr != "" {
+		cfg.Snapstore = snapstore.New(snapstore.Config{
+			Retention: *snapstoreRetain,
+			Registry:  cfg.Registry,
+		})
+		cfg.Invariants = invariant.New(invariant.Config{Registry: cfg.Registry})
+	}
+
 	net, err := speedlight.New(cfg)
 	if err != nil {
 		fatalf("building network: %v", err)
 	}
 
+	// Counting metrics only grow; watch each leaf's uplink group for
+	// regressions, continuously.
+	if cfg.Invariants != nil && (*metric == "packets" || *metric == "bytes") {
+		for leaf := 0; leaf < *leaves; leaf++ {
+			var ups []dataplane.UnitID
+			for _, lp := range net.Uplinks(leaf) {
+				ups = append(ups, dataplane.UnitID{
+					Node: topology.NodeID(lp[0]), Port: lp[1], Dir: dataplane.Egress,
+				})
+			}
+			cfg.Invariants.Register(invariant.Monotone(fmt.Sprintf("leaf%d-uplinks-monotone", leaf), ups))
+		}
+	}
+
 	if *metricsAddr != "" {
 		health := telemetry.NewHealth()
-		health.SetReady(true)
-		srv, err := telemetry.ServeConfig(*metricsAddr, telemetry.MuxConfig{
+		mc := telemetry.MuxConfig{
 			Registry: cfg.Registry,
 			Tracer:   cfg.Tracer,
 			Health:   health,
 			Journal:  journal.HTTPHandler(cfg.Journal.Events),
 			Audit:    audit.HTTPHandler(net.Audit),
-		})
+		}
+		if cfg.Snapstore != nil {
+			mc.Snapshots = snapstore.HTTPHandler(cfg.Snapstore.View)
+			health.AddCheck("snapstore-lag",
+				snapstore.HealthCheck(cfg.Snapstore, net.Inner().CompletedEpochs, 8))
+		}
+		if cfg.Invariants != nil {
+			mc.Invariants = invariant.HTTPHandler(cfg.Invariants)
+		}
+		health.SetReady(true)
+		srv, err := telemetry.ServeConfig(*metricsAddr, mc)
 		if err != nil {
 			fatalf("metrics server: %v", err)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /trace (Chrome), /healthz, /journal, /audit\n",
+		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /trace (Chrome), /healthz, /journal, /audit, /snapshots, /invariants\n",
 			srv.Addr())
 	}
 
@@ -220,6 +269,36 @@ func campaign() {
 		}
 	}
 
+	if *snapstoreOut != "" {
+		f, err := os.Create(*snapstoreOut)
+		if err != nil {
+			fatalf("creating %s: %v", *snapstoreOut, err)
+		}
+		v := cfg.Snapstore.View()
+		if err := export.SnapshotsJSONL(f, v); err != nil {
+			fatalf("writing snapshot history: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing snapshot history: %v", err)
+		}
+		fmt.Printf("wrote %s (%d epochs)\n", *snapstoreOut, v.Len())
+	}
+
+	if *invariantsOut != "" {
+		f, err := os.Create(*invariantsOut)
+		if err != nil {
+			fatalf("creating %s: %v", *invariantsOut, err)
+		}
+		if err := export.InvariantsCSV(f, cfg.Invariants); err != nil {
+			fatalf("writing invariants: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing invariants: %v", err)
+		}
+		fmt.Printf("wrote %s (%d invariants, %d violations)\n",
+			*invariantsOut, len(cfg.Invariants.Status()), len(cfg.Invariants.Violations()))
+	}
+
 	if *journalOut != "" {
 		f, err := os.Create(*journalOut)
 		if err != nil {
@@ -266,8 +345,9 @@ func doctor(args []string) {
 		chanState = fs.Bool("channel-state", false, "assume channel-state mode when the journal has no config event")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: speedlight doctor [flags] <journal-file>")
-		fmt.Fprintln(os.Stderr, "reads a flight-recorder dump (JSONL or CSV; '-' for stdin) and audits it")
+		fmt.Fprintln(os.Stderr, "usage: speedlight doctor [flags] <journal-file | http://host:port>")
+		fmt.Fprintln(os.Stderr, "reads a flight-recorder dump (JSONL or CSV; '-' for stdin) and audits it,")
+		fmt.Fprintln(os.Stderr, "or queries a running campaign's /snapshots and /invariants endpoints")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -276,6 +356,10 @@ func doctor(args []string) {
 		os.Exit(2)
 	}
 	path := fs.Arg(0)
+	if strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://") {
+		doctorURL(path, *jsonOut)
+		return
+	}
 
 	in := os.Stdin
 	if path != "-" {
@@ -306,6 +390,111 @@ func doctor(args []string) {
 	}
 	_, inconsistent, _ := rep.Counts()
 	if inconsistent > 0 || rep.Disagreements > 0 {
+		os.Exit(1)
+	}
+}
+
+// doctorURL consumes a running deployment's query plane: it fetches
+// /snapshots and /invariants from the observability address and prints
+// a health summary. Exits 1 when any retained epoch is inconsistent or
+// any invariant has recorded violations.
+func doctorURL(base string, jsonOut bool) {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+	fetch := func(path string) []byte {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			fatalf("fetching %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fatalf("reading %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatalf("%s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
+		}
+		return body
+	}
+	snapsRaw := fetch("/snapshots")
+	invsRaw := fetch("/invariants")
+
+	if jsonOut {
+		fmt.Printf("{\"snapshots\":%s,\"invariants\":%s}\n",
+			strings.TrimSpace(string(snapsRaw)), strings.TrimSpace(string(invsRaw)))
+	}
+
+	var snaps struct {
+		Retained int `json:"retained"`
+		Epochs   []struct {
+			Epoch      uint64 `json:"epoch"`
+			SyncNS     int64  `json:"sync_ns"`
+			Consistent bool   `json:"consistent"`
+			Deltas     int    `json:"deltas"`
+			Base       bool   `json:"base"`
+		} `json:"epochs"`
+	}
+	if err := json.Unmarshal(snapsRaw, &snaps); err != nil {
+		fatalf("parsing /snapshots: %v", err)
+	}
+	var invs struct {
+		Invariants []struct {
+			Name       string `json:"name"`
+			Evals      uint64 `json:"evals"`
+			Violations uint64 `json:"violations"`
+			OK         bool   `json:"ok"`
+			Detail     string `json:"detail"`
+		} `json:"invariants"`
+		History []struct {
+			Invariant string `json:"invariant"`
+			Epoch     uint64 `json:"epoch"`
+			Detail    string `json:"detail"`
+		} `json:"history"`
+	}
+	if err := json.Unmarshal(invsRaw, &invs); err != nil {
+		fatalf("parsing /invariants: %v", err)
+	}
+
+	inconsistent, bases, deltas := 0, 0, 0
+	for _, e := range snaps.Epochs {
+		if !e.Consistent {
+			inconsistent++
+		}
+		if e.Base {
+			bases++
+		}
+		deltas += e.Deltas
+	}
+	unhealthy := inconsistent > 0
+	if !jsonOut {
+		fmt.Printf("snapshot history: %d epochs retained (%d bases, %d deltas), %d inconsistent\n",
+			snaps.Retained, bases, deltas, inconsistent)
+		if n := len(snaps.Epochs); n > 0 {
+			fmt.Printf("  epochs %d..%d, latest sync %.1fus\n",
+				snaps.Epochs[0].Epoch, snaps.Epochs[n-1].Epoch,
+				float64(snaps.Epochs[n-1].SyncNS)/1000)
+		}
+		fmt.Printf("invariants: %d registered\n", len(invs.Invariants))
+	}
+	for _, inv := range invs.Invariants {
+		if inv.Violations > 0 {
+			unhealthy = true
+		}
+		if !jsonOut {
+			verdict := "OK"
+			if !inv.OK {
+				verdict = "VIOLATED: " + inv.Detail
+			}
+			fmt.Printf("  %-32s %6d evals %6d violations  %s\n",
+				inv.Name, inv.Evals, inv.Violations, verdict)
+		}
+	}
+	if !jsonOut {
+		for _, h := range invs.History {
+			fmt.Printf("  violation: %s at epoch %d: %s\n", h.Invariant, h.Epoch, h.Detail)
+		}
+	}
+	if unhealthy {
 		os.Exit(1)
 	}
 }

@@ -19,10 +19,12 @@ import (
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/invariant"
 	"speedlight/internal/packet"
 	"speedlight/internal/polling"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
+	"speedlight/internal/snapstore"
 	"speedlight/internal/stats"
 	"speedlight/internal/topology"
 	"speedlight/internal/workload"
@@ -30,19 +32,22 @@ import (
 
 func main() {
 	for _, balancer := range []string{"ecmp", "flowlet"} {
-		snap, poll := measure(balancer)
+		snap, poll, skewEvals, skewViols := measure(balancer)
 		fmt.Printf("%-8s  snapshots: median stddev %6.2fµs  p90 %6.2fµs   (n=%d)\n",
 			balancer, snap.Median(), snap.Quantile(0.9), snap.N())
 		fmt.Printf("%-8s  polling:   median stddev %6.2fµs  p90 %6.2fµs   (n=%d)\n",
 			balancer, poll.Median(), poll.Quantile(0.9), poll.N())
+		fmt.Printf("%-8s  streaming uplink-skew invariant: %d cuts checked, %d skew violations\n",
+			balancer, skewEvals, skewViols)
 	}
 	fmt.Println("\nlower stddev = better balance; snapshots measure it at single instants,")
 	fmt.Println("polling smears each reading across milliseconds of unrelated instants.")
 }
 
 // measure runs the shuffle under one balancer and returns snapshot- and
-// polling-based imbalance distributions.
-func measure(balancer string) (snapCDF, pollCDF *stats.CDF) {
+// polling-based imbalance distributions, plus the streaming skew
+// invariant's evaluation and violation totals.
+func measure(balancer string) (snapCDF, pollCDF *stats.CDF, skewEvals, skewViols uint64) {
 	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
 		Leaves: 2, Spines: 2, HostsPerLeaf: 3,
 		HostLinkLatency:   sim.Microsecond,
@@ -51,6 +56,30 @@ func measure(balancer string) (snapCDF, pollCDF *stats.CDF) {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The uplink egress units of each leaf.
+	var groups [][]dataplane.UnitID
+	var flat []dataplane.UnitID
+	for _, leaf := range ls.Leaves {
+		var g []dataplane.UnitID
+		for _, port := range ls.UplinkPorts(leaf) {
+			g = append(g, dataplane.UnitID{Node: leaf, Port: port, Dir: dataplane.Egress})
+		}
+		groups = append(groups, g)
+		flat = append(flat, g...)
+	}
+
+	// Every sealed epoch also streams through a per-leaf skew invariant:
+	// the stddev of a leaf's uplink EWMAs must stay under a quarter of
+	// the group mean. The same question the offline CDFs answer below,
+	// asked of every single cut as it seals — ECMP trips it constantly,
+	// flowlet switching never does.
+	store := snapstore.New(snapstore.Config{Retention: 256, CheckpointEvery: 16})
+	inv := invariant.New(invariant.Config{})
+	for i, g := range groups {
+		inv.Register(invariant.Skew(fmt.Sprintf("leaf%d-uplink-skew", i), g, 0.25))
+	}
+
 	cfg := emunet.Config{
 		Topo:  ls.Topology,
 		Seed:  7,
@@ -62,6 +91,8 @@ func measure(balancer string) (snapCDF, pollCDF *stats.CDF) {
 			}
 			return &counters.PacketCount{}
 		},
+		Snapstore:  store,
+		Invariants: inv,
 	}
 	if balancer == "flowlet" {
 		cfg.NewBalancer = func(_ topology.NodeID, r *rand.Rand) routing.Balancer {
@@ -81,18 +112,6 @@ func measure(balancer string) (snapCDF, pollCDF *stats.CDF) {
 	shuffle.Start()
 	defer shuffle.Stop()
 	net.RunFor(5 * sim.Millisecond)
-
-	// The uplink egress units of each leaf.
-	var groups [][]dataplane.UnitID
-	var flat []dataplane.UnitID
-	for _, leaf := range ls.Leaves {
-		var g []dataplane.UnitID
-		for _, port := range ls.UplinkPorts(leaf) {
-			g = append(g, dataplane.UnitID{Node: leaf, Port: port, Dir: dataplane.Egress})
-		}
-		groups = append(groups, g)
-		flat = append(flat, g...)
-	}
 
 	poller := polling.New(net, polling.Config{})
 	var snapStd, pollStd []float64
@@ -129,7 +148,11 @@ func measure(balancer string) (snapCDF, pollCDF *stats.CDF) {
 		}
 		snapStd = append(snapStd, groupStddev(groups, byUnit)...)
 	}
-	return stats.NewCDF(snapStd), stats.NewCDF(pollStd)
+	for _, s := range inv.Status() {
+		skewEvals += s.Evals
+		skewViols += s.Violations
+	}
+	return stats.NewCDF(snapStd), stats.NewCDF(pollStd), skewEvals, skewViols
 }
 
 func groupStddev(groups [][]dataplane.UnitID, values map[dataplane.UnitID]float64) []float64 {

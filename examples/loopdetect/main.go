@@ -26,9 +26,11 @@ import (
 	"speedlight/internal/core"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/invariant"
 	"speedlight/internal/packet"
 	"speedlight/internal/polling"
 	"speedlight/internal/sim"
+	"speedlight/internal/snapstore"
 	"speedlight/internal/topology"
 	"speedlight/internal/workload"
 )
@@ -37,13 +39,16 @@ func main() {
 	const trials = 60
 	snapImpossible, pollImpossible := 0, 0
 	snapTransient, pollTransient := 0, 0
+	var invEvals, invViolations uint64
 
 	for trial := 0; trial < trials; trial++ {
-		si, st, pi, pt := runTrial(int64(trial + 1))
+		si, st, pi, pt, evals, viols := runTrial(int64(trial + 1))
 		snapImpossible += si
 		snapTransient += st
 		pollImpossible += pi
 		pollTransient += pt
+		invEvals += evals
+		invViolations += viols
 	}
 
 	fmt.Printf("over %d route migrations, observing FIB versions at both leaves:\n\n", trials)
@@ -51,14 +56,17 @@ func main() {
 		"snapshots", snapImpossible, snapTransient)
 	fmt.Printf("  %-10s impossible (v1,v2) states: %2d   real transient (v2,v1) caught: %2d\n",
 		"polling", pollImpossible, pollTransient)
+	fmt.Printf("\nstreaming fib-order invariant: %d consistent cuts checked, %d loop windows flagged\n",
+		invEvals, invViolations)
 	fmt.Println("\na consistent snapshot can show the real transient window but never an")
 	fmt.Println("impossible ordering; asynchronous polling cannot tell the two apart.")
 }
 
 // runTrial performs one migration and one observation with each method,
 // returning (snapshot impossible, snapshot transient, polling
-// impossible, polling transient) counts.
-func runTrial(seed int64) (si, st, pi, pt int) {
+// impossible, polling transient) counts plus the streaming invariant
+// engine's evaluation and violation totals for the trial.
+func runTrial(seed int64) (si, st, pi, pt int, evals, viols uint64) {
 	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
 		Leaves: 2, Spines: 2, HostsPerLeaf: 3,
 		HostLinkLatency:   sim.Microsecond,
@@ -67,6 +75,13 @@ func runTrial(seed int64) (si, st, pi, pt int) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Every sealed epoch streams through the history store and the
+	// fib-order invariant: leaf 1 may never run a newer FIB than leaf 0.
+	// A consistent cut can catch the real (v2, v1) transient but never
+	// the impossible (v1, v2) ordering, so the invariant holds for the
+	// whole campaign — continuously checked, not spot-sampled.
+	store := snapstore.New(snapstore.Config{Retention: 128, CheckpointEvery: 16})
+	eng := invariant.New(invariant.Config{})
 	net, err := emunet.New(emunet.Config{
 		Topo:  ls.Topology,
 		Seed:  seed,
@@ -78,12 +93,15 @@ func runTrial(seed int64) (si, st, pi, pt int) {
 			}
 			return nil
 		},
+		Snapstore:  store,
+		Invariants: eng,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	leaf0 := dataplane.UnitID{Node: ls.Leaves[0], Port: 0, Dir: dataplane.Ingress}
 	leaf1 := dataplane.UnitID{Node: ls.Leaves[1], Port: 0, Dir: dataplane.Ingress}
+	eng.Register(invariant.Order("fib-migration-order", leaf0, leaf1))
 	net.Gauge(leaf0).Set(1)
 	net.Gauge(leaf1).Set(1)
 
@@ -151,7 +169,11 @@ func runTrial(seed int64) (si, st, pi, pt int) {
 	if gotPoll {
 		pi, pt = classify(pollA, pollB)
 	}
-	return si, st, pi, pt
+	for _, s := range eng.Status() {
+		evals += s.Evals
+		viols += s.Violations
+	}
+	return si, st, pi, pt, evals, viols
 }
 
 // classify returns (impossible, transient) indicator counts for an

@@ -22,8 +22,10 @@ import (
 	"speedlight/internal/core"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/invariant"
 	"speedlight/internal/packet"
 	"speedlight/internal/sim"
+	"speedlight/internal/snapstore"
 	"speedlight/internal/stats"
 	"speedlight/internal/topology"
 )
@@ -37,20 +39,23 @@ const (
 
 func main() {
 	for _, scenario := range []string{"synchronized", "staggered"} {
-		loaded, avgUtil := run(scenario)
+		loaded, avgUtil, evals, viols := run(scenario)
 		fmt.Printf("%-13s bursts: avg utilization %4.1f%% (averages cannot tell these apart)\n",
 			scenario, avgUtil*100)
 		fmt.Printf("%-13s         concurrently-loaded uplink queues per snapshot: median %.0f, p90 %.0f of 4\n",
 			"", loaded.Median(), loaded.Quantile(0.9))
+		fmt.Printf("%-13s         streaming headroom invariant: %d cuts checked, %d headroom violations\n",
+			"", evals, viols)
 	}
 	fmt.Println("\nsynchronized peaks collide -> provision for the sum of bursts;")
 	fmt.Println("staggered peaks never do   -> the average is the whole story.")
 }
 
 // run executes one scenario and returns the distribution of
-// concurrently loaded uplink queues per snapshot, plus the long-term
-// average utilization of the uplinks.
-func run(scenario string) (*stats.CDF, float64) {
+// concurrently loaded uplink queues per snapshot, the long-term
+// average utilization of the uplinks, and the streaming headroom
+// invariant's evaluation and violation totals.
+func run(scenario string) (*stats.CDF, float64, uint64, uint64) {
 	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
 		Leaves: 2, Spines: 2, HostsPerLeaf: 3,
 		HostLinkLatency:   sim.Microsecond,
@@ -59,6 +64,23 @@ func run(scenario string) (*stats.CDF, float64) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The uplink egress units whose queue depths the snapshots capture.
+	var unitList []dataplane.UnitID
+	for _, leaf := range ls.Leaves {
+		for _, port := range ls.UplinkPorts(leaf) {
+			unitList = append(unitList, dataplane.UnitID{Node: leaf, Port: port, Dir: dataplane.Egress})
+		}
+	}
+
+	// Every sealed epoch streams through a provisioning-headroom
+	// invariant: at most one uplink queue may be loaded (depth > 1) in
+	// the same consistent cut. The synchronized scenario trips it on
+	// nearly every burst; the staggered one never does — the exact
+	// distinction long-term averages erase.
+	store := snapstore.New(snapstore.Config{Retention: 256, CheckpointEvery: 16})
+	inv := invariant.New(invariant.Config{})
+	inv.Register(invariant.Bound("uplink-headroom", unitList, 1, 1))
+
 	net, err := emunet.New(emunet.Config{
 		Topo:  ls.Topology,
 		Seed:  3,
@@ -70,6 +92,8 @@ func run(scenario string) (*stats.CDF, float64) {
 			return nil
 		},
 		LinkRateBps: 2e9, // slow enough that bursts queue
+		Snapstore:   store,
+		Invariants:  inv,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -110,12 +134,6 @@ func run(scenario string) (*stats.CDF, float64) {
 	net.RunFor(3 * sim.Millisecond)
 
 	// Snapshot queue depth at random phases of the burst cycle.
-	uplinks := map[dataplane.UnitID]bool{}
-	for _, leaf := range ls.Leaves {
-		for _, port := range ls.UplinkPorts(leaf) {
-			uplinks[dataplane.UnitID{Node: leaf, Port: port, Dir: dataplane.Egress}] = true
-		}
-	}
 	var ids []packet.SeqID
 	stride := burstPeriod + 137*sim.Microsecond // sweeps the phase
 	for i := 0; i < rounds; i++ {
@@ -129,15 +147,17 @@ func run(scenario string) (*stats.CDF, float64) {
 	elapsed := eng.Now()
 	net.RunFor(50 * sim.Millisecond)
 
-	var unitList []dataplane.UnitID
-	for u := range uplinks {
-		unitList = append(unitList, u)
-	}
 	loaded := analysis.ConcurrentLoad(net.Snapshots(), unitList, 2)
 
 	// Long-term average uplink utilization: offered cross-fabric bytes
 	// over capacity — identical across scenarios by construction.
 	capacityBits := 2e9 * elapsed.Micros() / 1e6 * 4 // 4 uplinks
 	avgUtil := float64(pktBytes*8) / capacityBits
-	return loaded, avgUtil
+
+	var evals, viols uint64
+	for _, s := range inv.Status() {
+		evals += s.Evals
+		viols += s.Violations
+	}
+	return loaded, avgUtil, evals, viols
 }

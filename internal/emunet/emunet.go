@@ -24,11 +24,13 @@ import (
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/dist"
+	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
 	"speedlight/internal/observer"
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
+	"speedlight/internal/snapstore"
 	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 )
@@ -165,6 +167,16 @@ type Config struct {
 	// with the flight-recorder tail at that moment (nil without a
 	// Journal).
 	OnAnomaly func(reason string, snapshotID packet.SeqID, dump []journal.Event)
+
+	// Snapstore, when set, ingests every completed global snapshot as a
+	// sealed delta-encoded epoch in the snapshot-history store (see
+	// internal/snapstore). Ingestion runs on the observer's completion
+	// path in the serialized global domain.
+	Snapstore *snapstore.Store
+	// Invariants, when set, streams every epoch sealed into Snapstore
+	// through the registered invariants; each violation fires OnAnomaly
+	// with a flight-recorder dump. Requires Snapstore.
+	Invariants *invariant.Engine
 }
 
 func (c *Config) setDefaults() {
@@ -351,6 +363,9 @@ type Network struct {
 	sws      map[topology.NodeID]*EmuSwitch
 	obs      *observer.Observer
 	done     []*observer.GlobalSnapshot
+	// completed counts assembled global snapshots (atomic: health
+	// probes read it concurrently with the global domain).
+	completed atomic.Uint64
 	// retried marks snapshots the observer has already retried once;
 	// a repeat retry means recovery is not unsticking them.
 	retried map[packet.SeqID]bool
@@ -532,13 +547,25 @@ func New(cfg Config) (*Network, error) {
 		OnComplete: func(g *observer.GlobalSnapshot) {
 			n.done = append(n.done, g)
 			delete(n.retried, g.ID)
+			n.completed.Add(1)
+			var sync sim.Duration
 			if d, ok := n.SyncSpread(g.ID); ok {
+				sync = d
 				n.tel.syncSpreadUS.Observe(d.Micros())
 			}
 			if !g.Consistent {
 				n.anomaly(fmt.Sprintf("snapshot %d finalized inconsistent", g.ID), g.ID)
 			} else if len(g.Excluded) > 0 {
 				n.anomaly(fmt.Sprintf("snapshot %d finalized with %d device(s) excluded", g.ID, len(g.Excluded)), g.ID)
+			}
+			if st := n.cfg.Snapstore; st != nil {
+				ep := st.Ingest(g, sync)
+				st.RecordLag(n.completed.Load())
+				if eng := n.cfg.Invariants; eng != nil {
+					for _, viol := range eng.Eval(st.View(), ep) {
+						n.anomaly(viol.String(), g.ID)
+					}
+				}
 			}
 		},
 	})
@@ -774,6 +801,11 @@ func (n *Network) Gauge(id dataplane.UnitID) *counters.Gauge {
 
 // Snapshots returns the global snapshots completed so far.
 func (n *Network) Snapshots() []*observer.GlobalSnapshot { return n.done }
+
+// CompletedEpochs returns how many global snapshots the observer has
+// assembled. Safe from any goroutine; with Snapstore.Sealed it yields
+// the store's ingestion lag for readiness probes.
+func (n *Network) CompletedEpochs() uint64 { return n.completed.Load() }
 
 // Journal returns the flight-recorder set the network was built with,
 // or nil when journaling is disabled.
@@ -1069,6 +1101,7 @@ func (n *Network) txCall(a, _ any, i int64) {
 // peer. Runs in es's domain; the wire hop to a neighboring switch is a
 // cross-domain send whose latency is what the parallel engine's
 // lookahead is derived from.
+//
 //speedlight:hotpath
 func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 	now := es.proc.Now()
@@ -1162,6 +1195,7 @@ func (n *Network) setDepthGauge(es *EmuSwitch, port int) {
 // plane's bounded queue is the socket buffer; the loop drains it one
 // notification per service time, so a sustained notification rate above
 // the service rate builds the queue up and eventually drops (Figure 10).
+//
 //speedlight:hotpath
 func (n *Network) drainNotifs(es *EmuSwitch) {
 	if es.cpBusy || es.DP.PendingNotifs() == 0 {

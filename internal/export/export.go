@@ -13,9 +13,11 @@ import (
 	"speedlight/internal/audit"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/experiments"
+	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
 	"speedlight/internal/observer"
 	"speedlight/internal/packet"
+	"speedlight/internal/snapstore"
 	"speedlight/internal/telemetry"
 )
 
@@ -227,6 +229,95 @@ func JournalCSV(w io.Writer, events []journal.Event) error {
 // ReadJournalCSV parses a CSV journal dump.
 func ReadJournalCSV(r io.Reader) ([]journal.Event, error) {
 	return journal.ReadCSV(r)
+}
+
+// epochLine is one sealed epoch's reconstructed cut on one JSONL line.
+type epochLine struct {
+	Epoch       uint64     `json:"epoch"`
+	Seq         uint64     `json:"seq"`
+	ScheduledNs int64      `json:"scheduled_ns"`
+	CompletedNs int64      `json:"completed_ns"`
+	SyncNs      int64      `json:"sync_ns"`
+	Consistent  bool       `json:"consistent"`
+	Base        bool       `json:"base"`
+	Deltas      int        `json:"deltas"`
+	Units       []unitLine `json:"units"`
+}
+
+type unitLine struct {
+	Unit       string `json:"unit"`
+	Value      uint64 `json:"value"`
+	Consistent bool   `json:"consistent"`
+}
+
+// SnapshotsJSONL writes a snapshot-history view as JSON Lines: one
+// line per retained epoch, each carrying its fully reconstructed cut
+// in dense unit order. The view is immutable, so the export is a
+// consistent point-in-time dump even while the store keeps sealing.
+func SnapshotsJSONL(w io.Writer, v *snapstore.View) error {
+	enc := json.NewEncoder(w)
+	for _, e := range v.Epochs() {
+		st, err := v.State(e.ID)
+		if err != nil {
+			return err
+		}
+		line := epochLine{
+			Epoch:       uint64(e.ID),
+			Seq:         e.Seq,
+			ScheduledNs: int64(e.ScheduledAt),
+			CompletedNs: int64(e.CompletedAt),
+			SyncNs:      int64(e.Sync),
+			Consistent:  e.Consistent,
+			Base:        e.IsBase(),
+			Deltas:      e.DeltaCount(),
+			Units:       []unitLine{},
+		}
+		for i, r := range st.Regs {
+			if !r.Present {
+				continue
+			}
+			line.Units = append(line.Units, unitLine{
+				Unit:       st.Units[i].String(),
+				Value:      r.Value,
+				Consistent: r.Consistent,
+			})
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InvariantsCSV writes an invariant engine's standing and violation
+// history as CSV: one "status" row per registered invariant followed
+// by one "violation" row per retained violation, oldest first.
+func InvariantsCSV(w io.Writer, eng *invariant.Engine) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"kind", "invariant", "epoch", "seq", "evals", "violations", "ok", "detail",
+	}); err != nil {
+		return err
+	}
+	for _, st := range eng.Status() {
+		if err := cw.Write([]string{
+			"status", st.Name, fmt.Sprint(st.LastEpoch), "",
+			fmt.Sprint(st.Evals), fmt.Sprint(st.Violations),
+			fmt.Sprint(st.OK), st.Detail,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, v := range eng.Violations() {
+		if err := cw.Write([]string{
+			"violation", v.Invariant, fmt.Sprint(v.Epoch), fmt.Sprint(v.Seq),
+			"", "", "false", v.Detail,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // AuditJSON writes an audit report as indented JSON.

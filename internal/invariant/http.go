@@ -1,0 +1,62 @@
+package invariant
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// statusJSON is one invariant's standing on the wire.
+type statusJSON struct {
+	Name       string `json:"name"`
+	Evals      uint64 `json:"evals"`
+	Violations uint64 `json:"violations"`
+	LastEpoch  uint64 `json:"last_epoch"`
+	OK         bool   `json:"ok"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// violationJSON is one logged violation on the wire.
+type violationJSON struct {
+	Invariant string `json:"invariant"`
+	Epoch     uint64 `json:"epoch"`
+	Seq       uint64 `json:"seq"`
+	Detail    string `json:"detail"`
+}
+
+// HTTPHandler serves GET /invariants: every registered invariant's
+// status plus the retained violation history, as JSON. A nil engine
+// yields 503s (no engine attached).
+func HTTPHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if e == nil {
+			http.Error(w, "no invariant engine attached", http.StatusServiceUnavailable)
+			return
+		}
+		out := struct {
+			Invariants []statusJSON    `json:"invariants"`
+			History    []violationJSON `json:"history"`
+		}{Invariants: []statusJSON{}, History: []violationJSON{}}
+		for _, st := range e.Status() {
+			out.Invariants = append(out.Invariants, statusJSON{
+				Name:       st.Name,
+				Evals:      st.Evals,
+				Violations: st.Violations,
+				LastEpoch:  uint64(st.LastEpoch),
+				OK:         st.OK,
+				Detail:     st.Detail,
+			})
+		}
+		for _, v := range e.Violations() {
+			out.History = append(out.History, violationJSON{
+				Invariant: v.Invariant,
+				Epoch:     uint64(v.Epoch),
+				Seq:       v.Seq,
+				Detail:    v.Detail,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out) //nolint:errcheck // best effort; client gone
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speedlight/internal/audit"
@@ -23,11 +24,13 @@ import (
 	"speedlight/internal/core"
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
+	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
 	"speedlight/internal/observer"
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
+	"speedlight/internal/snapstore"
 	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 )
@@ -83,6 +86,22 @@ type Config struct {
 	// finalizes inconsistent or with excluded devices. Called from the
 	// observer goroutine; must not block.
 	OnAnomaly func(reason string, snapshotID packet.SeqID, dump []journal.Event)
+
+	// Snapstore, when set, ingests every completed global snapshot as a
+	// sealed delta-encoded epoch (internal/snapstore). Ingestion runs on
+	// the observer goroutine; with MetricsAddr set the query plane is
+	// served at /snapshots, and a readiness check flips /readyz when
+	// ingestion lags the observer by more than SnapstoreLagMax epochs.
+	Snapstore *snapstore.Store
+	// SnapstoreLagMax is the ingestion-lag readiness threshold in
+	// epochs. Zero means 8.
+	SnapstoreLagMax uint64
+	// Invariants, when set, streams every epoch sealed into Snapstore
+	// through the registered invariants (internal/invariant); each
+	// violation fires OnAnomaly with a flight-recorder dump, and with
+	// MetricsAddr set the status endpoint is served at /invariants.
+	// Requires Snapstore.
+	Invariants *invariant.Engine
 }
 
 // event is one unit of work for a switch goroutine.
@@ -136,6 +155,10 @@ type Network struct {
 	mu   sync.Mutex
 	done []*observer.GlobalSnapshot
 	subs map[packet.SeqID]chan *observer.GlobalSnapshot
+
+	// completed counts assembled global snapshots (atomic: the
+	// snapstore lag readiness check reads it from probe handlers).
+	completed atomic.Uint64
 
 	tel    liveTelemetry
 	metSrv *telemetry.Server
@@ -216,6 +239,14 @@ func New(cfg Config) (*Network, error) {
 		subs:      make(map[packet.SeqID]chan *observer.GlobalSnapshot),
 		tel:       newLiveTelemetry(cfg.Registry),
 		health:    telemetry.NewHealth(),
+	}
+	if cfg.Snapstore != nil {
+		lagMax := cfg.SnapstoreLagMax
+		if lagMax == 0 {
+			lagMax = 8
+		}
+		n.health.AddCheck("snapstore-lag",
+			snapstore.HealthCheck(cfg.Snapstore, n.CompletedEpochs, lagMax))
 	}
 	if cfg.Journal != nil {
 		cfg.Journal.Observer().Append(journal.Config(uint64(cfg.MaxID), cfg.WrapAround, cfg.ChannelState))
@@ -321,6 +352,12 @@ func (n *Network) Start() {
 		if n.cfg.Journal != nil {
 			mc.Journal = journal.HTTPHandler(n.cfg.Journal.Events)
 			mc.Audit = audit.HTTPHandler(n.Audit)
+		}
+		if n.cfg.Snapstore != nil {
+			mc.Snapshots = snapstore.HTTPHandler(n.cfg.Snapstore.View)
+		}
+		if n.cfg.Invariants != nil {
+			mc.Invariants = invariant.HTTPHandler(n.cfg.Invariants)
 		}
 		srv, err := telemetry.ServeConfig(n.cfg.MetricsAddr, mc)
 		if err != nil {
@@ -582,10 +619,20 @@ func (n *Network) runObserver() {
 
 // onComplete runs on the observer goroutine when a snapshot finishes.
 func (n *Network) onComplete(g *observer.GlobalSnapshot) {
+	n.completed.Add(1)
 	if !g.Consistent {
 		n.anomaly(fmt.Sprintf("snapshot %d finalized inconsistent", g.ID), g.ID)
 	} else if len(g.Excluded) > 0 {
 		n.anomaly(fmt.Sprintf("snapshot %d finalized with %d device(s) excluded", g.ID, len(g.Excluded)), g.ID)
+	}
+	if st := n.cfg.Snapstore; st != nil {
+		ep := st.Ingest(g, 0)
+		st.RecordLag(n.completed.Load())
+		if eng := n.cfg.Invariants; eng != nil {
+			for _, viol := range eng.Eval(st.View(), ep) {
+				n.anomaly(viol.String(), g.ID)
+			}
+		}
 	}
 	n.mu.Lock()
 	n.done = append(n.done, g)
@@ -653,6 +700,11 @@ func (n *Network) TakeSnapshot(delay time.Duration) (packet.SeqID, <-chan *obser
 	})
 	return r.id, sub, nil
 }
+
+// CompletedEpochs returns how many global snapshots the observer has
+// assembled. Safe from any goroutine; with Snapstore.Sealed it yields
+// the store's ingestion lag for readiness probes.
+func (n *Network) CompletedEpochs() uint64 { return n.completed.Load() }
 
 // Snapshots returns the snapshots completed so far.
 func (n *Network) Snapshots() []*observer.GlobalSnapshot {

@@ -1,0 +1,388 @@
+// Package snapstore is the snapshot-history store behind the query
+// plane: a bounded in-memory bank of completed global snapshots, one
+// sealed epoch per assembled observer.GlobalSnapshot.
+//
+// Epochs are stored as delta encodings — only the registers that
+// changed since the previous consistent cut — with a full
+// materialization ("base") every CheckpointEvery epochs so any retained
+// epoch reconstructs by walking at most one checkpoint interval of
+// deltas. Retention is exact: once more than Retention epochs are
+// held, the oldest is compacted away, and when the surviving oldest
+// epoch is not a base it is promoted to one (a copy carrying its full
+// materialization) so every published view remains self-contained.
+//
+// Reads never block ingestion. Each seal publishes an immutable View
+// through a single atomic pointer swap (in the spirit of Bezerra et
+// al.'s fast atomic snapshots): a reader loads the pointer once and
+// then owns a consistent catalogue of epochs — sealed epochs are never
+// mutated, so thousands of concurrent readers can reconstruct any
+// retained cut while the writer keeps sealing new ones.
+//
+// Concurrency contract: all writer methods (Begin, Observe, Seal,
+// Ingest, RecordLag) must be called from a single goroutine — the
+// observer's completion path. View and Sealed are safe from any
+// goroutine at any time.
+package snapstore
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"speedlight/internal/dataplane"
+	"speedlight/internal/observer"
+	"speedlight/internal/packet"
+	"speedlight/internal/sim"
+	"speedlight/internal/telemetry"
+	"speedlight/internal/topology"
+)
+
+// Reg is one processing unit's register in a reconstructed cut.
+type Reg struct {
+	// Value is the recorded state (meaningful only when Present).
+	Value uint64
+	// Consistent mirrors the control plane's per-unit consistency
+	// verdict for the value.
+	Consistent bool
+	// Present is false when the unit had no result in the cut (its
+	// device was excluded, or it attached after the epoch).
+	Present bool
+}
+
+// Delta is one register change relative to the previous sealed epoch.
+type Delta struct {
+	// Unit is the dense unit index into the store's unit table.
+	Unit int32
+	// Value and Consistent are the register's new state. When Present
+	// is false the unit left the cut and both are zero.
+	Value      uint64
+	Consistent bool
+	Present    bool
+}
+
+// Epoch is one sealed snapshot in the history. All fields are
+// immutable after Seal; an Epoch reachable from any View is safe to
+// read concurrently with ingestion forever.
+type Epoch struct {
+	// ID is the observer's snapshot ID for this epoch.
+	ID packet.SeqID
+	// Seq is the seal sequence number (ingest order, starting at 1).
+	Seq uint64
+	// ScheduledAt and CompletedAt bracket the snapshot's lifetime in
+	// observer time.
+	ScheduledAt sim.Time
+	CompletedAt sim.Time
+	// Sync is the snapshot's measured synchronization spread (zero when
+	// unknown).
+	Sync sim.Duration
+	// Consistent reports whether every included unit was consistent.
+	Consistent bool
+	// Excluded lists devices dropped from this snapshot.
+	Excluded []topology.NodeID
+
+	// deltas holds the registers that changed since the previous sealed
+	// epoch. base, when non-nil, is the full materialization of this
+	// epoch's cut (checkpoint epochs and promoted retention heads).
+	deltas []Delta
+	base   []Reg
+	// nUnits is the unit-table length at seal time: indices >= nUnits
+	// were not yet registered and are absent from this cut.
+	nUnits int
+}
+
+// IsBase reports whether the epoch carries a full materialization.
+func (e *Epoch) IsBase() bool { return e.base != nil }
+
+// DeltaCount returns how many register changes the epoch recorded.
+func (e *Epoch) DeltaCount() int { return len(e.deltas) }
+
+// Config parameterizes a store.
+type Config struct {
+	// Retention bounds the number of retained epochs. Default 1024.
+	Retention int
+	// CheckpointEvery is the full-materialization cadence: every Nth
+	// sealed epoch stores its complete cut alongside the delta, so
+	// reconstruction walks at most N-1 delta sets. Default 16; 1 makes
+	// every epoch a base (no delta chains).
+	CheckpointEvery int
+	// Registry, when set, enables the store's telemetry. Nil disables
+	// instrumentation.
+	Registry *telemetry.Registry
+}
+
+func (c *Config) setDefaults() {
+	if c.Retention <= 0 {
+		c.Retention = 1024
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 16
+	}
+}
+
+// Store is the snapshot-history store. See the package comment for the
+// concurrency contract.
+type Store struct {
+	cfg Config
+
+	// Writer-owned state (single ingesting goroutine).
+	unitIdx map[dataplane.UnitID]int32
+	units   []dataplane.UnitID
+	// prev is the previous sealed epoch's cut, the reference the next
+	// epoch's deltas are computed against. After Seal it equals the
+	// just-sealed epoch's full state.
+	prev []Reg
+	// seen stamps the epoch sequence that last observed each unit, so
+	// Seal can detect units that dropped out of the cut.
+	seen      []uint64
+	cur       *Epoch
+	curSeq    uint64
+	sinceBase int
+	scratch   []dataplane.UnitID
+
+	view   atomic.Pointer[View]
+	sealed atomic.Uint64
+
+	tel storeTelemetry
+}
+
+// storeTelemetry is the store's metric set; all fields are nil no-ops
+// without a registry.
+type storeTelemetry struct {
+	seals      *telemetry.Counter
+	deltas     *telemetry.Counter
+	bases      *telemetry.Counter
+	evicted    *telemetry.Counter
+	promotions *telemetry.Counter
+	retained   *telemetry.Gauge
+	lag        *telemetry.Gauge
+}
+
+func newStoreTelemetry(reg *telemetry.Registry) storeTelemetry {
+	return storeTelemetry{
+		seals:      reg.Counter("speedlight_snapstore_seals_total", "epochs sealed into the history store"),
+		deltas:     reg.Counter("speedlight_snapstore_deltas_total", "register deltas recorded across all sealed epochs"),
+		bases:      reg.Counter("speedlight_snapstore_bases_total", "full-materialization (base) epochs stored"),
+		evicted:    reg.Counter("speedlight_snapstore_evicted_total", "epochs compacted away by retention"),
+		promotions: reg.Counter("speedlight_snapstore_promotions_total", "retained epochs promoted to bases during compaction"),
+		retained:   reg.Gauge("speedlight_snapstore_epochs_retained", "epochs currently retained in the store"),
+		lag:        reg.Gauge("speedlight_snapstore_lag_epochs", "observer epochs completed but not yet sealed into the store"),
+	}
+}
+
+// New builds a store.
+func New(cfg Config) *Store {
+	cfg.setDefaults()
+	return &Store{
+		cfg:     cfg,
+		unitIdx: make(map[dataplane.UnitID]int32),
+		tel:     newStoreTelemetry(cfg.Registry),
+	}
+}
+
+// Retention returns the configured epoch bound.
+func (s *Store) Retention() int { return s.cfg.Retention }
+
+// Sealed returns how many epochs have ever been sealed. Safe from any
+// goroutine; with the observer's completed count it yields the
+// ingestion lag behind HealthCheck.
+func (s *Store) Sealed() uint64 { return s.sealed.Load() }
+
+// RecordLag publishes the ingestion-lag gauge: how many epochs the
+// observer has completed that the store has not yet sealed.
+func (s *Store) RecordLag(completed uint64) {
+	sealed := s.sealed.Load()
+	if completed < sealed {
+		completed = sealed
+	}
+	s.tel.lag.Set(int64(completed - sealed))
+}
+
+// HealthCheck returns a readiness check that fails when the store's
+// ingestion lags the observer by more than maxLag epochs — the serving
+// plane is then answering from stale history and /readyz should flip.
+// completed reports the observer's completed-epoch count and must be
+// safe for concurrent use.
+func HealthCheck(s *Store, completed func() uint64, maxLag uint64) func() error {
+	return func() error {
+		done := completed()
+		sealed := s.Sealed()
+		if done > sealed && done-sealed > maxLag {
+			return fmt.Errorf("snapshot store %d epochs behind the observer (max %d)", done-sealed, maxLag)
+		}
+		return nil
+	}
+}
+
+// View returns the current immutable view of the history: one atomic
+// load, safe from any goroutine, never blocked by ingestion. The
+// returned view stays internally consistent forever; it simply stops
+// including epochs sealed after it was taken.
+func (s *Store) View() *View {
+	if v := s.view.Load(); v != nil {
+		return v
+	}
+	return emptyView
+}
+
+var emptyView = &View{}
+
+// Begin opens the epoch for snapshot id. Every Observe until the
+// matching Seal records one unit of the epoch's cut.
+func (s *Store) Begin(id packet.SeqID, scheduledAt sim.Time) {
+	if s.cur != nil {
+		panic(fmt.Sprintf("snapstore: Begin(%d) with epoch %d still open", id, s.cur.ID))
+	}
+	s.curSeq++
+	s.cur = &Epoch{
+		ID:          id,
+		Seq:         s.curSeq,
+		ScheduledAt: scheduledAt,
+		deltas:      make([]Delta, 0, len(s.units)),
+	}
+}
+
+// Observe records one unit's value in the open epoch. Registers whose
+// value and consistency match the previous sealed cut are elided (the
+// delta encoding); duplicate observations of a unit within one epoch
+// keep the first. This is the ingestion hot path: steady-state calls
+// are allocation-free.
+//
+//speedlight:hotpath
+func (s *Store) Observe(u dataplane.UnitID, value uint64, consistent bool) {
+	if s.cur == nil {
+		panic("snapstore: Observe without Begin")
+	}
+	idx, ok := s.unitIdx[u]
+	if !ok {
+		idx = s.register(u)
+	}
+	if s.seen[idx] == s.curSeq {
+		return
+	}
+	s.seen[idx] = s.curSeq
+	p := s.prev[idx]
+	if p.Present && p.Value == value && p.Consistent == consistent {
+		return
+	}
+	s.cur.deltas = append(s.cur.deltas, Delta{Unit: idx, Value: value, Consistent: consistent, Present: true})
+	s.prev[idx] = Reg{Value: value, Consistent: consistent, Present: true}
+}
+
+// register adds a unit to the dense table (cold path: each unit
+// registers once, on its first ever observation).
+func (s *Store) register(u dataplane.UnitID) int32 {
+	idx := int32(len(s.units))
+	s.units = append(s.units, u)
+	s.prev = append(s.prev, Reg{})
+	s.seen = append(s.seen, 0)
+	s.unitIdx[u] = idx
+	return idx
+}
+
+// Seal closes the open epoch and publishes a new view containing it.
+// Units present in the previous cut but unobserved this epoch are
+// recorded as departures. Returns the sealed (now immutable) epoch.
+func (s *Store) Seal(completedAt sim.Time, consistent bool, excluded []topology.NodeID, sync sim.Duration) *Epoch {
+	e := s.cur
+	if e == nil {
+		panic("snapstore: Seal without Begin")
+	}
+	s.cur = nil
+
+	// Departures: previously present units with no result this epoch.
+	for idx := range s.prev {
+		if s.prev[idx].Present && s.seen[idx] != s.curSeq {
+			e.deltas = append(e.deltas, Delta{Unit: int32(idx), Present: false})
+			s.prev[idx] = Reg{}
+		}
+	}
+	e.CompletedAt = completedAt
+	e.Consistent = consistent
+	e.Sync = sync
+	if len(excluded) > 0 {
+		e.Excluded = append([]topology.NodeID(nil), excluded...)
+	}
+	e.nUnits = len(s.units)
+
+	old := s.View()
+	// Checkpoint cadence: the first epoch is always a base; afterwards
+	// every CheckpointEvery-th epoch materializes its full cut (prev is
+	// exactly this epoch's state once the deltas above are applied).
+	if len(old.epochs) == 0 || s.sinceBase+1 >= s.cfg.CheckpointEvery {
+		e.base = append([]Reg(nil), s.prev...)
+		s.sinceBase = 0
+		s.tel.bases.Inc()
+	} else {
+		s.sinceBase++
+	}
+
+	// Build the successor view: retained epochs plus e, compacted to
+	// the retention bound, with the surviving head promoted to a base
+	// if compaction cut the chain in front of it.
+	n := len(old.epochs) + 1
+	cut := 0
+	if n > s.cfg.Retention {
+		cut = n - s.cfg.Retention
+	}
+	epochs := make([]*Epoch, 0, n-cut)
+	if cut > 0 {
+		s.tel.evicted.Add(uint64(cut))
+	}
+	if cut < len(old.epochs) {
+		head := old.epochs[cut]
+		if !head.IsBase() {
+			head = promote(old, cut)
+			s.tel.promotions.Inc()
+		}
+		epochs = append(epochs, head)
+		epochs = append(epochs, old.epochs[cut+1:]...)
+	}
+	epochs = append(epochs, e)
+
+	s.view.Store(&View{epochs: epochs, units: s.units[:len(s.units):len(s.units)]})
+	s.sealed.Add(1)
+	s.tel.seals.Inc()
+	s.tel.deltas.Add(uint64(len(e.deltas)))
+	s.tel.retained.Set(int64(len(epochs)))
+	return e
+}
+
+// promote returns a base-carrying copy of v.epochs[i]: same identity
+// and deltas, plus the full materialization of its cut reconstructed
+// from the old view. The original epoch is left untouched — views that
+// reference it remain valid.
+func promote(v *View, i int) *Epoch {
+	st := v.stateAt(i)
+	p := *v.epochs[i]
+	p.base = st.Regs
+	return &p
+}
+
+// Ingest records one assembled global snapshot as a sealed epoch:
+// Begin, one Observe per unit result (in deterministic unit order),
+// Seal. sync is the snapshot's measured synchronization spread (zero
+// when unknown). Returns the sealed epoch.
+func (s *Store) Ingest(g *observer.GlobalSnapshot, sync sim.Duration) *Epoch {
+	s.Begin(g.ID, g.ScheduledAt)
+	s.scratch = s.scratch[:0]
+	for u := range g.Results {
+		s.scratch = append(s.scratch, u)
+	}
+	sort.Slice(s.scratch, func(a, b int) bool { return unitLess(s.scratch[a], s.scratch[b]) })
+	for _, u := range s.scratch {
+		res := g.Results[u]
+		s.Observe(u, res.Value, res.Consistent)
+	}
+	return s.Seal(g.CompletedAt, g.Consistent, g.Excluded, sync)
+}
+
+// unitLess is the canonical unit order (switch, port, direction).
+func unitLess(a, b dataplane.UnitID) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Port != b.Port {
+		return a.Port < b.Port
+	}
+	return a.Dir < b.Dir
+}

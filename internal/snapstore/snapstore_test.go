@@ -1,0 +1,344 @@
+package snapstore_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"speedlight/internal/control"
+	"speedlight/internal/dataplane"
+	"speedlight/internal/observer"
+	"speedlight/internal/packet"
+	"speedlight/internal/snapstore"
+	"speedlight/internal/telemetry"
+	"speedlight/internal/topology"
+)
+
+func unit(node, port int, dir dataplane.Direction) dataplane.UnitID {
+	return dataplane.UnitID{Node: topology.NodeID(node), Port: port, Dir: dir}
+}
+
+// seal drives one epoch through the store from a unit->value map.
+func seal(s *snapstore.Store, id packet.SeqID, values map[dataplane.UnitID]uint64) *snapstore.Epoch {
+	g := &observer.GlobalSnapshot{
+		ID:         id,
+		Results:    make(map[dataplane.UnitID]control.Result, len(values)),
+		Consistent: true,
+	}
+	for u, v := range values {
+		g.Results[u] = control.Result{Unit: u, SnapshotID: id, Value: v, Consistent: true}
+	}
+	return s.Ingest(g, 0)
+}
+
+func TestStoreBasic(t *testing.T) {
+	s := snapstore.New(snapstore.Config{Retention: 8, CheckpointEvery: 4})
+	u0, u1 := unit(0, 0, dataplane.Ingress), unit(0, 1, dataplane.Egress)
+
+	e1 := seal(s, 1, map[dataplane.UnitID]uint64{u0: 10, u1: 20})
+	if !e1.IsBase() {
+		t.Fatal("first epoch must be a base")
+	}
+	if e1.DeltaCount() != 2 {
+		t.Fatalf("first epoch deltas = %d, want 2", e1.DeltaCount())
+	}
+
+	// Unchanged register elided; changed one recorded.
+	e2 := seal(s, 2, map[dataplane.UnitID]uint64{u0: 10, u1: 25})
+	if e2.IsBase() {
+		t.Fatal("second epoch should be delta-only")
+	}
+	if e2.DeltaCount() != 1 {
+		t.Fatalf("second epoch deltas = %d, want 1 (u0 unchanged)", e2.DeltaCount())
+	}
+
+	v := s.View()
+	if v.Len() != 2 {
+		t.Fatalf("view has %d epochs, want 2", v.Len())
+	}
+	st, err := v.State(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := st.Value(u0); !ok || r.Value != 10 {
+		t.Fatalf("u0@2 = %+v, want 10", r)
+	}
+	if r, ok := st.Value(u1); !ok || r.Value != 25 {
+		t.Fatalf("u1@2 = %+v, want 25", r)
+	}
+	st1, err := v.State(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := st1.Value(u1); !ok || r.Value != 20 {
+		t.Fatalf("u1@1 = %+v, want 20", r)
+	}
+	if s.Sealed() != 2 {
+		t.Fatalf("Sealed() = %d, want 2", s.Sealed())
+	}
+}
+
+func TestStoreDeparture(t *testing.T) {
+	s := snapstore.New(snapstore.Config{Retention: 8, CheckpointEvery: 100})
+	u0, u1 := unit(0, 0, dataplane.Ingress), unit(0, 1, dataplane.Egress)
+
+	seal(s, 1, map[dataplane.UnitID]uint64{u0: 1, u1: 2})
+	seal(s, 2, map[dataplane.UnitID]uint64{u0: 1}) // u1 drops out
+
+	st, err := s.View().State(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Value(u1); ok {
+		t.Fatal("u1 should be absent from epoch 2's cut")
+	}
+	if _, ok := st.Value(u0); !ok {
+		t.Fatal("u0 should remain present")
+	}
+
+	// Reappearance is a fresh delta even at the old value.
+	seal(s, 3, map[dataplane.UnitID]uint64{u0: 1, u1: 2})
+	st3, err := s.View().State(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := st3.Value(u1); !ok || r.Value != 2 {
+		t.Fatalf("u1@3 = %+v, want present 2", r)
+	}
+}
+
+func TestStoreDuplicateObserveKeepsFirst(t *testing.T) {
+	s := snapstore.New(snapstore.Config{})
+	u := unit(1, 0, dataplane.Ingress)
+	s.Begin(7, 0)
+	s.Observe(u, 100, true)
+	s.Observe(u, 999, true)
+	s.Seal(0, true, nil, 0)
+	st, err := s.View().State(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := st.Value(u); r.Value != 100 {
+		t.Fatalf("duplicate observe overwrote: got %d, want 100", r.Value)
+	}
+}
+
+func TestStoreRetentionAndPromotion(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := snapstore.New(snapstore.Config{Retention: 4, CheckpointEvery: 16, Registry: reg})
+	u := unit(0, 0, dataplane.Ingress)
+
+	for i := 1; i <= 10; i++ {
+		seal(s, packet.SeqID(i), map[dataplane.UnitID]uint64{u: uint64(i * 100)})
+	}
+	v := s.View()
+	if v.Len() != 4 {
+		t.Fatalf("retained %d epochs, want 4", v.Len())
+	}
+	// Oldest retained epoch (7) is far from the only natural base (1),
+	// which was evicted — it must have been promoted.
+	if !v.Epochs()[0].IsBase() {
+		t.Fatal("view head must be a base after compaction")
+	}
+	for i := 7; i <= 10; i++ {
+		st, err := v.State(packet.SeqID(i))
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		if r, ok := st.Value(u); !ok || r.Value != uint64(i*100) {
+			t.Fatalf("u@%d = %+v, want %d", i, r, i*100)
+		}
+	}
+	if _, err := v.State(3); err == nil {
+		t.Fatal("evicted epoch 3 should not reconstruct")
+	}
+}
+
+func TestOldViewSurvivesCompaction(t *testing.T) {
+	s := snapstore.New(snapstore.Config{Retention: 3, CheckpointEvery: 2})
+	u := unit(0, 0, dataplane.Ingress)
+	seal(s, 1, map[dataplane.UnitID]uint64{u: 11})
+	seal(s, 2, map[dataplane.UnitID]uint64{u: 22})
+	old := s.View()
+	// Push epochs 1 and 2 out of the current retention window.
+	for i := 3; i <= 9; i++ {
+		seal(s, packet.SeqID(i), map[dataplane.UnitID]uint64{u: uint64(i * 11)})
+	}
+	if _, err := s.View().State(1); err == nil {
+		t.Fatal("epoch 1 should be evicted from the current view")
+	}
+	// The old view still reconstructs what it retained at capture time.
+	st, err := old.State(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := st.Value(u); r.Value != 22 {
+		t.Fatalf("old view u@2 = %d, want 22", r.Value)
+	}
+}
+
+func TestViewDiff(t *testing.T) {
+	s := snapstore.New(snapstore.Config{})
+	u0, u1, u2 := unit(0, 0, dataplane.Ingress), unit(0, 1, dataplane.Ingress), unit(1, 0, dataplane.Egress)
+	seal(s, 1, map[dataplane.UnitID]uint64{u0: 1, u1: 2})
+	seal(s, 2, map[dataplane.UnitID]uint64{u0: 1, u1: 5, u2: 7}) // u1 changed, u2 appeared
+
+	diffs, err := s.View().Diff(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 2 {
+		t.Fatalf("diff has %d entries, want 2: %+v", len(diffs), diffs)
+	}
+	if diffs[0].Unit != u1 || diffs[0].From.Value != 2 || diffs[0].To.Value != 5 {
+		t.Fatalf("diff[0] = %+v, want u1 2->5", diffs[0])
+	}
+	if diffs[1].Unit != u2 || diffs[1].From.Present || diffs[1].To.Value != 7 {
+		t.Fatalf("diff[1] = %+v, want u2 absent->7", diffs[1])
+	}
+}
+
+func TestEmptyView(t *testing.T) {
+	s := snapstore.New(snapstore.Config{})
+	v := s.View()
+	if v.Len() != 0 || v.Latest() != nil {
+		t.Fatal("fresh store should publish an empty view")
+	}
+	if _, err := v.State(1); err == nil {
+		t.Fatal("State on empty view should error")
+	}
+}
+
+func TestHealthCheckAndLag(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := snapstore.New(snapstore.Config{Registry: reg})
+	u := unit(0, 0, dataplane.Ingress)
+
+	var completed uint64
+	check := snapstore.HealthCheck(s, func() uint64 { return completed }, 2)
+
+	if err := check(); err != nil {
+		t.Fatalf("fresh store should be healthy: %v", err)
+	}
+	completed = 3 // observer completed 3, store sealed 0 -> lag 3 > 2
+	if err := check(); err == nil {
+		t.Fatal("lag 3 with max 2 should fail readiness")
+	}
+	seal(s, 1, map[dataplane.UnitID]uint64{u: 1})
+	if err := check(); err != nil { // lag 2 == max 2: healthy
+		t.Fatalf("lag at threshold should pass: %v", err)
+	}
+	s.RecordLag(completed)
+	if got := gaugeValue(t, reg, "speedlight_snapstore_lag_epochs"); got != 2 {
+		t.Fatalf("lag gauge = %d, want 2", got)
+	}
+}
+
+func gaugeValue(t *testing.T, reg *telemetry.Registry, name string) int64 {
+	t.Helper()
+	for _, s := range reg.Gather() {
+		if s.Name == name {
+			return s.GaugeValue
+		}
+	}
+	t.Fatalf("gauge %s not registered", name)
+	return 0
+}
+
+// TestDeltaPropertyRandom is the delta-correctness property test: a
+// long random campaign of epochs (units churning in and out, values
+// repeating and changing) is driven through the store while a naive
+// full-materialization reference records every cut. Every retained
+// epoch, reconstructed through base + delta chains — including across
+// retention/compaction boundaries and promoted heads — must match the
+// reference exactly.
+func TestDeltaPropertyRandom(t *testing.T) {
+	configs := []snapstore.Config{
+		{Retention: 16, CheckpointEvery: 4},
+		{Retention: 7, CheckpointEvery: 5},   // retention not a multiple of cadence
+		{Retention: 3, CheckpointEvery: 64},  // compaction promotes almost every seal
+		{Retention: 128, CheckpointEvery: 1}, // every epoch a base
+	}
+	units := make([]dataplane.UnitID, 24)
+	for i := range units {
+		dir := dataplane.Ingress
+		if i%2 == 1 {
+			dir = dataplane.Egress
+		}
+		units[i] = unit(i/6, i%6, dir)
+	}
+	for ci, cfg := range configs {
+		rng := rand.New(rand.NewSource(int64(1000 + ci)))
+		s := snapstore.New(cfg)
+		reference := map[packet.SeqID]map[dataplane.UnitID]uint64{}
+		for epoch := 1; epoch <= 200; epoch++ {
+			id := packet.SeqID(epoch)
+			cut := map[dataplane.UnitID]uint64{}
+			for _, u := range units {
+				if rng.Intn(10) == 0 {
+					continue // unit drops out of this cut
+				}
+				// Small value range forces frequent unchanged registers
+				// (the elision path) and frequent changes.
+				cut[u] = uint64(rng.Intn(4))
+			}
+			seal(s, id, cut)
+			reference[id] = cut
+
+			// Check every retained epoch against the reference.
+			v := s.View()
+			for _, e := range v.Epochs() {
+				want := reference[e.ID]
+				st, err := v.State(e.ID)
+				if err != nil {
+					t.Fatalf("cfg %d: retained epoch %d failed to reconstruct: %v", ci, e.ID, err)
+				}
+				got := map[dataplane.UnitID]uint64{}
+				for i, r := range st.Regs {
+					if r.Present {
+						got[st.Units[i]] = r.Value
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("cfg %d epoch %d: %d present units, want %d", ci, e.ID, len(got), len(want))
+				}
+				for u, wv := range want {
+					if gv, ok := got[u]; !ok || gv != wv {
+						t.Fatalf("cfg %d epoch %d unit %v: got %d (present=%v), want %d", ci, e.ID, u, gv, ok, wv)
+					}
+				}
+			}
+			if v.Len() > cfg.Retention {
+				t.Fatalf("cfg %d: view holds %d epochs, retention %d", ci, v.Len(), cfg.Retention)
+			}
+		}
+	}
+}
+
+// TestObserveSteadyStateAllocs pins the ingestion hot path at zero
+// allocations once every unit is registered (the hotalloc analyzer
+// enforces the same statically via //speedlight:hotpath).
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	s := snapstore.New(snapstore.Config{Retention: 4, CheckpointEvery: 4})
+	units := make([]dataplane.UnitID, 64)
+	for i := range units {
+		units[i] = unit(i/8, i%8, dataplane.Ingress)
+	}
+	// Warm up: register every unit, grow the delta buffer.
+	for e := 1; e <= 3; e++ {
+		s.Begin(packet.SeqID(e), 0)
+		for i, u := range units {
+			s.Observe(u, uint64(e*100+i), true)
+		}
+		s.Seal(0, true, nil, 0)
+	}
+	s.Begin(100, 0)
+	defer s.Seal(0, true, nil, 0)
+	var x uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		x++
+		s.Observe(units[int(x)%len(units)], x, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

@@ -145,6 +145,13 @@ type MuxConfig struct {
 	// Audit, when set, is mounted at /audit (the causal-consistency
 	// audit report; see internal/audit.HTTPHandler).
 	Audit http.Handler
+	// Snapshots, when set, is mounted at /snapshots and /snapshots/
+	// (the snapshot-history query plane; see
+	// internal/snapstore.HTTPHandler).
+	Snapshots http.Handler
+	// Invariants, when set, is mounted at /invariants (invariant status
+	// and violation history; see internal/invariant.HTTPHandler).
+	Invariants http.Handler
 }
 
 // NewMux builds the default observability endpoint set for a registry
@@ -164,6 +171,8 @@ func NewMux(r *Registry, tracer *Tracer) *http.ServeMux {
 //	/readyz            readiness probe (liveness + SetReady gate)
 //	/journal           flight-recorder events (when cfg.Journal set)
 //	/audit             consistency audit report (when cfg.Audit set)
+//	/snapshots         snapshot-history query plane (when cfg.Snapshots set)
+//	/invariants        invariant status + violations (when cfg.Invariants set)
 //
 // Registry and Tracer may be nil, in which case their endpoints serve
 // empty data.
@@ -202,6 +211,15 @@ func NewMuxConfig(cfg MuxConfig) *http.ServeMux {
 	}
 	if cfg.Audit != nil {
 		mux.Handle("/audit", cfg.Audit)
+	}
+	if cfg.Snapshots != nil {
+		// Both patterns: the exact path for list/state queries and the
+		// subtree for /snapshots/diff.
+		mux.Handle("/snapshots", cfg.Snapshots)
+		mux.Handle("/snapshots/", cfg.Snapshots)
+	}
+	if cfg.Invariants != nil {
+		mux.Handle("/invariants", cfg.Invariants)
 	}
 	return mux
 }

@@ -1,56 +1,64 @@
 #!/bin/sh
-# bench_json.sh regenerates BENCH_5.json: the machine-readable record of
-# the zero-allocation hot-path work (PR 5). It runs the gated hot-path
-# benchmarks (-benchmem) and the serial-vs-sharded scaling benchmarks,
-# and emits one JSON document with events/sec, ns/op, and allocs/op,
-# alongside the frozen pre-PR baseline for the same benchmarks.
+# bench_json.sh regenerates BENCH_6.json: the machine-readable record of
+# the snapshot-analysis work (PR 6). It runs the gated hot-path
+# benchmarks (-benchmem, including the snapstore ingest hot path), the
+# snapshot history-store ingest/query benchmarks on the 1024-port
+# fabric, and the serial-vs-sharded scaling benchmarks, and emits one
+# JSON document with ns/op, allocs/op, registers/sec, queries/sec and
+# events/sec, alongside the frozen pre-PR baseline for the benchmarks
+# that existed before this PR.
 #
-# Usage: scripts/bench_json.sh [output.json]   (default BENCH_5.json)
+# Usage: scripts/bench_json.sh [output.json]   (default BENCH_6.json)
 set -eu
 
-out=${1:-BENCH_5.json}
+out=${1:-BENCH_6.json}
 
 hot=$(go test -run '^$' \
-  -bench 'BenchmarkUnitOnPacket$|BenchmarkHeaderCodec$|BenchmarkTelemetryHotPath$|BenchmarkEmulationThroughput$' \
+  -bench 'BenchmarkUnitOnPacket$|BenchmarkHeaderCodec$|BenchmarkTelemetryHotPath$|BenchmarkEmulationThroughput$|BenchmarkSnapshotIngestHot$' \
+  -benchmem -benchtime 1s -timeout 30m .)
+store=$(go test -run '^$' \
+  -bench 'BenchmarkStoreIngest$|BenchmarkSnapshotQuery$' \
   -benchmem -benchtime 1s -timeout 30m .)
 shards=$(go test -run '^$' -bench BenchmarkShardScaling -benchtime 2x -timeout 30m .)
 
-printf '%s\n%s\n' "$hot" "$shards" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+printf '%s\n%s\n%s\n' "$hot" "$store" "$shards" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip -GOMAXPROCS suffix
     sub(/^Benchmark/, "", name)
-    ns = allocs = bytes = eps = "null"
+    ns = allocs = bytes = eps = regs = qps = "null"
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")      ns = $i
-        if ($(i+1) == "allocs/op")  allocs = $i
-        if ($(i+1) == "B/op")       bytes = $i
-        if ($(i+1) == "events/sec") eps = $i
+        if ($(i+1) == "ns/op")         ns = $i
+        if ($(i+1) == "allocs/op")     allocs = $i
+        if ($(i+1) == "B/op")          bytes = $i
+        if ($(i+1) == "events/sec")    eps = $i
+        if ($(i+1) == "registers/sec") regs = $i
+        if ($(i+1) == "queries/sec")   qps = $i
     }
     order[++n] = name
-    line[name] = sprintf("{\"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s, \"events_per_sec\": %s}",
-                         ns, allocs, bytes, eps)
+    line[name] = sprintf("{\"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s, \"events_per_sec\": %s, \"registers_per_sec\": %s, \"queries_per_sec\": %s}",
+                         ns, allocs, bytes, eps, regs, qps)
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 5,\n"
+    printf "  \"pr\": 6,\n"
     printf "  \"generated\": \"%s\",\n", date
     printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"note\": \"before = seed benchmarks at the parent commit of PR 5 (pre-pooling); after = this tree. events_per_sec on EmulationThroughput was added by PR 5 and has no before value.\",\n"
+    printf "  \"note\": \"before = PR 5 numbers for the benchmarks that predate this PR (BENCH_5.json after-column). SnapshotIngestHot, StoreIngest and SnapshotQuery are new in PR 6 (snapshot history store + query plane) and have no before value. SnapshotIngestHot is gated at 0 allocs/op; SnapshotQuery runs against a 1024-port fabric with a concurrent writer.\",\n"
     printf "  \"before\": {\n"
-    printf "    \"UnitOnPacket\": {\"ns_per_op\": 31.84, \"allocs_per_op\": 0, \"bytes_per_op\": 0, \"events_per_sec\": null},\n"
-    printf "    \"HeaderCodec\": {\"ns_per_op\": 2.200, \"allocs_per_op\": 0, \"bytes_per_op\": 0, \"events_per_sec\": null},\n"
-    printf "    \"TelemetryHotPath\": {\"ns_per_op\": 33.65, \"allocs_per_op\": 0, \"bytes_per_op\": 0, \"events_per_sec\": null},\n"
-    printf "    \"EmulationThroughput\": {\"ns_per_op\": 2274, \"allocs_per_op\": 15, \"bytes_per_op\": 971, \"events_per_sec\": null},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards0\": {\"events_per_sec\": 1378099},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards2\": {\"events_per_sec\": 1903578},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards4\": {\"events_per_sec\": 2061697},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards8\": {\"events_per_sec\": 2505802},\n"
-    printf "    \"ShardScaling/fattree4/shards0\": {\"events_per_sec\": 1852204},\n"
-    printf "    \"ShardScaling/fattree4/shards2\": {\"events_per_sec\": 2202981},\n"
-    printf "    \"ShardScaling/fattree4/shards4\": {\"events_per_sec\": 1999812},\n"
-    printf "    \"ShardScaling/fattree4/shards8\": {\"events_per_sec\": 2505429}\n"
+    printf "    \"UnitOnPacket\": {\"ns_per_op\": 27.46, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
+    printf "    \"HeaderCodec\": {\"ns_per_op\": 1.614, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
+    printf "    \"TelemetryHotPath\": {\"ns_per_op\": 35.08, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
+    printf "    \"EmulationThroughput\": {\"ns_per_op\": 1248, \"allocs_per_op\": 0, \"bytes_per_op\": 0, \"events_per_sec\": 5579101},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards0\": {\"events_per_sec\": 2532613},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards2\": {\"events_per_sec\": 2497994},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards4\": {\"events_per_sec\": 3139122},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards8\": {\"events_per_sec\": 3277165},\n"
+    printf "    \"ShardScaling/fattree4/shards0\": {\"events_per_sec\": 2730231},\n"
+    printf "    \"ShardScaling/fattree4/shards2\": {\"events_per_sec\": 2948385},\n"
+    printf "    \"ShardScaling/fattree4/shards4\": {\"events_per_sec\": 3272820},\n"
+    printf "    \"ShardScaling/fattree4/shards8\": {\"events_per_sec\": 3493008}\n"
     printf "  },\n"
     printf "  \"after\": {\n"
     for (i = 1; i <= n; i++) {

@@ -48,10 +48,12 @@ import (
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
 	"speedlight/internal/packet"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
+	"speedlight/internal/snapstore"
 	"speedlight/internal/telemetry"
 	"speedlight/internal/topology"
 )
@@ -131,6 +133,16 @@ type Config struct {
 	// snapshot finalizes inconsistent or with excluded devices.
 	// Requires Journal.
 	OnAnomaly func(reason string, snapshotID packet.SeqID, dump []journal.Event)
+	// Snapstore, when set, retains every completed snapshot as a
+	// sealed delta-encoded epoch in the snapshot-history store
+	// (internal/snapstore): query it with Store views or serve it with
+	// snapstore.HTTPHandler.
+	Snapstore *snapstore.Store
+	// Invariants, when set, streams every epoch sealed into Snapstore
+	// through the registered invariants (internal/invariant);
+	// violations fire OnAnomaly with a flight-recorder dump. Requires
+	// Snapstore.
+	Invariants *invariant.Engine
 }
 
 // UnitValue is one processing unit's recorded value in a snapshot.
@@ -203,6 +215,8 @@ func New(cfg Config) (*Network, error) {
 		Tracer:       cfg.Tracer,
 		Journal:      cfg.Journal,
 		OnAnomaly:    cfg.OnAnomaly,
+		Snapstore:    cfg.Snapstore,
+		Invariants:   cfg.Invariants,
 	}
 	ecfg.Metrics = func(net *emunet.Network, id dataplane.UnitID) core.Metric {
 		switch cfg.Metric {
@@ -332,6 +346,14 @@ func (n *Network) NumSwitches() int { return len(n.ls.Switches) }
 // Journal returns the flight-recorder set the network was built with,
 // or nil when journaling is disabled.
 func (n *Network) Journal() *journal.Set { return n.inner.Journal() }
+
+// Snapstore returns the snapshot-history store the network was built
+// with, or nil when history is disabled.
+func (n *Network) Snapstore() *snapstore.Store { return n.cfg.Snapstore }
+
+// Invariants returns the streaming invariant engine the network was
+// built with, or nil when disabled.
+func (n *Network) Invariants() *invariant.Engine { return n.cfg.Invariants }
 
 // Audit replays the flight-recorder journal and independently verifies
 // every snapshot's causal-consistency invariants (see internal/audit).
