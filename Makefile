@@ -16,9 +16,10 @@ help:
 	@echo "  lint         build speedlightvet and run the analyzer suite"
 	@echo "  vet          plain go vet"
 	@echo "  bench-shards serial-vs-sharded scaling benchmarks (CI gate)"
-	@echo "  bench-json   regenerate BENCH_6.json (hot-path allocs/op,"
-	@echo "               snapstore ingest/query rates, events/sec, with"
-	@echo "               the frozen pre-PR baseline)"
+	@echo "  bench-json   regenerate BENCH_7.json (hot-path allocs/op,"
+	@echo "               trace-overhead pair, snapstore ingest/query"
+	@echo "               rates, events/sec, with the frozen pre-PR"
+	@echo "               baseline)"
 	@echo "  clean        remove bin/"
 
 build:
@@ -48,13 +49,13 @@ vet:
 bench-shards:
 	go test -run '^$$' -bench BenchmarkShardScaling -benchtime 5x -timeout 30m .
 
-# bench-json reruns the hot-path, snapstore and scaling benchmarks and
-# rewrites BENCH_6.json (committed) with after-numbers from this machine
-# next to the frozen pre-PR baseline. CI uploads the file as an artifact
-# and gates allocs/op == 0 on the hot-path benchmarks, including the
-# snapshot-store ingest path.
+# bench-json reruns the hot-path, trace-overhead, snapstore and scaling
+# benchmarks and rewrites BENCH_7.json (committed) with after-numbers
+# from this machine next to the frozen pre-PR baseline. CI uploads the
+# file as an artifact and gates allocs/op == 0 on the hot-path
+# benchmarks plus traced throughput within 3% of the untraced baseline.
 bench-json:
-	sh scripts/bench_json.sh BENCH_6.json
+	sh scripts/bench_json.sh BENCH_7.json
 
 clean:
 	rm -rf bin

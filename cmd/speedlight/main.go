@@ -9,6 +9,7 @@
 //	speedlight -channel-state -workload memcache -verbose
 //	speedlight -journal-out run.jsonl -audit -flight-dir dumps/
 //	speedlight -snapstore-out history.jsonl -invariants-out invariants.csv
+//	speedlight -trace-epochs epochs.jsonl
 //	speedlight doctor run.jsonl
 //	speedlight doctor http://127.0.0.1:9090
 package main
@@ -28,6 +29,7 @@ import (
 	"speedlight/internal/audit"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/epochtrace"
 	"speedlight/internal/export"
 	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
@@ -85,6 +87,8 @@ func campaign() {
 			"replay the journal after the campaign and print the consistency audit report (exit 1 on violations)")
 		flightDir = flag.String("flight-dir", "",
 			"write a flight-recorder tail dump (JSONL) into this directory whenever a snapshot finalizes inconsistent or with exclusions")
+		traceEpochs = flag.String("trace-epochs", "",
+			"write per-epoch causal traces to this file (.chrome.json writes Chrome trace_event format, anything else JSON Lines) and print critical-path attribution; implies journaling")
 	)
 	flag.Parse()
 
@@ -102,7 +106,7 @@ func campaign() {
 	}
 	// Any flight-recorder flag turns journaling on. The metrics server
 	// includes it too, so /journal and /audit have something to serve.
-	if *journalOut != "" || *auditRun || *flightDir != "" || *metricsAddr != "" {
+	if *journalOut != "" || *auditRun || *flightDir != "" || *metricsAddr != "" || *traceEpochs != "" {
 		cfg.Journal = journal.NewSet(0)
 	}
 	if *flightDir != "" {
@@ -195,13 +199,14 @@ func campaign() {
 		if cfg.Invariants != nil {
 			mc.Invariants = invariant.HTTPHandler(cfg.Invariants)
 		}
+		mc.EpochTrace = epochtrace.HTTPHandler(net.EpochTraces)
 		health.SetReady(true)
 		srv, err := telemetry.ServeConfig(*metricsAddr, mc)
 		if err != nil {
 			fatalf("metrics server: %v", err)
 		}
 		defer srv.Close()
-		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /trace (Chrome), /healthz, /journal, /audit, /snapshots, /invariants\n",
+		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /trace (Chrome), /healthz, /journal, /audit, /snapshots, /invariants, /trace/epoch, /trace/critical\n",
 			srv.Addr())
 	}
 
@@ -319,6 +324,27 @@ func campaign() {
 		fmt.Printf("wrote %s (%d events)\n", *journalOut, len(events))
 	}
 
+	if *traceEpochs != "" {
+		traces := net.EpochTraces()
+		f, err := os.Create(*traceEpochs)
+		if err != nil {
+			fatalf("creating %s: %v", *traceEpochs, err)
+		}
+		if strings.HasSuffix(*traceEpochs, ".chrome.json") {
+			err = export.EpochTraceChromeTrace(f, traces)
+		} else {
+			err = export.EpochTraceJSONL(f, traces)
+		}
+		if err != nil {
+			fatalf("writing epoch traces: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing epoch traces: %v", err)
+		}
+		fmt.Printf("wrote %s (%d epochs)\n", *traceEpochs, len(traces))
+		printCritical(os.Stdout, epochtrace.NewRollup(traces))
+	}
+
 	if *auditRun {
 		rep := net.Audit()
 		fmt.Println("\naudit report:")
@@ -329,6 +355,36 @@ func campaign() {
 		if inconsistent > 0 || rep.Disagreements > 0 {
 			os.Exit(1)
 		}
+	}
+}
+
+// printCritical renders a critical-path rollup: where completion
+// latency is spent stage by stage, and which switches carry the most
+// of it. Shared by campaign -trace-epochs output and both doctor
+// modes.
+func printCritical(w io.Writer, r *epochtrace.Rollup) {
+	if r.Epochs == 0 {
+		fmt.Fprintln(w, "critical path: no epochs traced")
+		return
+	}
+	fmt.Fprintf(w, "critical path: %d epochs (%d consistent), mean %.1fus, max %.1fus (epoch %d), mean spread %.1fus\n",
+		r.Epochs, r.Consistent,
+		float64(r.MeanNs)/1000, float64(r.MaxNs)/1000, r.MaxEpoch,
+		float64(r.MeanSpreadNs)/1000)
+	for _, st := range r.Stages {
+		if st.TotalNs == 0 {
+			continue
+		}
+		share := 100 * float64(st.TotalNs) / float64(r.TotalNs)
+		fmt.Fprintf(w, "  stage %-14s %10.1fus  %5.1f%%  (max %.1fus in one epoch)\n",
+			st.Stage, float64(st.TotalNs)/1000, share, float64(st.MaxNs)/1000)
+	}
+	for i, sw := range r.Top(3) {
+		fmt.Fprintf(w, "  #%d switch %-3d %10.1fus on path across %d epochs (wavefront %.1fus, notif %.1fus, cp-queue %.1fus, cp-service %.1fus, wire %.1fus)\n",
+			i+1, sw.Switch, float64(sw.TotalNs)/1000, sw.Epochs,
+			float64(sw.WavefrontNs)/1000, float64(sw.NotifNs)/1000,
+			float64(sw.CPQueueNs)/1000, float64(sw.CPServiceNs)/1000,
+			float64(sw.WireNs)/1000)
 	}
 }
 
@@ -347,7 +403,7 @@ func doctor(args []string) {
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: speedlight doctor [flags] <journal-file | http://host:port>")
 		fmt.Fprintln(os.Stderr, "reads a flight-recorder dump (JSONL or CSV; '-' for stdin) and audits it,")
-		fmt.Fprintln(os.Stderr, "or queries a running campaign's /snapshots and /invariants endpoints")
+		fmt.Fprintln(os.Stderr, "or queries a running campaign's /snapshots, /invariants, and /trace/critical endpoints")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -388,6 +444,12 @@ func doctor(args []string) {
 	if err != nil {
 		fatalf("writing report: %v", err)
 	}
+	if !*jsonOut {
+		if traces := epochtrace.Build(events); len(traces) > 0 {
+			fmt.Println()
+			printCritical(os.Stdout, epochtrace.NewRollup(traces))
+		}
+	}
 	_, inconsistent, _ := rep.Counts()
 	if inconsistent > 0 || rep.Disagreements > 0 {
 		os.Exit(1)
@@ -395,12 +457,17 @@ func doctor(args []string) {
 }
 
 // doctorURL consumes a running deployment's query plane: it fetches
-// /snapshots and /invariants from the observability address and prints
-// a health summary. Exits 1 when any retained epoch is inconsistent or
-// any invariant has recorded violations.
+// /snapshots, /invariants, and /trace/critical from the observability
+// address and prints a health summary with critical-path attribution.
+// Endpoints answering 503 (not attached on this deployment) are
+// skipped rather than fatal, so doctor works against any MuxConfig
+// subset. Exits 1 when any retained epoch is inconsistent or any
+// invariant has recorded violations.
 func doctorURL(base string, jsonOut bool) {
 	base = strings.TrimRight(base, "/")
 	client := &http.Client{Timeout: 10 * time.Second}
+	// fetch returns nil when the endpoint exists but is not attached
+	// (503); any other non-200 is fatal.
 	fetch := func(path string) []byte {
 		resp, err := client.Get(base + path)
 		if err != nil {
@@ -411,6 +478,9 @@ func doctorURL(base string, jsonOut bool) {
 		if err != nil {
 			fatalf("reading %s: %v", path, err)
 		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return nil
+		}
 		if resp.StatusCode != http.StatusOK {
 			fatalf("%s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(body)))
 		}
@@ -418,10 +488,17 @@ func doctorURL(base string, jsonOut bool) {
 	}
 	snapsRaw := fetch("/snapshots")
 	invsRaw := fetch("/invariants")
+	critRaw := fetch("/trace/critical")
 
 	if jsonOut {
-		fmt.Printf("{\"snapshots\":%s,\"invariants\":%s}\n",
-			strings.TrimSpace(string(snapsRaw)), strings.TrimSpace(string(invsRaw)))
+		jsonOrNull := func(b []byte) string {
+			if b == nil {
+				return "null"
+			}
+			return strings.TrimSpace(string(b))
+		}
+		fmt.Printf("{\"snapshots\":%s,\"invariants\":%s,\"critical\":%s}\n",
+			jsonOrNull(snapsRaw), jsonOrNull(invsRaw), jsonOrNull(critRaw))
 	}
 
 	var snaps struct {
@@ -434,8 +511,10 @@ func doctorURL(base string, jsonOut bool) {
 			Base       bool   `json:"base"`
 		} `json:"epochs"`
 	}
-	if err := json.Unmarshal(snapsRaw, &snaps); err != nil {
-		fatalf("parsing /snapshots: %v", err)
+	if snapsRaw != nil {
+		if err := json.Unmarshal(snapsRaw, &snaps); err != nil {
+			fatalf("parsing /snapshots: %v", err)
+		}
 	}
 	var invs struct {
 		Invariants []struct {
@@ -451,8 +530,17 @@ func doctorURL(base string, jsonOut bool) {
 			Detail    string `json:"detail"`
 		} `json:"history"`
 	}
-	if err := json.Unmarshal(invsRaw, &invs); err != nil {
-		fatalf("parsing /invariants: %v", err)
+	if invsRaw != nil {
+		if err := json.Unmarshal(invsRaw, &invs); err != nil {
+			fatalf("parsing /invariants: %v", err)
+		}
+	}
+	var crit *epochtrace.Rollup
+	if critRaw != nil {
+		crit = &epochtrace.Rollup{}
+		if err := json.Unmarshal(critRaw, crit); err != nil {
+			fatalf("parsing /trace/critical: %v", err)
+		}
 	}
 
 	inconsistent, bases, deltas := 0, 0, 0
@@ -467,14 +555,22 @@ func doctorURL(base string, jsonOut bool) {
 	}
 	unhealthy := inconsistent > 0
 	if !jsonOut {
-		fmt.Printf("snapshot history: %d epochs retained (%d bases, %d deltas), %d inconsistent\n",
-			snaps.Retained, bases, deltas, inconsistent)
-		if n := len(snaps.Epochs); n > 0 {
-			fmt.Printf("  epochs %d..%d, latest sync %.1fus\n",
-				snaps.Epochs[0].Epoch, snaps.Epochs[n-1].Epoch,
-				float64(snaps.Epochs[n-1].SyncNS)/1000)
+		if snapsRaw == nil {
+			fmt.Println("snapshot history: not attached")
+		} else {
+			fmt.Printf("snapshot history: %d epochs retained (%d bases, %d deltas), %d inconsistent\n",
+				snaps.Retained, bases, deltas, inconsistent)
+			if n := len(snaps.Epochs); n > 0 {
+				fmt.Printf("  epochs %d..%d, latest sync %.1fus\n",
+					snaps.Epochs[0].Epoch, snaps.Epochs[n-1].Epoch,
+					float64(snaps.Epochs[n-1].SyncNS)/1000)
+			}
 		}
-		fmt.Printf("invariants: %d registered\n", len(invs.Invariants))
+		if invsRaw == nil {
+			fmt.Println("invariants: not attached")
+		} else {
+			fmt.Printf("invariants: %d registered\n", len(invs.Invariants))
+		}
 	}
 	for _, inv := range invs.Invariants {
 		if inv.Violations > 0 {
@@ -492,6 +588,11 @@ func doctorURL(base string, jsonOut bool) {
 	if !jsonOut {
 		for _, h := range invs.History {
 			fmt.Printf("  violation: %s at epoch %d: %s\n", h.Invariant, h.Epoch, h.Detail)
+		}
+		if crit == nil {
+			fmt.Println("critical path: not attached (run the campaign with journaling on)")
+		} else {
+			printCritical(os.Stdout, crit)
 		}
 	}
 	if unhealthy {

@@ -198,6 +198,10 @@ func (p *Plane) HandleNotification(n dataplane.CPUNotification, now sim.Time) {
 		return
 	}
 	p.tel.NotifsServiced.Inc()
+	if p.jr != nil {
+		p.jr.Append(journal.NotifService(int64(now), p.Node(), n.Unit.Port,
+			journalDir(n.Unit.Dir), n.NewSIDU))
+	}
 	if p.channelState {
 		p.onNotifyCS(st, n, now)
 	} else {

@@ -28,6 +28,7 @@ type artifacts struct {
 	journal   string // flight-recorder JSONL
 	audit     string // audit report JSON
 	snapshots string // snapshot set JSON
+	epochs    string // reconstructed epoch-trace JSONL
 	// disagreements is the audit's count of snapshots the observer
 	// published as consistent but the replay proved broken.
 	disagreements int
@@ -100,7 +101,7 @@ func runCampaign(t testing.TB, cc campaignConfig, shards int) artifacts {
 	n.RunFor(80 * sim.Millisecond)
 
 	rep := n.Audit()
-	var jb, ab, sb bytes.Buffer
+	var jb, ab, sb, eb bytes.Buffer
 	if err := export.JournalJSONL(&jb, set.Events()); err != nil {
 		t.Fatal(err)
 	}
@@ -110,10 +111,14 @@ func runCampaign(t testing.TB, cc campaignConfig, shards int) artifacts {
 	if err := export.SnapshotsJSON(&sb, n.Snapshots()); err != nil {
 		t.Fatal(err)
 	}
+	if err := export.EpochTraceJSONL(&eb, n.EpochTraces()); err != nil {
+		t.Fatal(err)
+	}
 	return artifacts{
 		journal:       jb.String(),
 		audit:         ab.String(),
 		snapshots:     sb.String(),
+		epochs:        eb.String(),
 		disagreements: rep.Disagreements,
 		completed:     len(n.Snapshots()),
 	}
@@ -147,6 +152,7 @@ func diffArtifacts(t *testing.T, name string, want, got artifacts) {
 	check("journal", want.journal, got.journal)
 	check("audit report", want.audit, got.audit)
 	check("snapshot set", want.snapshots, got.snapshots)
+	check("epoch traces", want.epochs, got.epochs)
 }
 
 func testbedCampaign(seed int64) campaignConfig {

@@ -24,6 +24,7 @@ import (
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/dist"
+	"speedlight/internal/epochtrace"
 	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
 	"speedlight/internal/observer"
@@ -94,6 +95,11 @@ type Config struct {
 	// time — the bottleneck behind the paper's Figure 10. Default:
 	// ~110 µs lognormal (calibrated to ~70 snapshots/s at 64 ports).
 	CPServiceTime dist.Dist
+	// CPServiceTimeFor overrides CPServiceTime per switch: a non-nil
+	// return replaces the global distribution for that node. Fault
+	// injection uses it to slow one control plane and check that the
+	// epoch tracer's critical path names the straggler.
+	CPServiceTimeFor func(node topology.NodeID) dist.Dist
 	// InitiationLatency is the delay between a control plane's local
 	// deadline and the initiation reaching the data plane (scheduler
 	// wakeup + driver). Default: ~2 µs lognormal with a 15 µs p99.
@@ -311,7 +317,10 @@ type EmuSwitch struct {
 	proc sim.Proc
 
 	cpBusy bool // notification processing loop active
-	rng    *rand.Rand
+	// cpService is the switch's per-notification service time — the
+	// global Config.CPServiceTime unless CPServiceTimeFor overrides it.
+	cpService dist.Dist
+	rng       *rand.Rand
 	// pkts counts this switch's wire arrivals (per-switch throughput).
 	pkts *telemetry.Counter
 	// ppool is the switch's packet free list (see packet.Pool): touched
@@ -499,6 +508,13 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p, ok := eng.(*sim.Parallel); ok && cfg.Registry != nil {
+		// Publish per-shard barrier wait/work counters. The wall clock
+		// arrives as an injected func so this package stays free of
+		// direct time reads; the profiler observes rounds without
+		// perturbing the deterministic schedule.
+		p.EnableBarrierMetrics(cfg.Registry, telemetry.NowNs)
+	}
 
 	fibs, err := routing.ComputeFIBs(cfg.Topo)
 	if err != nil {
@@ -615,6 +631,12 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 	node := spec.ID
 	es := &EmuSwitch{Node: node, dom: n.doms[node], rng: n.eng.NewRand()}
 	es.proc = n.eng.Proc(es.dom)
+	es.cpService = cfg.CPServiceTime
+	if cfg.CPServiceTimeFor != nil {
+		if d := cfg.CPServiceTimeFor(node); d != nil {
+			es.cpService = d
+		}
+	}
 	if n.tel.switchPkts != nil {
 		es.pkts = n.tel.switchPkts.With(fmt.Sprint(node))
 	}
@@ -810,6 +832,27 @@ func (n *Network) CompletedEpochs() uint64 { return n.completed.Load() }
 // Journal returns the flight-recorder set the network was built with,
 // or nil when journaling is disabled.
 func (n *Network) Journal() *journal.Set { return n.cfg.Journal }
+
+// EpochTraces reconstructs per-epoch causal traces (wavefront, span
+// tree, critical path) from the journal. Nil when journaling is
+// disabled. Driver context only — the reconstruction reads the merged
+// journal.
+func (n *Network) EpochTraces() []*epochtrace.EpochTrace {
+	if n.cfg.Journal == nil {
+		return nil
+	}
+	return epochtrace.Build(n.cfg.Journal.Events())
+}
+
+// BarrierProfile returns the sharded engine's cumulative per-shard
+// work/wait split, or nil on a serial engine or when no Registry was
+// configured. Driver context only.
+func (n *Network) BarrierProfile() []sim.BarrierShardStats {
+	if p, ok := n.eng.(*sim.Parallel); ok {
+		return p.BarrierProfile()
+	}
+	return nil
+}
 
 // Audit replays the journal and verifies every snapshot's consistency
 // invariants. Nil when journaling is disabled.
@@ -1218,7 +1261,7 @@ func (n *Network) cpProcessOne(es *EmuSwitch) {
 		return
 	}
 	es.CP.HandleNotification(notif, es.proc.Now())
-	svc := sim.Duration(n.cfg.CPServiceTime.Sample(es.rng))
+	svc := sim.Duration(es.cpService.Sample(es.rng))
 	es.proc.AfterCall(svc, n.cpFn, es, nil, 0)
 }
 

@@ -1,0 +1,272 @@
+package epochtrace
+
+import (
+	"sort"
+
+	"speedlight/internal/journal"
+	"speedlight/internal/packet"
+)
+
+// critical computes the epoch's critical path: the causal chain through
+// the unit whose result completed the cut last. The chain's points are
+// clamped monotone and missing points collapse onto their predecessor,
+// so the seven segments always partition [BeginNs, EndNs] exactly —
+// their durations sum to the completion latency by construction.
+func (b *builder) critical(t *EpochTrace) (UnitRef, []Segment) {
+	// The critical unit is the argmax of observer-accepted result times;
+	// ties break toward the lowest (switch, port, dir) so the choice is
+	// independent of map iteration order.
+	crit := UnitRef{Switch: journal.ObserverNode, Port: -1, Dir: journal.DirNone}
+	var cu *unitTimes
+	for ref, ut := range b.units {
+		if ut.obs < 0 {
+			continue
+		}
+		if cu == nil || ut.obs > cu.obs || (ut.obs == cu.obs && lessUnit(ref, crit)) {
+			crit, cu = ref, ut
+		}
+	}
+
+	// Causal chain points, -1 where the journal has no event.
+	init, rec, gen, svc, res, obs := int64(-1), int64(-1), int64(-1), int64(-1), int64(-1), int64(-1)
+	channel := -1
+	if cu != nil {
+		if st, ok := b.switches[crit.Switch]; ok {
+			init = st.InitiateNs
+		}
+		rec, channel = cu.record, cu.channel
+		gen, svc, res, obs = cu.gen, cu.svc, cu.result, cu.obs
+	}
+
+	points := [8]int64{t.BeginNs, init, rec, gen, svc, res, obs, t.EndNs}
+	for i := 1; i < len(points); i++ {
+		if points[i] < points[i-1] {
+			points[i] = points[i-1]
+		}
+	}
+
+	obsRef := UnitRef{Switch: journal.ObserverNode, Port: -1, Dir: journal.DirNone}
+	swRef := UnitRef{Switch: crit.Switch, Port: -1, Dir: journal.DirNone}
+	if cu == nil {
+		swRef = obsRef
+	}
+	specs := [7]struct {
+		stage   string
+		ref     UnitRef
+		channel int
+	}{
+		{StageInitiation, obsRef, -1},
+		{StageWavefront, crit, channel},
+		{StageNotifEnqueue, crit, -1},
+		{StageCPQueue, swRef, -1},
+		{StageCPService, swRef, -1},
+		{StageObserverWire, crit, -1},
+		{StageFinalize, obsRef, -1},
+	}
+	segs := make([]Segment, 0, len(specs))
+	for i, sp := range specs {
+		segs = append(segs, Segment{
+			Stage:   sp.stage,
+			Switch:  sp.ref.Switch,
+			Port:    sp.ref.Port,
+			Dir:     sp.ref.Dir,
+			Channel: sp.channel,
+			FromNs:  points[i],
+			ToNs:    points[i+1],
+		})
+	}
+	return crit, segs
+}
+
+func lessUnit(a, b UnitRef) bool {
+	if a.Switch != b.Switch {
+		return a.Switch < b.Switch
+	}
+	if a.Port != b.Port {
+		return a.Port < b.Port
+	}
+	return a.Dir < b.Dir
+}
+
+// StageTotal aggregates one critical-path stage across epochs.
+type StageTotal struct {
+	Stage   string `json:"stage"`
+	TotalNs int64  `json:"total_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// SwitchTotal aggregates critical-path time attributed to one switch,
+// broken down by stage.
+type SwitchTotal struct {
+	Switch int `json:"switch"`
+	// Epochs counts epochs whose critical path ran through the switch.
+	Epochs      int   `json:"epochs"`
+	TotalNs     int64 `json:"total_ns"`
+	WavefrontNs int64 `json:"wavefront_ns"`
+	NotifNs     int64 `json:"notif_enqueue_ns"`
+	CPQueueNs   int64 `json:"cp_queue_ns"`
+	CPServiceNs int64 `json:"cp_service_ns"`
+	WireNs      int64 `json:"observer_wire_ns"`
+}
+
+// LinkTotal aggregates critical wavefront time by the inbound channel
+// that delivered the recording trigger.
+type LinkTotal struct {
+	Switch  int   `json:"switch"`
+	Channel int   `json:"channel"`
+	Epochs  int   `json:"epochs"`
+	TotalNs int64 `json:"total_ns"`
+}
+
+// QueueTotal aggregates critical control-plane queue wait by switch.
+type QueueTotal struct {
+	Switch  int   `json:"switch"`
+	Epochs  int   `json:"epochs"`
+	TotalNs int64 `json:"total_ns"`
+}
+
+// Rollup aggregates critical-path attribution across epochs: where
+// completion latency is spent by stage, and which switches, links and
+// control-plane queues carry it.
+type Rollup struct {
+	Epochs       int          `json:"epochs"`
+	Consistent   int          `json:"consistent"`
+	TotalNs      int64        `json:"total_ns"`
+	MeanNs       int64        `json:"mean_ns"`
+	MaxNs        int64        `json:"max_ns"`
+	MaxEpoch     packet.SeqID `json:"max_epoch"`
+	MaxSpreadNs  int64        `json:"max_spread_ns"`
+	MeanSpreadNs int64        `json:"mean_spread_ns"`
+	// Stages follows the causal stage order.
+	Stages []StageTotal `json:"stages"`
+	// Switches/Links/Queues are sorted by descending total time.
+	Switches []SwitchTotal `json:"switches"`
+	Links    []LinkTotal   `json:"links"`
+	Queues   []QueueTotal  `json:"queues"`
+}
+
+// NewRollup aggregates traces into a critical-path rollup.
+func NewRollup(traces []*EpochTrace) *Rollup {
+	r := &Rollup{}
+	stageIdx := make(map[string]int, len(Stages))
+	for i, s := range Stages {
+		stageIdx[s] = i
+		r.Stages = append(r.Stages, StageTotal{Stage: s})
+	}
+	switches := make(map[int]*SwitchTotal)
+	links := make(map[[2]int]*LinkTotal)
+	queues := make(map[int]*QueueTotal)
+	var spreadSum int64
+	for _, t := range traces {
+		r.Epochs++
+		if t.Consistent {
+			r.Consistent++
+		}
+		d := t.DurationNs()
+		r.TotalNs += d
+		if d > r.MaxNs {
+			r.MaxNs, r.MaxEpoch = d, t.ID
+		}
+		spreadSum += t.SpreadNs
+		if t.SpreadNs > r.MaxSpreadNs {
+			r.MaxSpreadNs = t.SpreadNs
+		}
+		seen := make(map[int]bool)
+		for _, seg := range t.Critical {
+			dur := seg.DurationNs()
+			st := &r.Stages[stageIdx[seg.Stage]]
+			st.TotalNs += dur
+			if dur > st.MaxNs {
+				st.MaxNs = dur
+			}
+			if seg.Switch == journal.ObserverNode {
+				continue
+			}
+			sw, ok := switches[seg.Switch]
+			if !ok {
+				sw = &SwitchTotal{Switch: seg.Switch}
+				switches[seg.Switch] = sw
+			}
+			if !seen[seg.Switch] {
+				seen[seg.Switch] = true
+				sw.Epochs++
+			}
+			sw.TotalNs += dur
+			switch seg.Stage {
+			case StageWavefront:
+				sw.WavefrontNs += dur
+				if seg.Channel >= 0 {
+					key := [2]int{seg.Switch, seg.Channel}
+					l, ok := links[key]
+					if !ok {
+						l = &LinkTotal{Switch: seg.Switch, Channel: seg.Channel}
+						links[key] = l
+					}
+					l.Epochs++
+					l.TotalNs += dur
+				}
+			case StageNotifEnqueue:
+				sw.NotifNs += dur
+			case StageCPQueue:
+				sw.CPQueueNs += dur
+				q, ok := queues[seg.Switch]
+				if !ok {
+					q = &QueueTotal{Switch: seg.Switch}
+					queues[seg.Switch] = q
+				}
+				q.Epochs++
+				q.TotalNs += dur
+			case StageCPService:
+				sw.CPServiceNs += dur
+			case StageObserverWire:
+				sw.WireNs += dur
+			}
+		}
+	}
+	if r.Epochs > 0 {
+		r.MeanNs = r.TotalNs / int64(r.Epochs)
+		r.MeanSpreadNs = spreadSum / int64(r.Epochs)
+	}
+	for _, sw := range switches {
+		r.Switches = append(r.Switches, *sw)
+	}
+	sort.Slice(r.Switches, func(i, j int) bool {
+		a, b := r.Switches[i], r.Switches[j]
+		if a.TotalNs != b.TotalNs {
+			return a.TotalNs > b.TotalNs
+		}
+		return a.Switch < b.Switch
+	})
+	for _, l := range links {
+		r.Links = append(r.Links, *l)
+	}
+	sort.Slice(r.Links, func(i, j int) bool {
+		a, b := r.Links[i], r.Links[j]
+		if a.TotalNs != b.TotalNs {
+			return a.TotalNs > b.TotalNs
+		}
+		if a.Switch != b.Switch {
+			return a.Switch < b.Switch
+		}
+		return a.Channel < b.Channel
+	})
+	for _, q := range queues {
+		r.Queues = append(r.Queues, *q)
+	}
+	sort.Slice(r.Queues, func(i, j int) bool {
+		a, b := r.Queues[i], r.Queues[j]
+		if a.TotalNs != b.TotalNs {
+			return a.TotalNs > b.TotalNs
+		}
+		return a.Switch < b.Switch
+	})
+	return r
+}
+
+// Top returns the k switches carrying the most critical-path time.
+func (r *Rollup) Top(k int) []SwitchTotal {
+	if k > len(r.Switches) {
+		k = len(r.Switches)
+	}
+	return r.Switches[:k]
+}

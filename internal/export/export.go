@@ -12,6 +12,7 @@ import (
 
 	"speedlight/internal/audit"
 	"speedlight/internal/dataplane"
+	"speedlight/internal/epochtrace"
 	"speedlight/internal/experiments"
 	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
@@ -287,6 +288,27 @@ func SnapshotsJSONL(w io.Writer, v *snapstore.View) error {
 		}
 	}
 	return nil
+}
+
+// EpochTraceJSONL writes per-epoch causal traces as JSON Lines, one
+// epoch per line — the tracer's native interchange format. For a
+// deterministic journal the bytes are deterministic, which is what the
+// cross-shard equivalence harness compares.
+func EpochTraceJSONL(w io.Writer, traces []*epochtrace.EpochTrace) error {
+	return epochtrace.WriteJSONL(w, traces)
+}
+
+// ReadEpochTraceJSONL parses a JSONL epoch-trace dump.
+func ReadEpochTraceJSONL(r io.Reader) ([]*epochtrace.EpochTrace, error) {
+	return epochtrace.ReadJSONL(r)
+}
+
+// EpochTraceChromeTrace writes per-epoch causal traces in the Chrome
+// trace-event format (chrome://tracing, Perfetto): one thread per
+// epoch, one span per critical-path segment plus per-switch wavefront
+// spans.
+func EpochTraceChromeTrace(w io.Writer, traces []*epochtrace.EpochTrace) error {
+	return epochtrace.WriteChromeTrace(w, traces)
 }
 
 // InvariantsCSV writes an invariant engine's standing and violation

@@ -92,6 +92,9 @@ const (
 	KindNotifGen
 	// KindNotifDrop records a notification lost to a full CPU queue.
 	KindNotifDrop
+	// KindNotifService records the control plane dequeuing a CPU
+	// notification and beginning to service it.
+	KindNotifService
 	// KindMarkerSend records the control plane injecting a marker.
 	KindMarkerSend
 	// KindMarkerRecv records a marker arriving at an ingress unit.
@@ -114,25 +117,26 @@ const (
 )
 
 var kindNames = map[Kind]string{
-	KindConfig:      "config",
-	KindRegister:    "register",
-	KindInitiate:    "initiate",
-	KindRecord:      "record",
-	KindLastSeen:    "last_seen",
-	KindAbsorb:      "absorb",
-	KindAbsorbMiss:  "absorb_miss",
-	KindRollover:    "rollover",
-	KindNotifGen:    "notif_gen",
-	KindNotifDrop:   "notif_drop",
-	KindMarkerSend:  "marker_send",
-	KindMarkerRecv:  "marker_recv",
-	KindResult:      "result",
-	KindPoll:        "poll",
-	KindObsBegin:    "obs_begin",
-	KindObsResult:   "obs_result",
-	KindObsRetry:    "obs_retry",
-	KindObsExclude:  "obs_exclude",
-	KindObsComplete: "obs_complete",
+	KindConfig:       "config",
+	KindRegister:     "register",
+	KindInitiate:     "initiate",
+	KindRecord:       "record",
+	KindLastSeen:     "last_seen",
+	KindAbsorb:       "absorb",
+	KindAbsorbMiss:   "absorb_miss",
+	KindRollover:     "rollover",
+	KindNotifGen:     "notif_gen",
+	KindNotifDrop:    "notif_drop",
+	KindNotifService: "notif_service",
+	KindMarkerSend:   "marker_send",
+	KindMarkerRecv:   "marker_recv",
+	KindResult:       "result",
+	KindPoll:         "poll",
+	KindObsBegin:     "obs_begin",
+	KindObsResult:    "obs_result",
+	KindObsRetry:     "obs_retry",
+	KindObsExclude:   "obs_exclude",
+	KindObsComplete:  "obs_complete",
 }
 
 var kindValues = func() map[string]Kind {
@@ -309,6 +313,19 @@ func NotifGenerated(at int64, sw, port int, dir Dir, id packet.SeqID) Event {
 // to a full CPU queue — the seed of an Incomplete snapshot.
 func NotifDropped(at int64, sw, port int, dir Dir, id packet.SeqID) Event {
 	ev := unitless(KindNotifDrop, at, sw)
+	ev.Port = port
+	ev.Dir = dir
+	ev.SnapshotID = id
+	return ev
+}
+
+// NotifService journals the control plane dequeuing a unit's CPU
+// notification for its advance to id and beginning to service it. The
+// gap from the matching NotifGenerated is the notification's queue
+// (plus DMA) wait — the quantity the epoch tracer charges to the
+// control-plane queue bucket.
+func NotifService(at int64, sw, port int, dir Dir, id packet.SeqID) Event {
+	ev := unitless(KindNotifService, at, sw)
 	ev.Port = port
 	ev.Dir = dir
 	ev.SnapshotID = id

@@ -183,6 +183,7 @@ func allEvents() []Event {
 		Rollover(60, 1, 2, DirEgress, 255, 256),
 		NotifGenerated(70, 1, 2, DirIngress, 5),
 		NotifDropped(80, 1, 2, DirEgress, 5),
+		NotifService(85, 1, 2, DirIngress, 5),
 		MarkerSent(90, 1, 2, 5, 7),
 		MarkerReceived(100, 1, 2, 3, 5),
 		Result(110, 1, 2, DirIngress, 5, 42, true),

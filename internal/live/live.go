@@ -24,6 +24,7 @@ import (
 	"speedlight/internal/core"
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
+	"speedlight/internal/epochtrace"
 	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
 	"speedlight/internal/observer"
@@ -352,6 +353,10 @@ func (n *Network) Start() {
 		if n.cfg.Journal != nil {
 			mc.Journal = journal.HTTPHandler(n.cfg.Journal.Events)
 			mc.Audit = audit.HTTPHandler(n.Audit)
+			jr := n.cfg.Journal
+			mc.EpochTrace = epochtrace.HTTPHandler(func() []*epochtrace.EpochTrace {
+				return epochtrace.Build(jr.Events())
+			})
 		}
 		if n.cfg.Snapstore != nil {
 			mc.Snapshots = snapstore.HTTPHandler(n.cfg.Snapstore.View)

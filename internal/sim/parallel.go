@@ -3,7 +3,10 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
+
+	"speedlight/internal/telemetry"
 )
 
 // Parallel is the sharded implementation of Sim: a conservative
@@ -57,6 +60,13 @@ type Parallel struct {
 	wg          sync.WaitGroup
 	workersUp   bool
 	active      []*pshard // per-round scratch
+	// wall is the injected wall-clock source for the barrier profiler
+	// (nil = profiling disabled, zero cost). Virtual time cannot measure
+	// barrier skew — shards at the same horizon burn different amounts
+	// of real time — so this is the one place the engine reads a real
+	// clock, and only through an injected func so the simulation itself
+	// stays deterministic.
+	wall func() int64
 }
 
 var _ Sim = (*Parallel)(nil)
@@ -84,6 +94,17 @@ type pshard struct {
 	mailMu sync.Mutex
 	mail   []*Event
 	spare  []*Event
+
+	// Barrier profiling state. roundWorkNs is written by the shard's
+	// worker during a round and read by the coordinator after the
+	// barrier; the cumulative fields and cached counters are
+	// coordinator-context only.
+	roundWorkNs int64
+	statRounds  uint64
+	statWorkNs  int64
+	statWaitNs  int64
+	workC       *telemetry.Counter
+	waitC       *telemetry.Counter
 }
 
 func (sh *pshard) pushMail(ev *Event) {
@@ -180,6 +201,62 @@ func (p *Parallel) Rand() *rand.Rand { return p.rng }
 // a single domain.
 func (p *Parallel) NewRand() *rand.Rand {
 	return rand.New(rand.NewSource(p.seedSrc.Int63()))
+}
+
+// EnableBarrierMetrics turns on the shard-barrier profiler. nowNs is
+// the wall-clock source (normally telemetry.NowNs — the engine never
+// reads a real clock directly, keeping the simulation deterministic by
+// construction). When reg is non-nil the per-shard cumulative totals
+// are also published as the counters speedlight_sim_round_work_ns and
+// speedlight_sim_barrier_wait_ns, labeled by shard: work is the wall
+// time a shard spent executing events inside barrier rounds, wait is
+// the wall time it sat parked at the barrier while straggler shards
+// finished — the direct diagnostic for shard-scaling plateaus. Call
+// before the first Run*; not safe during a round.
+func (p *Parallel) EnableBarrierMetrics(reg *telemetry.Registry, nowNs func() int64) {
+	if nowNs == nil {
+		return
+	}
+	p.wall = nowNs
+	if reg == nil {
+		return
+	}
+	workV := reg.CounterVec("speedlight_sim_round_work_ns",
+		"Wall nanoseconds each shard spent executing events inside barrier rounds.",
+		"shard")
+	waitV := reg.CounterVec("speedlight_sim_barrier_wait_ns",
+		"Wall nanoseconds each shard spent parked at the round barrier waiting for stragglers.",
+		"shard")
+	for i, sh := range p.shards {
+		lbl := strconv.Itoa(i)
+		sh.workC = workV.With(lbl)
+		sh.waitC = waitV.With(lbl)
+	}
+}
+
+// BarrierShardStats is one shard's cumulative barrier accounting.
+type BarrierShardStats struct {
+	Shard  int
+	Rounds uint64 // rounds the shard was active in
+	WorkNs int64  // wall time spent executing events
+	WaitNs int64  // wall time spent waiting at the barrier
+}
+
+// BarrierProfile returns each shard's cumulative work/wait split.
+// Driver context only; returns nil unless EnableBarrierMetrics was
+// called.
+func (p *Parallel) BarrierProfile() []BarrierShardStats {
+	if p.wall == nil {
+		return nil
+	}
+	stats := make([]BarrierShardStats, len(p.shards))
+	for i, sh := range p.shards {
+		stats[i] = BarrierShardStats{
+			Shard: i, Rounds: sh.statRounds,
+			WorkNs: sh.statWorkNs, WaitNs: sh.statWaitNs,
+		}
+	}
+	return stats
 }
 
 // Fired returns the total number of events executed so far.
@@ -326,9 +403,17 @@ func (p *Parallel) runRound(horizon Time) {
 	p.active = active
 	p.horizon = horizon
 	p.roundActive = true
+	var t0 int64
+	if p.wall != nil {
+		t0 = p.wall()
+	}
 	if len(active) == 1 {
 		// Single busy shard: run inline, skip the barrier round-trip.
-		p.process(active[0], horizon)
+		sh := active[0]
+		p.process(sh, horizon)
+		if p.wall != nil {
+			sh.roundWorkNs = p.wall() - t0
+		}
 	} else {
 		p.startWorkers()
 		p.wg.Add(len(active))
@@ -338,6 +423,9 @@ func (p *Parallel) runRound(horizon Time) {
 		p.wg.Wait()
 	}
 	p.roundActive = false
+	if p.wall != nil {
+		p.accountRound(p.wall()-t0, active)
+	}
 	// Re-raise worker panics on the coordinator so they reach the Run*
 	// caller like a serial panic would. Lowest shard wins for a
 	// deterministic message.
@@ -345,6 +433,35 @@ func (p *Parallel) runRound(horizon Time) {
 		if r := sh.panicked; r != nil {
 			sh.panicked = nil
 			panic(r)
+		}
+	}
+}
+
+// accountRound folds one round's wall-clock duration into each active
+// shard's work/wait split: a shard's wait is the round's wall duration
+// minus the time its own worker spent draining events. Coordinator
+// context, after the barrier — the workers' roundWorkNs writes are
+// ordered by wg.Wait.
+func (p *Parallel) accountRound(roundNs int64, active []*pshard) {
+	if roundNs < 0 {
+		roundNs = 0
+	}
+	for _, sh := range active {
+		work := sh.roundWorkNs
+		sh.roundWorkNs = 0
+		if work < 0 {
+			work = 0
+		}
+		if work > roundNs {
+			work = roundNs // clock skew between reader contexts
+		}
+		wait := roundNs - work
+		sh.statRounds++
+		sh.statWorkNs += work
+		sh.statWaitNs += wait
+		if sh.workC != nil {
+			sh.workC.Add(uint64(work))
+			sh.waitC.Add(uint64(wait))
 		}
 	}
 }
@@ -415,7 +532,13 @@ func (p *Parallel) startWorkers() {
 						}
 						p.wg.Done()
 					}()
-					p.process(sh, h)
+					if p.wall != nil {
+						t := p.wall()
+						p.process(sh, h)
+						sh.roundWorkNs = p.wall() - t
+					} else {
+						p.process(sh, h)
+					}
 				}()
 			}
 		}(sh, job)

@@ -333,10 +333,10 @@ type Proc interface {
 // event queue drained by one logical thread of control. It is not safe
 // for concurrent use.
 type Engine struct {
-	now    Time
-	q      evq
-	domSeq []uint64 // per-domain schedule counters (the seq key)
-	pool   eventPool
+	now     Time
+	q       evq
+	domSeq  []uint64 // per-domain schedule counters (the seq key)
+	pool    eventPool
 	rng     *rand.Rand
 	seedSrc *rand.Rand // derives seeds for component substreams
 	fired   uint64

@@ -37,6 +37,12 @@ func PublishExpvar(r *Registry) {
 	})
 }
 
+// NowNs returns the current wall-clock time in nanoseconds. It exists
+// so deterministic packages (sim, emunet) can take wall time as an
+// injected dependency — e.g. sim.(*Parallel).EnableBarrierMetrics —
+// without ever calling time.Now themselves.
+func NowNs() int64 { return time.Now().UnixNano() }
+
 // Handler returns an http.Handler serving the registry in Prometheus
 // text format.
 func (r *Registry) Handler() http.Handler {
@@ -152,6 +158,29 @@ type MuxConfig struct {
 	// Invariants, when set, is mounted at /invariants (invariant status
 	// and violation history; see internal/invariant.HTTPHandler).
 	Invariants http.Handler
+	// EpochTrace, when set, is mounted at /trace/epoch and
+	// /trace/critical (per-epoch causal traces and critical-path
+	// rollups; see internal/epochtrace.HTTPHandler).
+	EpochTrace http.Handler
+}
+
+// notAttached serves the uniform 503 for endpoints whose backing
+// subsystem was not wired into this process. Every data endpoint is
+// always mounted — registration order and partial configs can never
+// turn a known path into a 404 or a panic, only into an explicit
+// "not attached".
+func notAttached(name string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, name+" not attached", http.StatusServiceUnavailable)
+	})
+}
+
+// orNotAttached mounts h, or the 503 fallback when h is nil.
+func orNotAttached(mux *http.ServeMux, pattern string, h http.Handler, name string) {
+	if h == nil {
+		h = notAttached(name)
+	}
+	mux.Handle(pattern, h)
 }
 
 // NewMux builds the default observability endpoint set for a registry
@@ -169,13 +198,18 @@ func NewMux(r *Registry, tracer *Tracer) *http.ServeMux {
 //	/spans             structured span JSON
 //	/healthz           liveness probe (200 ok / 503 + failing checks)
 //	/readyz            readiness probe (liveness + SetReady gate)
-//	/journal           flight-recorder events (when cfg.Journal set)
-//	/audit             consistency audit report (when cfg.Audit set)
-//	/snapshots         snapshot-history query plane (when cfg.Snapshots set)
-//	/invariants        invariant status + violations (when cfg.Invariants set)
+//	/journal           flight-recorder events
+//	/audit             consistency audit report
+//	/snapshots         snapshot-history query plane
+//	/invariants        invariant status + violations
+//	/trace/epoch       per-epoch causal traces
+//	/trace/critical    critical-path rollup
 //
 // Registry and Tracer may be nil, in which case their endpoints serve
-// empty data.
+// empty data. The data endpoints (journal, audit, snapshots,
+// invariants, trace) are always mounted; those without a configured
+// handler answer 503 "not attached" rather than 404, so a half-wired
+// process degrades explicitly instead of surprisingly.
 func NewMuxConfig(cfg MuxConfig) *http.ServeMux {
 	PublishExpvar(cfg.Registry)
 	mux := http.NewServeMux()
@@ -206,21 +240,15 @@ func NewMuxConfig(cfg MuxConfig) *http.ServeMux {
 		}
 		serveProbe(w, fails)
 	})
-	if cfg.Journal != nil {
-		mux.Handle("/journal", cfg.Journal)
-	}
-	if cfg.Audit != nil {
-		mux.Handle("/audit", cfg.Audit)
-	}
-	if cfg.Snapshots != nil {
-		// Both patterns: the exact path for list/state queries and the
-		// subtree for /snapshots/diff.
-		mux.Handle("/snapshots", cfg.Snapshots)
-		mux.Handle("/snapshots/", cfg.Snapshots)
-	}
-	if cfg.Invariants != nil {
-		mux.Handle("/invariants", cfg.Invariants)
-	}
+	orNotAttached(mux, "/journal", cfg.Journal, "journal")
+	orNotAttached(mux, "/audit", cfg.Audit, "audit")
+	// Both snapshot patterns: the exact path for list/state queries and
+	// the subtree for /snapshots/diff.
+	orNotAttached(mux, "/snapshots", cfg.Snapshots, "snapshot store")
+	orNotAttached(mux, "/snapshots/", cfg.Snapshots, "snapshot store")
+	orNotAttached(mux, "/invariants", cfg.Invariants, "invariant engine")
+	orNotAttached(mux, "/trace/epoch", cfg.EpochTrace, "epoch tracer")
+	orNotAttached(mux, "/trace/critical", cfg.EpochTrace, "epoch tracer")
 	return mux
 }
 

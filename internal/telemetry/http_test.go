@@ -104,10 +104,10 @@ func TestMuxJournalAuditRoutes(t *testing.T) {
 	if _, body := probe(t, mux, "/audit"); body != "au" {
 		t.Fatalf("/audit body = %q", body)
 	}
-	// Absent handlers stay absent.
+	// Absent handlers answer 503 "not attached" rather than 404.
 	bare := NewMux(NewRegistry(), nil)
-	if code, _ := probe(t, bare, "/journal"); code != http.StatusNotFound {
-		t.Fatalf("/journal on bare mux = %d, want 404", code)
+	if code, _ := probe(t, bare, "/journal"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/journal on bare mux = %d, want 503", code)
 	}
 }
 

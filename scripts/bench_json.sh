@@ -1,27 +1,47 @@
 #!/bin/sh
-# bench_json.sh regenerates BENCH_6.json: the machine-readable record of
-# the snapshot-analysis work (PR 6). It runs the gated hot-path
-# benchmarks (-benchmem, including the snapstore ingest hot path), the
-# snapshot history-store ingest/query benchmarks on the 1024-port
-# fabric, and the serial-vs-sharded scaling benchmarks, and emits one
-# JSON document with ns/op, allocs/op, registers/sec, queries/sec and
-# events/sec, alongside the frozen pre-PR baseline for the benchmarks
-# that existed before this PR.
+# bench_json.sh regenerates BENCH_7.json: the machine-readable record of
+# the epoch-causal-tracer work (PR 7). It runs the gated hot-path
+# benchmarks (-benchmem, including the trace-overhead pair
+# EmulationThroughputSnapshots/EmulationThroughputTraced), the snapshot
+# history-store ingest/query benchmarks on the 1024-port fabric, and
+# the serial-vs-sharded scaling benchmarks, and emits one JSON document
+# with ns/op, allocs/op, registers/sec, queries/sec and events/sec,
+# alongside the frozen pre-PR baseline for the benchmarks that existed
+# before this PR.
 #
-# Usage: scripts/bench_json.sh [output.json]   (default BENCH_6.json)
+# Usage: scripts/bench_json.sh [output.json]   (default BENCH_7.json)
 set -eu
 
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 
 hot=$(go test -run '^$' \
   -bench 'BenchmarkUnitOnPacket$|BenchmarkHeaderCodec$|BenchmarkTelemetryHotPath$|BenchmarkEmulationThroughput$|BenchmarkSnapshotIngestHot$' \
   -benchmem -benchtime 1s -timeout 30m .)
+# The trace-overhead pair runs at a fixed iteration count in fresh
+# alternating processes and keeps each benchmark's best events/sec:
+# run-to-run scheduler noise (~8%) and in-process heap-state bias
+# against the later benchmark would otherwise swamp the <=3% stamp
+# overhead being recorded.
+go test -run '^$' -bench 'BenchmarkEmulationThroughputTraced$' -c -o /tmp/speedlight-bench.test .
+tracedraw=""
+for i in 1 2 3 4 5 6 7 8; do
+  tracedraw="$tracedraw
+$(/tmp/speedlight-bench.test -test.run '^$' -test.bench 'BenchmarkEmulationThroughputTraced$' -test.benchtime 500000x | grep ^Benchmark)
+$(/tmp/speedlight-bench.test -test.run '^$' -test.bench 'BenchmarkEmulationThroughputSnapshots$' -test.benchtime 500000x | grep ^Benchmark)"
+done
+rm -f /tmp/speedlight-bench.test
+trace=$(printf '%s\n' "$tracedraw" |
+  awk '/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) if ($(i+1) == "events/sec" && $i > best[name]) best[name] = $i
+  }
+  END { for (n in best) printf "%sBest %s events/sec\n", n, best[n] }')
 store=$(go test -run '^$' \
   -bench 'BenchmarkStoreIngest$|BenchmarkSnapshotQuery$' \
   -benchmem -benchtime 1s -timeout 30m .)
 shards=$(go test -run '^$' -bench BenchmarkShardScaling -benchtime 2x -timeout 30m .)
 
-printf '%s\n%s\n%s\n' "$hot" "$store" "$shards" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+printf '%s\n%s\n%s\n%s\n' "$hot" "$trace" "$store" "$shards" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1
@@ -42,23 +62,26 @@ printf '%s\n%s\n%s\n' "$hot" "$store" "$shards" | awk -v date="$(date -u +%Y-%m-
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 6,\n"
+    printf "  \"pr\": 7,\n"
     printf "  \"generated\": \"%s\",\n", date
     printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"note\": \"before = PR 5 numbers for the benchmarks that predate this PR (BENCH_5.json after-column). SnapshotIngestHot, StoreIngest and SnapshotQuery are new in PR 6 (snapshot history store + query plane) and have no before value. SnapshotIngestHot is gated at 0 allocs/op; SnapshotQuery runs against a 1024-port fabric with a concurrent writer.\",\n"
+    printf "  \"note\": \"before = PR 6 numbers for the benchmarks that predate this PR (BENCH_6.json after-column). EmulationThroughputSnapshots/EmulationThroughputTraced are new in PR 7 (epoch causal tracer): same snapshotting workload with the journal detached vs attached, so their gap is the trace-stamp overhead, gated within 3%% at best-of fixed-iteration runs (the *Best entries) and at 0 allocs/op. Both report lower events/sec than EmulationThroughput because snapshots add protocol work.\",\n"
     printf "  \"before\": {\n"
-    printf "    \"UnitOnPacket\": {\"ns_per_op\": 27.46, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
-    printf "    \"HeaderCodec\": {\"ns_per_op\": 1.614, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
-    printf "    \"TelemetryHotPath\": {\"ns_per_op\": 35.08, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
-    printf "    \"EmulationThroughput\": {\"ns_per_op\": 1248, \"allocs_per_op\": 0, \"bytes_per_op\": 0, \"events_per_sec\": 5579101},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards0\": {\"events_per_sec\": 2532613},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards2\": {\"events_per_sec\": 2497994},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards4\": {\"events_per_sec\": 3139122},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards8\": {\"events_per_sec\": 3277165},\n"
-    printf "    \"ShardScaling/fattree4/shards0\": {\"events_per_sec\": 2730231},\n"
-    printf "    \"ShardScaling/fattree4/shards2\": {\"events_per_sec\": 2948385},\n"
-    printf "    \"ShardScaling/fattree4/shards4\": {\"events_per_sec\": 3272820},\n"
-    printf "    \"ShardScaling/fattree4/shards8\": {\"events_per_sec\": 3493008}\n"
+    printf "    \"UnitOnPacket\": {\"ns_per_op\": 25.89, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
+    printf "    \"HeaderCodec\": {\"ns_per_op\": 0.9603, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
+    printf "    \"TelemetryHotPath\": {\"ns_per_op\": 32.28, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
+    printf "    \"EmulationThroughput\": {\"ns_per_op\": 1200, \"allocs_per_op\": 0, \"bytes_per_op\": 0, \"events_per_sec\": 5799354},\n"
+    printf "    \"SnapshotIngestHot\": {\"ns_per_op\": 47.89, \"allocs_per_op\": 0, \"bytes_per_op\": 42},\n"
+    printf "    \"StoreIngest\": {\"ns_per_op\": 295028, \"allocs_per_op\": 9, \"bytes_per_op\": 42690, \"registers_per_sec\": 3470864},\n"
+    printf "    \"SnapshotQuery\": {\"ns_per_op\": 29694, \"allocs_per_op\": 2, \"bytes_per_op\": 18601, \"queries_per_sec\": 33676},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards0\": {\"events_per_sec\": 3092661},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards2\": {\"events_per_sec\": 3191360},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards4\": {\"events_per_sec\": 3658103},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards8\": {\"events_per_sec\": 3729232},\n"
+    printf "    \"ShardScaling/fattree4/shards0\": {\"events_per_sec\": 3187070},\n"
+    printf "    \"ShardScaling/fattree4/shards2\": {\"events_per_sec\": 3214276},\n"
+    printf "    \"ShardScaling/fattree4/shards4\": {\"events_per_sec\": 3621735},\n"
+    printf "    \"ShardScaling/fattree4/shards8\": {\"events_per_sec\": 3585568}\n"
     printf "  },\n"
     printf "  \"after\": {\n"
     for (i = 1; i <= n; i++) {

@@ -48,6 +48,7 @@ import (
 	"speedlight/internal/counters"
 	"speedlight/internal/dataplane"
 	"speedlight/internal/emunet"
+	"speedlight/internal/epochtrace"
 	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
 	"speedlight/internal/packet"
@@ -359,6 +360,17 @@ func (n *Network) Invariants() *invariant.Engine { return n.cfg.Invariants }
 // every snapshot's causal-consistency invariants (see internal/audit).
 // Nil when journaling is disabled.
 func (n *Network) Audit() *audit.Report { return n.inner.Audit() }
+
+// EpochTraces reconstructs per-epoch causal traces from the journal:
+// the propagation wavefront, per-switch span tree, and the critical
+// path whose segment durations sum exactly to each epoch's completion
+// latency (see internal/epochtrace). Nil when journaling is disabled.
+func (n *Network) EpochTraces() []*epochtrace.EpochTrace { return n.inner.EpochTraces() }
+
+// BarrierProfile returns the sharded engine's cumulative per-shard
+// work/wait split (the shard-barrier profiler), or nil on a serial
+// engine or when metrics are disabled.
+func (n *Network) BarrierProfile() []sim.BarrierShardStats { return n.inner.BarrierProfile() }
 
 // Inner exposes the underlying emulation for advanced use: attaching
 // the workload generators, custom metrics, or direct engine access.
