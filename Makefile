@@ -3,17 +3,19 @@
 
 SLVET := $(CURDIR)/bin/speedlightvet
 
-.PHONY: all help build test race lint vet bench-shards bench-json clean
+.PHONY: all help build test race lint hotgate vet bench-shards bench-json clean
 
-all: build lint test
+all: build lint hotgate test
 
 help:
 	@echo "Speedlight build targets:"
-	@echo "  all          build + lint + test"
+	@echo "  all          build + lint + hotgate + test"
 	@echo "  build        go build ./..."
 	@echo "  test         go test -shuffle=on ./..."
 	@echo "  race         go test -race ./..."
 	@echo "  lint         build speedlightvet and run the analyzer suite"
+	@echo "  hotgate      cross-check //speedlight:hotpath functions against"
+	@echo "               their //speedlight:allocgate allocation gates"
 	@echo "  vet          plain go vet"
 	@echo "  bench-shards serial-vs-sharded scaling benchmarks (CI gate)"
 	@echo "  bench-json   regenerate BENCH_7.json (hot-path allocs/op,"
@@ -32,13 +34,24 @@ race:
 	go test -race ./...
 
 # lint builds the protocol-invariant analyzer suite and runs it over
-# every package through the go vet driver (which also covers _test.go
-# files, unlike standalone invocation).
+# every package through the go vet driver. Standalone invocation
+# (`bin/speedlightvet ./...`) covers the same set including _test.go
+# files and adds -format=github|sarif for CI annotation output.
 lint: $(SLVET)
-	go vet -vettool=$(SLVET) ./...
+	@start=$$(date +%s%N); status=0; \
+	go vet -vettool=$(SLVET) ./... || status=$$?; \
+	end=$$(date +%s%N); \
+	echo "speedlightvet wall-clock: $$(( (end - start) / 1000000 )) ms"; \
+	exit $$status
 
 $(SLVET): FORCE
 	go build -o $(SLVET) ./cmd/speedlightvet
+
+# hotgate verifies every //speedlight:hotpath function is named by a
+# //speedlight:allocgate annotation on an AllocsPerRun test or 0-alloc
+# benchmark, and that no annotation is stale.
+hotgate:
+	go run ./cmd/hotgate
 
 vet:
 	go vet ./...

@@ -207,6 +207,8 @@ func BenchmarkSwitchPipeline(b *testing.B) {
 }
 
 // BenchmarkHeaderCodec measures the snapshot header wire codec.
+//
+//speedlight:allocgate packet.SnapshotHeader.AppendBinary
 func BenchmarkHeaderCodec(b *testing.B) {
 	h := packet.SnapshotHeader{Type: packet.TypeData, ID: 123456, Channel: 17}
 	buf := make([]byte, 0, packet.HeaderLen)
@@ -243,6 +245,12 @@ func BenchmarkFacadeSnapshot(b *testing.B) {
 // BenchmarkEmulationThroughput measures the discrete-event emulator's
 // packet throughput: one full switch traversal (ingress, forwarding,
 // queueing, egress, delivery) per packet across the testbed fabric.
+// CI gates it at 0 allocs/op, so it doubles as the allocation gate
+// for the emunet pipeline.
+//
+//speedlight:allocgate emunet.Network.arrive emunet.Network.enqueue emunet.Network.scheduleTx emunet.Network.txCall
+//speedlight:allocgate emunet.Network.transmit emunet.Network.deliverLocalCall emunet.Network.wireHop emunet.Network.drainNotifs
+//speedlight:allocgate emunet.pktFIFO.push emunet.pktFIFO.peek emunet.pktFIFO.pop emunet.portQueue.head
 func BenchmarkEmulationThroughput(b *testing.B) {
 	ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{
 		Leaves: 2, Spines: 2, HostsPerLeaf: 3,

@@ -11,6 +11,8 @@ import (
 // TestOnPacketAllocs pins the protocol inner loop at zero allocations
 // per packet — the contract the //speedlight:hotpath marker and the
 // hotalloc analyzer enforce statically.
+//
+//speedlight:allocgate core.Unit.OnPacket
 func TestOnPacketAllocs(t *testing.T) {
 	u, err := core.NewUnit(core.Config{
 		MaxID: 256, WrapAround: true, ChannelState: true,

@@ -867,7 +867,11 @@ func (n *Network) Audit() *audit.Report {
 	})
 }
 
-// anomaly dumps the flight recorder to the OnAnomaly hook.
+// anomaly dumps the flight recorder to the OnAnomaly hook. It reads
+// the journal tail, which is only coherent under the global domain's
+// total event order.
+//
+//speedlight:global-only
 func (n *Network) anomaly(reason string, id packet.SeqID) {
 	if n.cfg.OnAnomaly == nil {
 		return
@@ -1016,6 +1020,7 @@ func (n *Network) InjectFromHost(host topology.HostID, pkt *packet.Packet) {
 // the given scheduling handle. p must be either the global proc or the
 // host's own switch proc (HostProc) — i.e. the domain the calling event
 // runs in.
+//speedlight:pool-transfer pkt
 func (n *Network) InjectFrom(p sim.Proc, host topology.HostID, pkt *packet.Packet) {
 	h := n.topo.Host(host)
 	if h == nil {
@@ -1053,6 +1058,8 @@ func (n *Network) NewPacketFor(host topology.HostID) *packet.Packet {
 // arriveCall, txCall, deliverLocalCall, deliverGlobalCall and cpCall
 // are the closure-free event callbacks behind the per-packet schedules
 // (bound once into the *Fn fields at construction).
+//speedlight:pool-transfer b
+//speedlight:shard
 func (n *Network) arriveCall(a, b any, i int64) {
 	n.arrive(a.(*EmuSwitch), b.(*packet.Packet), int(i))
 }
@@ -1061,6 +1068,7 @@ func (n *Network) arriveCall(a, b any, i int64) {
 // Runs in es's domain.
 //
 //speedlight:hotpath
+//speedlight:pool-transfer pkt
 func (n *Network) arrive(es *EmuSwitch, pkt *packet.Packet, port int) {
 	now := es.proc.Now()
 	es.pkts.Inc()
@@ -1087,6 +1095,7 @@ func (n *Network) arrive(es *EmuSwitch, pkt *packet.Packet, port int) {
 // and starts the transmitter if idle.
 //
 //speedlight:hotpath
+//speedlight:pool-transfer pkt
 func (n *Network) enqueue(es *EmuSwitch, pkt *packet.Packet, port int) {
 	q := es.queues[port]
 	if q.length() >= n.cfg.QueueCapacity {
@@ -1131,6 +1140,7 @@ func (n *Network) scheduleTx(es *EmuSwitch, port int) {
 // it, run egress, and re-arm for the next head.
 //
 //speedlight:hotpath
+//speedlight:shard
 func (n *Network) txCall(a, _ any, i int64) {
 	es := a.(*EmuSwitch)
 	port, cos := int(i>>8), int(i&0xff)
@@ -1146,6 +1156,7 @@ func (n *Network) txCall(a, _ any, i int64) {
 // lookahead is derived from.
 //
 //speedlight:hotpath
+//speedlight:pool-transfer pkt
 func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 	now := es.proc.Now()
 	isBroadcast := topology.HostID(pkt.DstHost) == BroadcastHost
@@ -1187,6 +1198,11 @@ func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 			es.proc.AfterCall(sim.Duration(peer.Latency),
 				n.deliverLocalFn, es, pkt, 0)
 		}
+	default:
+		// Egress onto an unwired port (PeerNone): the wire eats the
+		// packet. Recycle it — before poolown, this path leaked the
+		// pooled packet silently.
+		es.ppool.Put(pkt)
 	}
 }
 
@@ -1194,6 +1210,8 @@ func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 // and recycle the packet in the delivering switch's domain.
 //
 //speedlight:hotpath
+//speedlight:pool-transfer b
+//speedlight:shard
 func (n *Network) deliverLocalCall(a, b any, _ int64) {
 	n.tel.delivered.Inc()
 	a.(*EmuSwitch).ppool.Put(b.(*packet.Packet))
@@ -1201,6 +1219,8 @@ func (n *Network) deliverLocalCall(a, b any, _ int64) {
 
 // deliverGlobalCall is host delivery serialized through the global
 // domain for the OnDeliver hook; the packet dies into the driver pool.
+//
+//speedlight:pool-transfer b
 func (n *Network) deliverGlobalCall(_, b any, i int64) {
 	pkt := b.(*packet.Packet)
 	n.tel.delivered.Inc()
@@ -1212,6 +1232,7 @@ func (n *Network) deliverGlobalCall(_, b any, i int64) {
 // injected loss. Runs in es's domain; arrival runs in the neighbor's.
 //
 //speedlight:hotpath
+//speedlight:pool-transfer pkt
 func (n *Network) wireHop(es *EmuSwitch, pkt *packet.Packet, peer topology.Peer) {
 	if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
 		n.wireDrops.Add(1)
@@ -1250,6 +1271,8 @@ func (n *Network) drainNotifs(es *EmuSwitch) {
 }
 
 // cpCall dispatches the CP processing loop's closure-free events.
+//
+//speedlight:shard
 func (n *Network) cpCall(a, _ any, _ int64) { n.cpProcessOne(a.(*EmuSwitch)) }
 
 // cpProcessOne handles one notification and reschedules itself while
@@ -1320,6 +1343,8 @@ func (n *Network) ScheduleSnapshotSingle(node topology.NodeID, localDeadline sim
 // follows the same egress queues as data traffic (FIFO order matters;
 // Section 6). Runs in es's domain, or in the global domain during
 // recovery (workers parked, so touching es is safe either way).
+//
+//speedlight:shard
 func (n *Network) initiate(es *EmuSwitch, id packet.SeqID) {
 	inits := es.CP.Initiate(id, es.proc.Now())
 	n.drainNotifs(es)
@@ -1332,6 +1357,8 @@ func (n *Network) initiate(es *EmuSwitch, id packet.SeqID) {
 // recovery actions: re-initiation, a register poll to recover dropped
 // notifications, and (in the channel-state variant) a marker broadcast
 // to force ID propagation on idle channels.
+//
+//speedlight:global-only
 func (n *Network) handleTimeouts() {
 	now := n.gproc.Now()
 	for _, act := range n.obs.CheckTimeouts(now) {

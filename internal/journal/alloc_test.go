@@ -6,6 +6,8 @@ import "testing"
 // amortized allocations per event. Cell blocks are allocated one ring
 // of events at a time, so per-append cost is 1/size allocations —
 // which AllocsPerRun's integer average reports as 0.
+//
+//speedlight:allocgate journal.Journal.Append journal.Journal.cell
 func TestAppendAllocs(t *testing.T) {
 	j := New(1024)
 	ev := Event{Kind: KindInitiate, Switch: 1, AtNs: 5}

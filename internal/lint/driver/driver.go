@@ -40,15 +40,31 @@ func Main(analyzers ...*analysis.Analyzer) {
 		fmt.Println("[]")
 		os.Exit(0)
 	}
+	format := "text"
+	rest := args[:0]
+	for _, a := range args {
+		if strings.HasPrefix(a, "-format=") {
+			format = strings.TrimPrefix(a, "-format=")
+			continue
+		}
+		rest = append(rest, a)
+	}
+	args = rest
+	switch format {
+	case "text", "github", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "%s: unknown -format %q (want text, github, or sarif)\n", progname, format)
+		os.Exit(1)
+	}
 	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: %s [-V=full | -flags | unit.cfg | packages...]\n", progname)
+		fmt.Fprintf(os.Stderr, "usage: %s [-V=full | -flags | -format=text|github|sarif] [unit.cfg | packages...]\n", progname)
 		os.Exit(1)
 	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		diags, err := runUnit(args[0], analyzers)
 		exitWith(diags, err)
 	}
-	diags, err := runStandalone(args, analyzers)
+	diags, err := runStandalone(args, analyzers, format)
 	exitWith(diags, err)
 }
 
@@ -77,10 +93,18 @@ func printVersion(progname string) {
 	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
 }
 
+// Finding is one diagnostic tagged with the analyzer that produced it,
+// so output formats (SARIF rule IDs, annotation titles) can name the
+// rule.
+type Finding struct {
+	Analyzer string
+	analysis.Diagnostic
+}
+
 // RunAnalyzers applies every analyzer to one checked package and
-// returns the diagnostics sorted by position.
-func RunAnalyzers(cp *CheckedPackage, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	var diags []analysis.Diagnostic
+// returns the findings sorted by position.
+func RunAnalyzers(cp *CheckedPackage, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -88,40 +112,53 @@ func RunAnalyzers(cp *CheckedPackage, analyzers []*analysis.Analyzer) ([]analysi
 			Files:     cp.Files,
 			Pkg:       cp.Pkg,
 			TypesInfo: cp.Info,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{Analyzer: a.Name, Diagnostic: d})
+			},
 		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+	return findings, nil
 }
 
-func printDiagnostics(fset *token.FileSet, diags []analysis.Diagnostic) {
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+func printDiagnostics(fset *token.FileSet, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(f.Pos), f.Message)
 	}
 }
 
 // runStandalone loads the named package patterns through the go
-// command and checks every non-dependency package.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer) (int, error) {
-	listed, err := GoList(patterns)
+// command — test variants included, so _test.go files are held to the
+// same discipline — and checks every non-dependency package.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, format string) (int, error) {
+	listed, err := GoList(append([]string{"-test"}, patterns...))
 	if err != nil {
 		return 0, err
 	}
 	packageFile := make(map[string]string)
+	hasVariant := make(map[string]bool) // base paths covered by a test variant
 	for _, p := range listed {
 		if p.Export != "" {
 			packageFile[p.ImportPath] = p.Export
 		}
+		if !p.DepOnly && p.ForTest != "" && !strings.Contains(p.ImportPath, "_test [") {
+			hasVariant[p.ForTest] = true
+		}
 	}
 	fset := token.NewFileSet()
-	total := 0
+	var all []Finding
 	for _, p := range listed {
 		if p.DepOnly || p.Standard {
 			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test main
+		}
+		if p.ForTest == "" && hasVariant[p.ImportPath] {
+			continue // the internal test variant analyzes a superset
 		}
 		if p.Error != nil {
 			return 0, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
@@ -141,14 +178,23 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer) (int, erro
 		if err != nil {
 			return 0, err
 		}
-		diags, err := RunAnalyzers(cp, analyzers)
+		findings, err := RunAnalyzers(cp, analyzers)
 		if err != nil {
 			return 0, err
 		}
-		printDiagnostics(fset, diags)
-		total += len(diags)
+		all = append(all, findings...)
 	}
-	return total, nil
+	switch format {
+	case "github":
+		printGitHub(fset, all)
+	case "sarif":
+		if err := printSARIF(os.Stdout, fset, analyzers, all); err != nil {
+			return 0, err
+		}
+	default:
+		printDiagnostics(fset, all)
+	}
+	return len(all), nil
 }
 
 // ParseFile parses one file with comments (analyzers read directives).

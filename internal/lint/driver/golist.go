@@ -24,6 +24,7 @@ type ListedPackage struct {
 	CgoFiles   []string
 	Standard   bool
 	DepOnly    bool
+	ForTest    string
 	Export     string
 	Imports    []string
 	ImportMap  map[string]string

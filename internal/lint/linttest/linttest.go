@@ -60,11 +60,11 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 		if err != nil {
 			t.Fatalf("loading testdata package %s: %v", pkg, err)
 		}
-		diags, err := driver.RunAnalyzers(cp, []*analysis.Analyzer{a})
+		findings, err := driver.RunAnalyzers(cp, []*analysis.Analyzer{a})
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
 		}
-		checkExpectations(t, w.fset, cp.Files, diags)
+		checkExpectations(t, w.fset, cp.Files, findings)
 	}
 }
 
@@ -293,13 +293,13 @@ func splitPatterns(s string) ([]string, error) {
 
 // checkExpectations matches diagnostics against wants and reports both
 // kinds of mismatch.
-func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, findings []driver.Finding) {
 	t.Helper()
 	wants, err := collectWants(fset, files)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range diags {
+	for _, d := range findings {
 		pos := fset.Position(d.Pos)
 		matched := false
 		for _, wt := range wants {

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"speedlight/internal/lint/linttest"
+	"speedlight/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, "dataplane")
+}

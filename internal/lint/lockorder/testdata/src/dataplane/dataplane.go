@@ -1,0 +1,140 @@
+// Package dataplane seeds lockorder's golden violations: a missing
+// unlock on an early-return path, a guaranteed self-deadlock, and a
+// lock-order cycle seen both directly and through a call summary —
+// plus the blessed shapes (defer, branch-unlock, conditional pairs)
+// that must stay quiet.
+package dataplane
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+type R struct{ mu sync.RWMutex }
+
+// ---- violations ----
+
+// earlyReturnHold is the Lock; if err { return } bug class: the guard
+// path exits with the mutex still held.
+func earlyReturnHold(d *D, fail bool) int {
+	d.mu.Lock()
+	if fail {
+		return 0 // want `lock d.mu is still held on this return path`
+	}
+	d.mu.Unlock()
+	return 1
+}
+
+// relock acquires the same instance twice on a straight line.
+func relock(d *D) {
+	d.mu.Lock()
+	d.mu.Lock() // want `Lock of d.mu while it is already held: guaranteed self-deadlock`
+	d.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// lockAB and lockBA together close a two-class cycle: each inner
+// acquisition is an edge, and each edge sees the reverse path.
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock order cycle: dataplane.B.mu acquired while dataplane.A.mu is held, but the reverse order also exists`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock order cycle: dataplane.A.mu acquired while dataplane.B.mu is held, but the reverse order also exists`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// lockDthenC orders D before C inline; lockCthenCallD orders C before
+// D through helperLockD's acquire summary. The cycle is reported at
+// both the inline edge and the call site that carries the summary.
+func lockDthenC(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want `lock order cycle: dataplane.C.mu acquired while dataplane.D.mu is held, but the reverse order also exists`
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+func helperLockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockCthenCallD(c *C, d *D) {
+	c.mu.Lock()
+	helperLockD(d) // want `lock order cycle: dataplane.D.mu acquired while dataplane.C.mu is held \(through call to helperLockD\)`
+	c.mu.Unlock()
+}
+
+// ---- blessed paths: no findings ----
+
+// deferUnlock discharges the exit obligation at every return.
+func deferUnlock(d *D, n int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	return n
+}
+
+// branchUnlock releases explicitly on both paths — the TakeSnapshot
+// shape.
+func branchUnlock(d *D, drop bool) int {
+	d.mu.Lock()
+	if drop {
+		d.mu.Unlock()
+		return 0
+	}
+	d.mu.Unlock()
+	return 1
+}
+
+// condPair only ever locks and unlocks under the same guard: the
+// must-join keeps the held-set empty, so neither check may fire.
+func condPair(d *D, b bool) {
+	if b {
+		d.mu.Lock()
+	}
+	if b {
+		d.mu.Unlock()
+	}
+}
+
+// rwReaders pairs RLock with RUnlock.
+func rwReaders(r *R) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return 7
+}
+
+// goroutineFresh starts a goroutine that takes the same lock: the
+// literal runs with a fresh held-set, so this is nesting-free.
+func goroutineFresh(d *D) {
+	d.mu.Lock()
+	go func() {
+		d.mu.Lock()
+		d.mu.Unlock()
+	}()
+	d.mu.Unlock()
+}
+
+// consistentOrder repeats the A-then-B order elsewhere: edges without a
+// reverse path are not cycles.
+func consistentOrder(a *A, b *B2) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+type B2 struct{ mu sync.Mutex }

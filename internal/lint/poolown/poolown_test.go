@@ -1,0 +1,12 @@
+package poolown_test
+
+import (
+	"testing"
+
+	"speedlight/internal/lint/linttest"
+	"speedlight/internal/lint/poolown"
+)
+
+func TestPoolOwn(t *testing.T) {
+	linttest.Run(t, poolown.Analyzer, "app", "sim")
+}

@@ -1,0 +1,29 @@
+// Package packet is a miniature of internal/packet for the poolown
+// goldens: a pooled value with the Get/Put ownership surface.
+package packet
+
+// Packet is the pooled value.
+type Packet struct {
+	Size int
+	Data []byte
+}
+
+// Pool mirrors internal/packet.Pool's free-list surface.
+type Pool struct{ free []*Packet }
+
+// Get hands out a packet the caller owns.
+func (p *Pool) Get() *Packet {
+	n := len(p.free)
+	if n == 0 {
+		return &Packet{}
+	}
+	pk := p.free[n-1]
+	p.free = p.free[:n-1]
+	return pk
+}
+
+// Put returns a packet to the free list; the caller's reference is
+// dead afterwards.
+func (p *Pool) Put(pk *Packet) {
+	p.free = append(p.free, pk)
+}

@@ -1,0 +1,57 @@
+package sim
+
+// Handle mirrors the generation-counted handle of internal/sim.
+type Handle struct {
+	ev  *Event
+	gen uint32
+}
+
+type engine struct {
+	pool eventPool
+	q    []*Event
+}
+
+// push takes ownership of the event, the evq.push pattern.
+//
+//speedlight:pool-transfer ev
+func (e *engine) push(ev *Event) {
+	e.q = append(e.q, ev)
+}
+
+// schedule is the clean Engine.schedule shape: get, fill, push
+// (ownership transfer), then read fields for the handle — reads after
+// a consume are fine, the queue owns the storage but the generation
+// snapshot is taken before any recycling can happen.
+func (e *engine) schedule(when int64) Handle {
+	ev := e.pool.get()
+	ev.when = when
+	e.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// staleRead mirrors the exact pattern the runtime generation check
+// panics on ("stale Handle ... use after free"): the event goes back
+// to the pool and is then dereferenced.
+func (e *engine) staleRead() uint32 {
+	ev := e.pool.get()
+	e.pool.put(ev)
+	return ev.gen // want `use of pooled value ev after Put`
+}
+
+// dropOnGuard leaks the event when the guard trips.
+func (e *engine) dropOnGuard(bad bool) {
+	ev := e.pool.get()
+	if bad {
+		return // want `pooled value ev may leak on this return path`
+	}
+	e.push(ev)
+}
+
+// putTwice double-frees when retried.
+func (e *engine) putTwice(retry bool) {
+	ev := e.pool.get()
+	if retry {
+		e.pool.put(ev)
+	}
+	e.pool.put(ev) // want `double Put of pooled value ev`
+}

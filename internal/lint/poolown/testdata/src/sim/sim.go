@@ -1,0 +1,39 @@
+// Package sim is a miniature of internal/sim for the poolown goldens:
+// the blessed Proc handoff surface and the pooled event free list.
+package sim
+
+// CallFn mirrors the closure-free callback shape.
+type CallFn func(a, b interface{}, c uint64)
+
+// Proc is the worker-side scheduling surface; its Send family is the
+// blessed ownership handoff for pooled payloads.
+type Proc interface {
+	Send(dom int, delay int64, v interface{})
+	SendCall(dom int, delay int64, fn CallFn, a, b interface{}, c uint64)
+	AfterCall(delay int64, fn CallFn, a, b interface{}, c uint64)
+}
+
+// Event is the pooled event.
+type Event struct {
+	when int64
+	gen  uint32
+}
+
+type eventPool struct{ free []*Event }
+
+//speedlight:hotpath
+func (p *eventPool) get() *Event {
+	n := len(p.free)
+	if n == 0 {
+		return &Event{}
+	}
+	ev := p.free[n-1]
+	p.free = p.free[:n-1]
+	return ev
+}
+
+//speedlight:hotpath
+func (p *eventPool) put(ev *Event) {
+	ev.gen++
+	p.free = append(p.free, ev)
+}

@@ -11,12 +11,16 @@ import (
 	"speedlight/internal/lint/detguard"
 	"speedlight/internal/lint/hotalloc"
 	"speedlight/internal/lint/journalctor"
+	"speedlight/internal/lint/lockorder"
 	"speedlight/internal/lint/locksend"
+	"speedlight/internal/lint/poolown"
+	"speedlight/internal/lint/shardsafe"
 	"speedlight/internal/lint/wrappedcmp"
 )
 
 // Analyzers returns the full speedlightvet suite in deterministic
-// order.
+// order: the syntactic single-pass checks first, then the
+// CFG/dataflow analyzers built on internal/lint/flow.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		wrappedcmp.Analyzer,
@@ -24,5 +28,8 @@ func Analyzers() []*analysis.Analyzer {
 		detguard.Analyzer,
 		locksend.Analyzer,
 		hotalloc.Analyzer,
+		poolown.Analyzer,
+		lockorder.Analyzer,
+		shardsafe.Analyzer,
 	}
 }

@@ -1,0 +1,12 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"speedlight/internal/lint/linttest"
+	"speedlight/internal/lint/shardsafe"
+)
+
+func TestShardSafe(t *testing.T) {
+	linttest.Run(t, shardsafe.Analyzer, "app", "sim")
+}

@@ -1,0 +1,75 @@
+// Package app seeds shardsafe's golden violations: package-state
+// writes, //speedlight:global-only calls, and engine-API calls from
+// shard-reachable code, plus the blessed Proc path and global-domain
+// code that must stay quiet.
+package app
+
+import "sim"
+
+var drops int
+
+var seen = map[int]bool{}
+
+var debug bool
+
+type state struct{ n int }
+
+type worker struct {
+	s    *sim.Sim
+	proc sim.Proc
+	st   *state
+}
+
+// ---- violations ----
+
+// arriveCall mutates a package counter from inside a worker.
+//
+//speedlight:shard
+func (w *worker) arriveCall(a, b interface{}, i int64) {
+	drops++ // want `shard-reachable worker.arriveCall writes package-level drops`
+	w.bump(int(i))
+}
+
+// bump is only dangerous because arriveCall makes it shard-reachable.
+func (w *worker) bump(k int) {
+	seen[k] = true  // want `shard-reachable worker.bump writes package-level seen`
+	delete(seen, k) // want `shard-reachable worker.bump writes package-level seen`
+}
+
+// txCall reaches for global-domain logic and the engine clock.
+//
+//speedlight:shard
+func (w *worker) txCall(a, b interface{}, i int64) {
+	w.anomaly(i)      // want `calls //speedlight:global-only worker.anomaly`
+	if w.s.Now() > 0 { // want `calls sim engine API Now`
+		w.st.n++
+	}
+}
+
+// anomaly must observe the total event order of the global domain.
+//
+//speedlight:global-only
+func (w *worker) anomaly(i int64) {}
+
+// ---- blessed paths: no findings ----
+
+// deliverCall stays inside the worker's own object graph and crosses
+// shards only through its Proc.
+//
+//speedlight:shard
+func (w *worker) deliverCall(a, b interface{}, i int64) {
+	w.proc.SendCall(1, 0, nil, a, b, i)
+	w.proc.After(5)
+	w.st.n++ // local object graph, not package state
+	if debug { // reading package config is fine
+		w.st.n = 0
+	}
+}
+
+// driver is global-domain code: the same writes and engine calls are
+// legal here because nothing marks it shard-reachable.
+func driver(w *worker) {
+	drops = 0
+	w.s.Schedule(3)
+	w.s.Run()
+}

@@ -1,0 +1,23 @@
+// Package sim fakes the engine surface shardsafe discriminates on:
+// Sim's methods are the global-side API, Proc's are the blessed
+// worker-side handoff.
+package sim
+
+type Time int64
+
+type Duration int64
+
+type CallFn func(a, b interface{}, i int64)
+
+type Proc interface {
+	Send(dst int, at Time)
+	SendCall(dst int, at Time, fn CallFn, a, b interface{}, i int64)
+	After(d Duration)
+}
+
+type Sim struct{ now Time }
+
+func (s *Sim) Now() Time        { return s.now }
+func (s *Sim) Schedule(at Time) {}
+func (s *Sim) Run()             {}
+func (s *Sim) Rand() int64      { return 0 }

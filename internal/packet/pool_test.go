@@ -25,8 +25,13 @@ func TestPoolGetReturnsZeroedLivePacket(t *testing.T) {
 	if *got != want {
 		t.Fatalf("recycled packet not zeroed: %+v", *got)
 	}
+	p.Put(got)
 }
 
+// TestPoolDoublePutPanics violates the ownership discipline on purpose
+// to prove the runtime check fires.
+//
+//speedlight:pool-unchecked
 func TestPoolDoublePutPanics(t *testing.T) {
 	c := NewCentral()
 	p := c.NewPool()
@@ -107,8 +112,10 @@ func TestPoolSpillAndRefillBalance(t *testing.T) {
 	if got.pstate != pkLive {
 		t.Fatalf("refilled packet pstate %d, want live", got.pstate)
 	}
+	src.Put(got)
 }
 
+//speedlight:allocgate packet.Pool.Get packet.Pool.Put
 func TestPoolSteadyStateAllocs(t *testing.T) {
 	c := NewCentral()
 	p := c.NewPool()

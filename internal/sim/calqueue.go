@@ -38,6 +38,7 @@ func newEvq() evq {
 }
 
 //speedlight:hotpath
+//speedlight:pool-transfer ev
 func (q *evq) push(ev *Event) {
 	if q.cal != nil {
 		q.cal.push(ev)
@@ -139,6 +140,7 @@ func calBucket(at Time) int {
 }
 
 //speedlight:hotpath
+//speedlight:pool-transfer ev
 func (c *calQueue) push(ev *Event) {
 	heap.Push(&c.buckets[calBucket(ev.at)], ev)
 	c.size++

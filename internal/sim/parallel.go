@@ -107,6 +107,7 @@ type pshard struct {
 	waitC       *telemetry.Counter
 }
 
+//speedlight:pool-transfer ev
 func (sh *pshard) pushMail(ev *Event) {
 	sh.mailMu.Lock()
 	sh.mail = append(sh.mail, ev)
@@ -473,6 +474,7 @@ func (p *Parallel) accountRound(roundNs int64, active []*pshard) {
 // owns the recycle.
 //
 //speedlight:hotpath
+//speedlight:shard
 func (p *Parallel) process(sh *pshard, horizon Time) {
 	for {
 		top := sh.q.peek()

@@ -68,6 +68,9 @@ func TestCancelRecyclesEagerly(t *testing.T) {
 // AfterCall with a package-level callback plus the event pop — must not
 // allocate. This is the engine half of the zero-allocation hot-path
 // contract (the emunet half is gated in the emulation's own tests).
+//
+//speedlight:allocgate sim.Engine.schedule sim.Engine.Step sim.Event.fire sim.eventPool.get sim.eventPool.put
+//speedlight:allocgate sim.evq.push sim.evq.pop sim.evq.peek
 func TestPooledSchedulingAllocs(t *testing.T) {
 	e := NewEngine(1)
 	p := e.Proc(GlobalDomain)
@@ -90,6 +93,8 @@ func TestPooledSchedulingAllocs(t *testing.T) {
 
 // TestTickerSteadyStateAllocs: a running ticker re-arms through the
 // pooled closure-free path, so steady-state ticks allocate nothing.
+//
+//speedlight:allocgate sim.Ticker.arm
 func TestTickerSteadyStateAllocs(t *testing.T) {
 	e := NewEngine(1)
 	ticks := 0

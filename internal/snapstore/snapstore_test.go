@@ -317,6 +317,8 @@ func TestDeltaPropertyRandom(t *testing.T) {
 // TestObserveSteadyStateAllocs pins the ingestion hot path at zero
 // allocations once every unit is registered (the hotalloc analyzer
 // enforces the same statically via //speedlight:hotpath).
+//
+//speedlight:allocgate snapstore.Store.Observe
 func TestObserveSteadyStateAllocs(t *testing.T) {
 	s := snapstore.New(snapstore.Config{Retention: 4, CheckpointEvery: 4})
 	units := make([]dataplane.UnitID, 64)

@@ -11,6 +11,8 @@ import (
 // TestAppendCodecAllocs pins the wire hot path: encoding into a reused
 // scratch buffer allocates nothing. This is the contract that lets a
 // switch node's egress loop run allocation-free per forwarded packet.
+//
+//speedlight:allocgate wire.appendData wire.appendHostDeliver wire.appendResult packet.Packet.AppendBinary
 func TestAppendCodecAllocs(t *testing.T) {
 	p := &packet.Packet{SrcHost: 1, DstHost: 2, Size: 100, HasSnap: true,
 		Snap: packet.SnapshotHeader{Type: packet.TypeData, ID: 7, Channel: 3}}
