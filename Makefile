@@ -3,7 +3,7 @@
 
 SLVET := $(CURDIR)/bin/speedlightvet
 
-.PHONY: all help build test race lint hotgate vet bench-shards bench-json clean
+.PHONY: all help build test race lint hotgate vet bench-shards bench-json churn clean
 
 all: build lint hotgate test
 
@@ -22,6 +22,9 @@ help:
 	@echo "               trace-overhead pair, snapstore ingest/query"
 	@echo "               rates, events/sec, with the frozen pre-PR"
 	@echo "               baseline)"
+	@echo "  churn        seeded churn scenario suite under -race with"
+	@echo "               shuffled order, then all four CLI scenarios at"
+	@echo "               shards 1/4/8 (CI churn-scenarios gate)"
 	@echo "  clean        remove bin/"
 
 build:
@@ -61,6 +64,24 @@ vet:
 # multi-core runners only).
 bench-shards:
 	go test -run '^$$' -bench BenchmarkShardScaling -benchtime 5x -timeout 30m .
+
+# churn is the churn-scenarios CI gate: the seeded scenario suite
+# (rolling upgrade, link-flap storm, partition-and-heal, provisioning
+# ramp) plus the reconciliation-controller unit tests under the race
+# detector with shuffled order — each equivalence test internally diffs
+# serial against shards {1,2,4,8} — then every CLI scenario end to end
+# at shards 1, 4 and 8, failing on any silent disagreement.
+churn:
+	go test -race -shuffle=on -run 'TestChurn|TestReconcile|TestScenario|TestClassify|TestNewAdopts|TestPropertyRandomizedEquivalence' \
+		./internal/emunet ./internal/reconcile
+	@for s in 1 4 8; do \
+	  for m in rolling-upgrade link-flap-storm partition-heal provisioning-ramp; do \
+	    echo "== churn $$m shards=$$s"; \
+	    out=$$(go run ./cmd/speedlight -leaves 4 -spines 2 -hosts 2 -snapshots 8 \
+	      -channel-state -shards $$s -churn $$m) || exit 1; \
+	    echo "$$out" | grep "churn scenario" || exit 1; \
+	  done; \
+	done
 
 # bench-json reruns the hot-path, trace-overhead, snapstore and scaling
 # benchmarks and rewrites BENCH_7.json (committed) with after-numbers

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -33,6 +34,7 @@ import (
 	"speedlight/internal/export"
 	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
+	"speedlight/internal/reconcile"
 	"speedlight/internal/sim"
 	"speedlight/internal/snapstore"
 	"speedlight/internal/telemetry"
@@ -89,6 +91,8 @@ func campaign() {
 			"write a flight-recorder tail dump (JSONL) into this directory whenever a snapshot finalizes inconsistent or with exclusions")
 		traceEpochs = flag.String("trace-epochs", "",
 			"write per-epoch causal traces to this file (.chrome.json writes Chrome trace_event format, anything else JSON Lines) and print critical-path attribution; implies journaling")
+		churnMode = flag.String("churn", "",
+			"run a seeded churn scenario against the reconciliation controller during the campaign: rolling-upgrade, link-flap-storm, partition-heal, provisioning-ramp (implies journaling; classification printed at the end)")
 	)
 	flag.Parse()
 
@@ -106,7 +110,7 @@ func campaign() {
 	}
 	// Any flight-recorder flag turns journaling on. The metrics server
 	// includes it too, so /journal and /audit have something to serve.
-	if *journalOut != "" || *auditRun || *flightDir != "" || *metricsAddr != "" || *traceEpochs != "" {
+	if *journalOut != "" || *auditRun || *flightDir != "" || *metricsAddr != "" || *traceEpochs != "" || *churnMode != "" {
 		cfg.Journal = journal.NewSet(0)
 	}
 	if *flightDir != "" {
@@ -208,6 +212,17 @@ func campaign() {
 		defer srv.Close()
 		fmt.Printf("observability: http://%s/metrics (Prometheus), /debug/vars (expvar), /debug/pprof, /trace (Chrome), /healthz, /journal, /audit, /snapshots, /invariants, /trace/epoch, /trace/critical\n",
 			srv.Addr())
+	}
+
+	var ctrl *reconcile.Controller
+	if *churnMode != "" {
+		ctrl, err = net.Reconciler()
+		if err != nil {
+			fatalf("building reconciler: %v", err)
+		}
+		scheduleChurn(ctrl, *churnMode, *leaves, *spines, *seed,
+			sim.Duration((*interval).Nanoseconds()), *snapshots)
+		ctrl.Start()
 	}
 
 	if app := buildWorkload(*wl, *tracePath, net); app != nil {
@@ -343,6 +358,16 @@ func campaign() {
 		}
 		fmt.Printf("wrote %s (%d epochs)\n", *traceEpochs, len(traces))
 		printCritical(os.Stdout, epochtrace.NewRollup(traces))
+	}
+
+	if *churnMode != "" {
+		cs := net.ClassifyChurn()
+		tal := reconcile.TallyOutcomes(cs)
+		fmt.Printf("\nchurn scenario %s: %d reconcile op(s), %d churn event(s): %s\n",
+			*churnMode, len(ctrl.Log()), len(cs), tal)
+		if tal.SilentDisagreement > 0 {
+			fatalf("churn produced %d silent disagreement(s) — detection defect", tal.SilentDisagreement)
+		}
 	}
 
 	if *auditRun {
@@ -681,4 +706,46 @@ func innerOf(net *speedlight.Network) (*emunet.Network, []topology.HostID) {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
+}
+
+// scheduleChurn installs the seeded churn scenario named by mode on the
+// reconciliation controller. Leaf switches occupy node IDs 0..leaves-1
+// and spines leaves..leaves+spines-1, the order the topology builder
+// assigns them.
+func scheduleChurn(ctrl *reconcile.Controller, mode string, leaves, spines int, seed int64, interval sim.Duration, snapshots int) {
+	leafIDs := make([]topology.NodeID, leaves)
+	for i := range leafIDs {
+		leafIDs[i] = topology.NodeID(i)
+	}
+	spineIDs := make([]topology.NodeID, spines)
+	for i := range spineIDs {
+		spineIDs[i] = topology.NodeID(leaves + i)
+	}
+	// Start past the warm-up so the first snapshot sees a full fabric,
+	// and pace the scenario in snapshot intervals so it spans several
+	// epochs regardless of the campaign length.
+	start := 2 * interval
+	var sc *reconcile.Scenario
+	switch mode {
+	case "rolling-upgrade":
+		sc = reconcile.RollingUpgrade(spineIDs, start, interval, 2*interval)
+	case "link-flap-storm":
+		r := rand.New(rand.NewSource(seed))
+		flaps := 2*spines + 2
+		sc = reconcile.LinkFlapStorm(ctrl.Links(), r, start, flaps, interval/2, interval/2)
+	case "partition-heal":
+		var cut []reconcile.Link
+		for _, l := range ctrl.Links() {
+			if l.A.Node == leafIDs[0] || l.B.Node == leafIDs[0] {
+				cut = append(cut, l)
+			}
+		}
+		sc = reconcile.PartitionAndHeal(cut, start, sim.Duration(snapshots/2)*interval)
+	case "provisioning-ramp":
+		ramp := []topology.NodeID{leafIDs[len(leafIDs)-1], spineIDs[len(spineIDs)-1]}
+		sc = reconcile.ProvisioningRamp(ramp, start, 2*interval)
+	default:
+		fatalf("unknown churn scenario %q (want rolling-upgrade, link-flap-storm, partition-heal, provisioning-ramp)", mode)
+	}
+	sc.Schedule(ctrl)
 }

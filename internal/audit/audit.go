@@ -216,6 +216,12 @@ func Run(events []journal.Event, cfg Config) *Report {
 	}
 	rollViolations := map[packet.SeqID][]violation{}
 	open := map[packet.SeqID]journal.Event{} // begun, not yet complete
+	// Churn awareness: a switch-down event ends its units' record
+	// chains (teardown flushes their state), and a switch-up restarts
+	// them from a zeroed baseline — neither is a recording violation.
+	churnDowns := map[int][]uint64{} // switch -> seqs of churn switch-down
+	churnUps := map[int][]uint64{}   // switch -> seqs of churn switch-up
+	beginSeq := map[packet.SeqID]uint64{}
 
 	for _, ev := range evs {
 		switch ev.Kind {
@@ -237,17 +243,24 @@ func Run(events []journal.Event, cfg Config) *Report {
 			// No-lapping rule: beginning an ID more than MaxID/2 ahead
 			// of a still-open snapshot would let the wrapped ID lap it.
 			if rep.Wraparound && rep.MaxID > 0 {
-				for oldID, oldEv := range open {
+				// Sorted: violation order must not depend on map order.
+				oldIDs := make([]packet.SeqID, 0, len(open))
+				for oldID := range open {
+					oldIDs = append(oldIDs, oldID)
+				}
+				sort.Slice(oldIDs, func(a, b int) bool { return oldIDs[a] < oldIDs[b] })
+				for _, oldID := range oldIDs {
 					if uint64(ev.SnapshotID-oldID) >= rep.MaxID/2 {
 						rollViolations[ev.SnapshotID] = append(rollViolations[ev.SnapshotID], violation{
 							cause:   fmt.Sprintf("rollover window violated: snapshot %d begun while snapshot %d is still open (window %d)", ev.SnapshotID, oldID, rep.MaxID/2),
-							witness: []journal.Event{oldEv, ev},
+							witness: []journal.Event{open[oldID], ev},
 						})
 					}
 				}
 			}
 			open[ev.SnapshotID] = ev
 			stateOf(ev.SnapshotID).begun = true
+			beginSeq[ev.SnapshotID] = ev.Seq
 		case journal.KindObsResult:
 			stateOf(ev.SnapshotID).results[unitOf(ev)] = ev
 		case journal.KindObsRetry:
@@ -258,6 +271,13 @@ func Run(events []journal.Event, cfg Config) *Report {
 			e := ev
 			stateOf(ev.SnapshotID).complete = &e
 			delete(open, ev.SnapshotID)
+		case journal.KindChurn:
+			switch ev.Value {
+			case journal.ChurnSwitchDown:
+				churnDowns[ev.Switch] = append(churnDowns[ev.Switch], ev.Seq)
+			case journal.ChurnSwitchUp:
+				churnUps[ev.Switch] = append(churnUps[ev.Switch], ev.Seq)
+			}
 		}
 	}
 
@@ -269,13 +289,86 @@ func Run(events []journal.Event, cfg Config) *Report {
 		}
 	}
 
+	// seqBetween reports whether any seq in seqs falls strictly inside
+	// (a, b); lastBefore returns the largest seq below s (0 if none).
+	seqBetween := func(seqs []uint64, a, b uint64) bool {
+		for _, s := range seqs {
+			if s > a && s < b {
+				return true
+			}
+		}
+		return false
+	}
+	lastBefore := func(seqs []uint64, s uint64) uint64 {
+		var out uint64
+		for _, q := range seqs {
+			if q < s && q > out {
+				out = q
+			}
+		}
+		return out
+	}
+
+	// beganDuringOutage reports whether snapshot id's initiation falls
+	// inside some switch's down segment whose reboot precedes seq. Such
+	// a cut never enrolled that switch, so stale stamps it emits after
+	// rebooting (from its zeroed baseline) are not closure violations
+	// of that cut. Iteration order doesn't matter: the result is a
+	// bare predicate, so map ranging stays deterministic-safe.
+	beganDuringOutage := func(id packet.SeqID, seq uint64) bool {
+		bs, ok := beginSeq[id]
+		if !ok {
+			return false
+		}
+		for sw, downs := range churnDowns {
+			ups := churnUps[sw]
+			for _, d := range downs {
+				if d >= bs {
+					continue
+				}
+				var u uint64 // first reboot after this down
+				for _, q := range ups {
+					if q > d && (u == 0 || q < u) {
+						u = q
+					}
+				}
+				if u != 0 && u > bs && u <= seq {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Deterministic unit order: with several violating units, which one
+	// becomes a verdict's Cause must not depend on map iteration.
+	units := make([]unitKey, 0, len(records))
+	for u := range records {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(a, b int) bool {
+		x, y := units[a], units[b]
+		if x.sw != y.sw {
+			return x.sw < y.sw
+		}
+		if x.port != y.port {
+			return x.port < y.port
+		}
+		return x.dir < y.dir
+	})
+
 	// Per-unit chain integrity: IDs must advance monotonically, and
 	// consecutive records must chain OldID == previous NewID; a gap
-	// means the ring overwrote events.
+	// means the ring overwrote events. A churn reboot between two
+	// records legitimately restarts the chain from a zeroed baseline.
 	chainViolations := map[packet.SeqID][]violation{}
-	for u, chain := range records {
+	for _, u := range units {
+		chain := records[u]
 		for i := 1; i < len(chain); i++ {
 			prev, cur := chain[i-1], chain[i]
+			if seqBetween(churnDowns[u.sw], prev.Seq, cur.Seq) {
+				continue
+			}
 			switch {
 			case cur.NewID <= prev.NewID || cur.OldID < prev.NewID:
 				chainViolations[cur.NewID] = append(chainViolations[cur.NewID], violation{
@@ -308,9 +401,19 @@ func Run(events []journal.Event, cfg Config) *Report {
 		// over id skipped it; in channel-state mode that cut's
 		// in-flight accounting is unrecoverable.
 		if rep.ChannelState {
-			for u, chain := range records {
-				for _, rec := range chain {
+			for _, u := range units {
+				for _, rec := range records[u] {
 					if rec.OldID < id && id < rec.NewID {
+						// A post-reboot record jumps from a zeroed baseline
+						// over every snapshot that ran while the switch was
+						// out of the fabric; those cuts never expected this
+						// unit (the observer unregistered its device), so
+						// the jump is not a skip.
+						if up := lastBefore(churnUps[u.sw], rec.Seq); up > 0 {
+							if bs, ok := beginSeq[id]; ok && bs < up {
+								continue
+							}
+						}
 						violations = append(violations, violation{
 							cause:   fmt.Sprintf("unit %s skipped snapshot %d (advanced %d->%d), losing its channel state for that cut", u, id, rec.OldID, rec.NewID),
 							witness: []journal.Event{rec},
@@ -325,6 +428,9 @@ func Run(events []journal.Event, cfg Config) *Report {
 		// in C.
 		for _, ab := range absorbs {
 			if ab.OldID < id && id < ab.NewID {
+				if beganDuringOutage(id, ab.Seq) {
+					continue
+				}
 				violations = append(violations, violation{
 					cause:   fmt.Sprintf("in-flight packet from cut %d absorbed into cut %d crosses snapshot %d uncounted at unit %s", ab.OldID, ab.NewID, id, unitOf(ab)),
 					witness: []journal.Event{ab},

@@ -18,10 +18,14 @@ import (
 	"speedlight/internal/emunet"
 	"speedlight/internal/export"
 	"speedlight/internal/journal"
-	"speedlight/internal/packet"
+	"speedlight/internal/reconcile"
 	"speedlight/internal/sim"
 	"speedlight/internal/topology"
 )
+
+// The reconciliation controller drives churn through this interface;
+// losing conformance here breaks every churn scenario.
+var _ reconcile.Fabric = (*emunet.Network)(nil)
 
 // artifacts holds one campaign's complete serialized output.
 type artifacts struct {
@@ -29,10 +33,12 @@ type artifacts struct {
 	audit     string // audit report JSON
 	snapshots string // snapshot set JSON
 	epochs    string // reconstructed epoch-trace JSONL
+	churn     string // churn classification, one line per churn event
 	// disagreements is the audit's count of snapshots the observer
 	// published as consistent but the replay proved broken.
 	disagreements int
 	completed     int // snapshots the observer assembled
+	tally         reconcile.Tally
 }
 
 // campaignConfig fixes everything about a conformance campaign except
@@ -44,6 +50,16 @@ type campaignConfig struct {
 	interval  sim.Duration // traffic injection period
 	snapshots int
 	mutate    func(*emunet.Config) // fault-schedule knobs
+	// churn, when set, is handed a fresh reconciliation controller
+	// before the campaign starts; it schedules the scenario's steps
+	// (any randomness must come from a source seeded inside the
+	// callback so every engine replays the same schedule).
+	churn func(c *reconcile.Controller)
+	// trafficFor stops traffic injection after this much sim time
+	// (zero = inject for the whole campaign) so the fabric can
+	// quiesce and the pooled-packet leak check is meaningful.
+	trafficFor sim.Duration
+	leakCheck  bool
 }
 
 // runCampaign drives one full campaign — warm-up traffic, a snapshot
@@ -67,10 +83,29 @@ func runCampaign(t testing.TB, cc campaignConfig, shards int) artifacts {
 		t.Fatal(err)
 	}
 	eng := n.Engine()
+	var ctrl *reconcile.Controller
+	if cc.churn != nil {
+		ctrl, err = reconcile.New(reconcile.Config{
+			Fabric: n,
+			Proc:   eng.Proc(sim.GlobalDomain),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc.churn(ctrl)
+		ctrl.Start() // periodic watcher covers drift between steps
+	}
 	tr := eng.NewRand()
 	var seq uint16
+	var cutoff sim.Time
+	if cc.trafficFor > 0 {
+		cutoff = eng.Now().Add(cc.trafficFor)
+	}
 	if len(cc.hosts) > 1 {
 		eng.NewTicker(cc.interval, func() {
+			if cutoff != 0 && eng.Now() >= cutoff {
+				return
+			}
 			src := cc.hosts[tr.Intn(len(cc.hosts))]
 			dst := cc.hosts[tr.Intn(len(cc.hosts))]
 			if src == dst {
@@ -81,14 +116,16 @@ func runCampaign(t testing.TB, cc campaignConfig, shards int) artifacts {
 			if cfg.NumCoS > 1 {
 				cos = tr.Intn(cfg.NumCoS)
 			}
-			n.InjectFromHost(src, &packet.Packet{
-				DstHost: uint32(dst),
-				SrcPort: 1000 + seq,
-				DstPort: 80,
-				Proto:   6,
-				Size:    uint32(100 + tr.Intn(1400)),
-				CoS:     uint8(cos),
-			})
+			// Pooled packets (not &packet.Packet{} literals) so the
+			// post-drain leak check covers the data path too.
+			pkt := n.NewPacket()
+			pkt.DstHost = uint32(dst)
+			pkt.SrcPort = 1000 + seq
+			pkt.DstPort = 80
+			pkt.Proto = 6
+			pkt.Size = uint32(100 + tr.Intn(1400))
+			pkt.CoS = uint8(cos)
+			n.InjectFromHost(src, pkt)
 		})
 	}
 	n.RunFor(2 * sim.Millisecond)
@@ -114,13 +151,33 @@ func runCampaign(t testing.TB, cc campaignConfig, shards int) artifacts {
 	if err := export.EpochTraceJSONL(&eb, n.EpochTraces()); err != nil {
 		t.Fatal(err)
 	}
+	var cb bytes.Buffer
+	var tally reconcile.Tally
+	if cc.churn != nil {
+		cs := reconcile.Classify(set.Events(), rep)
+		tally = reconcile.TallyOutcomes(cs)
+		for _, c := range cs {
+			fmt.Fprintf(&cb, "%d %s sw=%d port=%d snaps=%v %s\n",
+				c.Event.AtNs, c.Op, c.Event.Switch, c.Event.Port, c.Snapshots, c.Outcome)
+		}
+		if cs := len(ctrl.Log()); cs == 0 {
+			t.Error("churn campaign applied no reconciliation ops")
+		}
+	}
+	if cc.leakCheck {
+		if err := n.LeakCheck(); err != nil {
+			t.Errorf("shards=%d: %v (churn drops=%d)", shards, err, n.ChurnDrops())
+		}
+	}
 	return artifacts{
 		journal:       jb.String(),
 		audit:         ab.String(),
 		snapshots:     sb.String(),
 		epochs:        eb.String(),
+		churn:         cb.String(),
 		disagreements: rep.Disagreements,
 		completed:     len(n.Snapshots()),
+		tally:         tally,
 	}
 }
 
@@ -153,6 +210,7 @@ func diffArtifacts(t *testing.T, name string, want, got artifacts) {
 	check("audit report", want.audit, got.audit)
 	check("snapshot set", want.snapshots, got.snapshots)
 	check("epoch traces", want.epochs, got.epochs)
+	check("churn classification", want.churn, got.churn)
 }
 
 func testbedCampaign(seed int64) campaignConfig {
@@ -308,10 +366,35 @@ func TestPropertyRandomizedEquivalence(t *testing.T) {
 				c.RetryAfter = faults.RetryAfter
 			},
 		}
+		// Churn schedule: half the trials interleave a randomized churn
+		// schedule (drawn entirely at build time from its own seed, so
+		// serial and parallel replay the identical schedule) with the
+		// fault schedule above.
+		churnSeed := r.Int63()
+		withChurn := trial%2 == 0
+		if withChurn {
+			sws := make([]topology.NodeID, 0, len(topo.Switches))
+			for _, sw := range topo.Switches {
+				sws = append(sws, sw.ID)
+			}
+			cc.churn = func(c *reconcile.Controller) {
+				cr := rand.New(rand.NewSource(churnSeed))
+				reconcile.LinkFlapStorm(c.Links(), cr,
+					sim.Duration(3+cr.Intn(3))*sim.Millisecond, 2+cr.Intn(4),
+					sim.Millisecond, sim.Millisecond).Schedule(c)
+				node := sws[cr.Intn(len(sws))]
+				reconcile.RollingUpgrade([]topology.NodeID{node},
+					sim.Duration(4+cr.Intn(3))*sim.Millisecond,
+					sim.Duration(1+cr.Intn(2))*sim.Millisecond,
+					sim.Millisecond).Schedule(c)
+			}
+			cc.trafficFor = 12 * sim.Millisecond
+			cc.leakCheck = true
+		}
 		shards := 2 + r.Intn(5)
-		name := fmt.Sprintf("trial%d_%s_loss%.2f_notif%d_queue%d_maxid%d_shards%d",
+		name := fmt.Sprintf("trial%d_%s_loss%.2f_notif%d_queue%d_maxid%d_shards%d_churn%v",
 			trial, kind, faults.LinkLossProb, faults.NotifCapacity, faults.QueueCapacity,
-			faults.MaxID, shards)
+			faults.MaxID, shards, withChurn)
 		t.Run(name, func(t *testing.T) {
 			serial := runCampaign(t, cc, 0)
 			parallel := runCampaign(t, cc, shards)
@@ -325,6 +408,12 @@ func TestPropertyRandomizedEquivalence(t *testing.T) {
 				if a.disagreements != 0 {
 					t.Fatalf("audit found %d silent disagreements", a.disagreements)
 				}
+				if a.tally.SilentDisagreement != 0 {
+					t.Fatalf("churn classification found silent disagreement: %s", a.tally)
+				}
+			}
+			if withChurn && serial.churn == "" {
+				t.Fatal("churn trial journaled no churn events")
 			}
 			if serial.journal == "" {
 				t.Fatal("campaign recorded no journal events")

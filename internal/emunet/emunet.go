@@ -320,7 +320,18 @@ type EmuSwitch struct {
 	// cpService is the switch's per-notification service time — the
 	// global Config.CPServiceTime unless CPServiceTimeFor overrides it.
 	cpService dist.Dist
-	rng       *rand.Rand
+
+	// Churn state (see churn.go). down marks the switch out of the
+	// fabric; gen is bumped on every down/up transition so in-flight
+	// closure-free events armed against the old incarnation no-op
+	// instead of touching flushed queues or a rebooted control plane;
+	// linkDown marks administratively drained ports. All three are
+	// written only from serialized global-domain events (workers
+	// parked), so shard-context reads are race-free.
+	down     bool
+	gen      int64
+	linkDown []bool
+	rng      *rand.Rand
 	// pkts counts this switch's wire arrivals (per-switch throughput).
 	pkts *telemetry.Counter
 	// ppool is the switch's packet free list (see packet.Pool): touched
@@ -386,6 +397,10 @@ type Network struct {
 	// wireDrops counts packets lost to injected link failures (atomic:
 	// switch domains on different shards drop concurrently).
 	wireDrops atomic.Uint64
+	// churnDrops counts packets eaten by churn: arrivals at a down
+	// switch, and transmissions onto a drained link (atomic, as
+	// wireDrops).
+	churnDrops atomic.Uint64
 	// gateSets mirrors each unit's completion-gating channels, used to
 	// filter synchronization recording to progress-relevant
 	// notifications.
@@ -641,6 +656,33 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 		es.pkts = n.tel.switchPkts.With(fmt.Sprint(node))
 	}
 
+	if err := n.provisionPlanes(es, spec); err != nil {
+		return err
+	}
+	es.Clock = clock.New(cfg.Clock, n.eng.NewRand())
+
+	es.queues = make([]*portQueue, len(spec.Ports))
+	for i := range es.queues {
+		es.queues[i] = &portQueue{perCoS: make([]pktFIFO, cfg.NumCoS)}
+	}
+	es.linkDown = make([]bool, len(spec.Ports))
+	es.ppool = n.central.NewPool()
+	n.sws[node] = es
+	return nil
+}
+
+// provisionPlanes builds (or rebuilds) a switch's data and control
+// planes: dataplane registers start zeroed, the forwarding config is
+// pushed from the network's current FIBs, and completion gating is
+// derived from the current utilized-pair map. Initial construction
+// calls it from the driver; SetSwitchUp calls it from a global-domain
+// event to model a reboot re-provisioning the device — in both
+// contexts the engine's deterministic RNG draws land in the global
+// total order, preserving serial-vs-sharded equivalence.
+func (n *Network) provisionPlanes(es *EmuSwitch, spec *topology.Switch) error {
+	cfg := n.cfg
+	node := spec.ID
+
 	edge := map[int]bool{}
 	for p, peer := range spec.Ports {
 		if peer.Kind == topology.PeerHost {
@@ -722,14 +764,6 @@ func (n *Network) buildSwitch(spec *topology.Switch) error {
 		return err
 	}
 	es.CP = cp
-	es.Clock = clock.New(cfg.Clock, n.eng.NewRand())
-
-	es.queues = make([]*portQueue, len(spec.Ports))
-	for i := range es.queues {
-		es.queues[i] = &portQueue{perCoS: make([]pktFIFO, cfg.NumCoS)}
-	}
-	es.ppool = n.central.NewPool()
-	n.sws[node] = es
 	return nil
 }
 
@@ -905,6 +939,10 @@ func (n *Network) NotifDropsTotal() uint64 {
 // WireDrops returns packets lost to injected link loss.
 func (n *Network) WireDrops() uint64 { return n.wireDrops.Load() }
 
+// ChurnDrops returns packets eaten by fabric churn: arrivals at a down
+// switch and transmissions onto a drained link.
+func (n *Network) ChurnDrops() uint64 { return n.churnDrops.Load() }
+
 // QueueDropsTotal sums packets dropped at full egress queues.
 func (n *Network) QueueDropsTotal() uint64 {
 	var total uint64
@@ -1070,6 +1108,15 @@ func (n *Network) arriveCall(a, b any, i int64) {
 //speedlight:hotpath
 //speedlight:pool-transfer pkt
 func (n *Network) arrive(es *EmuSwitch, pkt *packet.Packet, port int) {
+	if es.down || es.linkDown[port] {
+		// The switch left the fabric (or the ingress link was drained)
+		// while this packet was on the wire: the wire eats it. The Put
+		// keeps teardown leak-free — every in-flight pooled packet
+		// still reaches a pool.
+		n.churnDrops.Add(1)
+		es.ppool.Put(pkt)
+		return
+	}
 	now := es.proc.Now()
 	es.pkts.Inc()
 	if topology.HostID(pkt.DstHost) == BroadcastHost {
@@ -1118,10 +1165,13 @@ func (n *Network) enqueue(es *EmuSwitch, pkt *packet.Packet, port int) {
 }
 
 // scheduleTx arms the transmitter for the current head-of-line packet.
-// The chosen class rides in the event (i = port<<8 | cos): strict
-// priority is decided when the transmitter is armed, and FIFO order
-// within a class guarantees the class's head at fire time is the same
-// packet that was priced here.
+// The chosen class rides in the event (i = gen<<16 | port<<8 | cos):
+// strict priority is decided when the transmitter is armed, and FIFO
+// order within a class guarantees the class's head at fire time is the
+// same packet that was priced here. The switch generation makes events
+// armed before a churn teardown inert — after a down/up cycle the
+// queues were flushed, so a stale pop would dequeue (or double-price)
+// a packet the flush already recycled.
 //
 //speedlight:hotpath
 func (n *Network) scheduleTx(es *EmuSwitch, port int) {
@@ -1133,17 +1183,21 @@ func (n *Network) scheduleTx(es *EmuSwitch, port int) {
 	}
 	head := q.perCoS[cos].peek()
 	es.proc.AfterCall(n.serialization(es, port, head.pkt.Size),
-		n.txFn, es, nil, int64(port)<<8|int64(cos))
+		n.txFn, es, nil, es.gen<<20|int64(port)<<8|int64(cos))
 }
 
 // txCall fires when the head-of-line packet finishes serializing: pop
-// it, run egress, and re-arm for the next head.
+// it, run egress, and re-arm for the next head. An event carrying a
+// stale switch generation no-ops (see scheduleTx).
 //
 //speedlight:hotpath
 //speedlight:shard
 func (n *Network) txCall(a, _ any, i int64) {
 	es := a.(*EmuSwitch)
-	port, cos := int(i>>8), int(i&0xff)
+	if i>>20 != es.gen {
+		return
+	}
+	port, cos := int(i>>8)&0xfff, int(i&0xff)
 	head := es.queues[port].perCoS[cos].pop()
 	n.setDepthGauge(es, port)
 	n.transmit(es, head.pkt, port)
@@ -1176,13 +1230,13 @@ func (n *Network) transmit(es *EmuSwitch, pkt *packet.Packet, port int) {
 			es.ppool.Put(pkt)
 			return
 		}
-		n.wireHop(es, pkt, peer)
+		n.wireHop(es, pkt, port, peer)
 		return
 	}
 	peer := n.topo.Peer(es.Node, port)
 	switch peer.Kind {
 	case topology.PeerSwitch:
-		n.wireHop(es, pkt, peer)
+		n.wireHop(es, pkt, port, peer)
 	case topology.PeerHost:
 		if res.StripHeader {
 			pkt.HasSnap = false
@@ -1233,7 +1287,15 @@ func (n *Network) deliverGlobalCall(_, b any, i int64) {
 //
 //speedlight:hotpath
 //speedlight:pool-transfer pkt
-func (n *Network) wireHop(es *EmuSwitch, pkt *packet.Packet, peer topology.Peer) {
+func (n *Network) wireHop(es *EmuSwitch, pkt *packet.Packet, port int, peer topology.Peer) {
+	if es.linkDown[port] {
+		// Administratively drained link: the wire is cut, so anything
+		// the queue still pushes onto it is eaten deterministically
+		// (no RNG draw — loss sampling stays aligned across engines).
+		n.churnDrops.Add(1)
+		es.ppool.Put(pkt)
+		return
+	}
 	if n.cfg.LinkLossProb > 0 && es.rng.Float64() < n.cfg.LinkLossProb {
 		n.wireDrops.Add(1)
 		n.tel.wireDrops.Inc()
@@ -1267,13 +1329,21 @@ func (n *Network) drainNotifs(es *EmuSwitch) {
 	}
 	es.cpBusy = true
 	lat := sim.Duration(n.cfg.CPNotifLatency.Sample(es.rng))
-	es.proc.AfterCall(lat, n.cpFn, es, nil, 0)
+	es.proc.AfterCall(lat, n.cpFn, es, nil, es.gen)
 }
 
-// cpCall dispatches the CP processing loop's closure-free events.
+// cpCall dispatches the CP processing loop's closure-free events. The
+// switch generation rides in i: a loop event armed before a churn
+// teardown must not drive the rebooted control plane.
 //
 //speedlight:shard
-func (n *Network) cpCall(a, _ any, _ int64) { n.cpProcessOne(a.(*EmuSwitch)) }
+func (n *Network) cpCall(a, _ any, i int64) {
+	es := a.(*EmuSwitch)
+	if i != es.gen {
+		return
+	}
+	n.cpProcessOne(es)
+}
 
 // cpProcessOne handles one notification and reschedules itself while
 // work remains.
@@ -1285,7 +1355,7 @@ func (n *Network) cpProcessOne(es *EmuSwitch) {
 	}
 	es.CP.HandleNotification(notif, es.proc.Now())
 	svc := sim.Duration(es.cpService.Sample(es.rng))
-	es.proc.AfterCall(svc, n.cpFn, es, nil, 0)
+	es.proc.AfterCall(svc, n.cpFn, es, nil, es.gen)
 }
 
 // ScheduleSnapshot asks the observer to start a snapshot at the given
@@ -1302,6 +1372,11 @@ func (n *Network) ScheduleSnapshot(localDeadline sim.Time) (packet.SeqID, error)
 			continue
 		}
 		es := n.sws[swSpec.ID]
+		if es.down {
+			// Out of the fabric: unregistered from the observer, so the
+			// snapshot neither initiates here nor waits for it.
+			continue
+		}
 		trueAt := es.Clock.TrueAtLocal(localDeadline)
 		if trueAt < n.eng.Now() {
 			trueAt = n.eng.Now()
@@ -1326,7 +1401,7 @@ func (n *Network) ScheduleSnapshotSingle(node topology.NodeID, localDeadline sim
 		return 0, err
 	}
 	es, ok := n.sws[node]
-	if !ok || n.cfg.SnapshotDisabled[node] {
+	if !ok || n.cfg.SnapshotDisabled[node] || es.down {
 		return 0, fmt.Errorf("emunet: switch %d cannot initiate", node)
 	}
 	trueAt := es.Clock.TrueAtLocal(localDeadline)
@@ -1346,6 +1421,11 @@ func (n *Network) ScheduleSnapshotSingle(node topology.NodeID, localDeadline sim
 //
 //speedlight:shard
 func (n *Network) initiate(es *EmuSwitch, id packet.SeqID) {
+	if es.down {
+		// The switch left the fabric between scheduling and firing;
+		// the observer's recovery machinery will exclude it (§6).
+		return
+	}
 	inits := es.CP.Initiate(id, es.proc.Now())
 	n.drainNotifs(es)
 	for _, init := range inits {
@@ -1372,6 +1452,11 @@ func (n *Network) handleTimeouts() {
 		}
 		for _, node := range act.Retry {
 			es := n.sws[node]
+			if es.down {
+				// Unreachable for re-initiation; the exclusion timer
+				// keeps running and will eventually cut it out.
+				continue
+			}
 			n.initiate(es, act.SnapshotID)
 			es.CP.Poll(now)
 			if n.cfg.ChannelState {

@@ -114,7 +114,53 @@ const (
 	KindObsExclude
 	// KindObsComplete records the observer finalizing a global snapshot.
 	KindObsComplete
+	// KindChurn records a fabric membership change applied at runtime:
+	// a switch or link leaving or rejoining the topology, or a config
+	// re-push. Churn events live in the observer's ring (they are
+	// fabric-level, not unit-level state transitions); the reconcile
+	// classifier overlaps them with snapshot lifetimes to decide which
+	// epochs each change touched.
+	KindChurn
 )
+
+// Churn operation codes, carried in a KindChurn event's Value field.
+const (
+	// ChurnSwitchDown marks a switch leaving the fabric (reboot,
+	// failure, or administrative removal).
+	ChurnSwitchDown uint64 = 1
+	// ChurnSwitchUp marks a switch rejoining with freshly provisioned
+	// data- and control-plane state.
+	ChurnSwitchUp uint64 = 2
+	// ChurnLinkDown marks a link drained out of service.
+	ChurnLinkDown uint64 = 3
+	// ChurnLinkUp marks a drained link re-added.
+	ChurnLinkUp uint64 = 4
+	// ChurnReconfig marks a dataplane forwarding-config re-push.
+	ChurnReconfig uint64 = 5
+	// ChurnReroute marks a fabric-wide FIB recomputation around the
+	// current down set.
+	ChurnReroute uint64 = 6
+)
+
+// ChurnOpName returns the human-readable name of a churn op code.
+func ChurnOpName(op uint64) string {
+	switch op {
+	case ChurnSwitchDown:
+		return "switch_down"
+	case ChurnSwitchUp:
+		return "switch_up"
+	case ChurnLinkDown:
+		return "link_down"
+	case ChurnLinkUp:
+		return "link_up"
+	case ChurnReconfig:
+		return "reconfig"
+	case ChurnReroute:
+		return "reroute"
+	default:
+		return fmt.Sprintf("churn(%d)", op)
+	}
+}
 
 var kindNames = map[Kind]string{
 	KindConfig:       "config",
@@ -137,6 +183,7 @@ var kindNames = map[Kind]string{
 	KindObsRetry:     "obs_retry",
 	KindObsExclude:   "obs_exclude",
 	KindObsComplete:  "obs_complete",
+	KindChurn:        "churn",
 }
 
 var kindValues = func() map[string]Kind {
@@ -414,5 +461,16 @@ func ObsComplete(at int64, id packet.SeqID, consistent bool, excluded int) Event
 	ev.SnapshotID = id
 	ev.Flag = consistent
 	ev.Value = uint64(excluded)
+	return ev
+}
+
+// Churn journals a runtime fabric change: op is one of the Churn* op
+// codes, sw names the switch the change applies to, and port is the
+// affected port for link ops (-1 otherwise). Link changes are recorded
+// once, against the canonical (lower node ID) endpoint.
+func Churn(at int64, sw, port int, op uint64) Event {
+	ev := unitless(KindChurn, at, sw)
+	ev.Port = port
+	ev.Value = op
 	return ev
 }

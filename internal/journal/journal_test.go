@@ -193,6 +193,7 @@ func allEvents() []Event {
 		ObsRetry(150, 5, 1),
 		ObsExclude(160, 5, 1),
 		ObsComplete(170, 5, false, 2),
+		Churn(180, 1, 2, ChurnLinkDown),
 	}
 }
 

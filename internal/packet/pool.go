@@ -38,6 +38,13 @@ const poolBatch = 64
 type Central struct {
 	mu   sync.Mutex
 	free []*Packet
+	// allocated counts every packet ever created by a pool backed by
+	// this exchange (pools allocate locally, so the count is pushed
+	// here from refill's cold path). Together with the free-list
+	// lengths it yields the number of live packets in flight — the
+	// quantity a leak check wants to see hit zero after a quiesced
+	// teardown.
+	allocated uint64
 }
 
 // NewCentral returns an empty exchange.
@@ -117,6 +124,11 @@ func (p *Pool) refill() *Packet {
 			block[i].pstate = pkFree
 			p.free = append(p.free, &block[i])
 		}
+		if c := p.c; c != nil {
+			c.mu.Lock()
+			c.allocated += poolBatch
+			c.mu.Unlock()
+		}
 	}
 	n := len(p.free)
 	pkt := p.free[n-1]
@@ -125,6 +137,26 @@ func (p *Pool) refill() *Packet {
 	*pkt = Packet{pstate: pkLive}
 	return pkt
 }
+
+// Allocated returns the number of packets ever created by pools backed
+// by this exchange. Safe for concurrent use.
+func (c *Central) Allocated() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocated
+}
+
+// FreeLen returns the exchange's current free-list length. Safe for
+// concurrent use.
+func (c *Central) FreeLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.free)
+}
+
+// FreeLen returns the pool's local free-list length. Like Get and Put
+// it must be called from the pool's owning context.
+func (p *Pool) FreeLen() int { return len(p.free) }
 
 // spill moves a batch to the Central so sink-heavy contexts feed
 // source-heavy ones.

@@ -135,3 +135,42 @@ func TestPoolSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state Get/Put allocates %v per run, want 0", n)
 	}
 }
+
+func TestPoolAllocationAccounting(t *testing.T) {
+	c := NewCentral()
+	src := c.NewPool()
+	sink := c.NewPool()
+
+	if got := c.Allocated(); got != 0 {
+		t.Fatalf("fresh central reports %d allocated", got)
+	}
+
+	// Every live packet must be visible as allocated-minus-free.
+	pkts := make([]*Packet, 3*poolBatch)
+	for i := range pkts {
+		pkts[i] = src.Get()
+	}
+	live := int(c.Allocated()) - c.FreeLen() - src.FreeLen() - sink.FreeLen()
+	if live != len(pkts) {
+		t.Fatalf("accounting sees %d live packets, want %d", live, len(pkts))
+	}
+
+	// Returning them all — even via a different pool — must bring the
+	// outstanding count back to zero: this is the leak-check identity
+	// emunet teardown relies on.
+	for _, pkt := range pkts {
+		sink.Put(pkt)
+	}
+	live = int(c.Allocated()) - c.FreeLen() - src.FreeLen() - sink.FreeLen()
+	if live != 0 {
+		t.Fatalf("accounting sees %d live packets after full return, want 0", live)
+	}
+
+	// External packets are invisible to the accounting.
+	before := c.Allocated()
+	ext := &Packet{}
+	sink.Put(ext)
+	if c.Allocated() != before {
+		t.Fatalf("external packet changed the allocation count")
+	}
+}

@@ -1,0 +1,182 @@
+package reconcile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"speedlight/internal/audit"
+	"speedlight/internal/journal"
+	"speedlight/internal/packet"
+)
+
+// Outcome grades what one churn event did to the snapshots it
+// overlapped, in ascending severity.
+type Outcome int
+
+const (
+	// OutcomeClean: no overlapping snapshot was hurt — every epoch the
+	// change touched still finalized consistent with no exclusions
+	// (or the change landed between epochs).
+	OutcomeClean Outcome = iota
+	// OutcomeExcluded: an overlapping snapshot finalized with devices
+	// excluded, or never finalized — the paper's §6 escape hatch for
+	// unreachable devices paid for this churn event.
+	OutcomeExcluded
+	// OutcomeInconsistentCaught: an overlapping snapshot lost
+	// consistency and the protocol (observer or auditor, agreeing)
+	// caught it — detected damage, not silent damage.
+	OutcomeInconsistentCaught
+	// OutcomeSilentDisagreement: the auditor proved a violation in an
+	// overlapping snapshot that the observer published as consistent.
+	// A defect; churn suites assert zero of these.
+	OutcomeSilentDisagreement
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeExcluded:
+		return "excluded"
+	case OutcomeInconsistentCaught:
+		return "inconsistent-caught"
+	case OutcomeSilentDisagreement:
+		return "silent-disagreement"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Classified is one churn event with its snapshot verdict.
+type Classified struct {
+	// Event is the journaled churn record (Kind == KindChurn).
+	Event journal.Event
+	// Op names the churn operation.
+	Op string
+	// Snapshots lists the overlapping snapshot IDs, ascending.
+	Snapshots []packet.SeqID
+	// Outcome is the worst grade over the overlapping snapshots.
+	Outcome Outcome
+}
+
+// window is one global snapshot's observed lifetime.
+type window struct {
+	id       packet.SeqID
+	begin    int64
+	end      int64 // math.MaxInt64 while un-finalized
+	excluded uint64
+	obsSeen  bool
+	obsCons  bool
+}
+
+// Classify grades every churn event in the journal against the
+// snapshot lifetimes around it and the audit's verdicts: a churn
+// event "touches" the snapshots whose observer lifetime (ObsBegin to
+// ObsComplete, open-ended if never finalized) contains its timestamp.
+// The grade is the worst outcome over the touched snapshots —
+// silent disagreement > inconsistent-caught > excluded > clean.
+// Events touching no snapshot are clean by definition: the fabric
+// changed between epochs.
+func Classify(events []journal.Event, rep *audit.Report) []Classified {
+	var wins []*window
+	byID := make(map[packet.SeqID]*window)
+	churn := make([]journal.Event, 0, 16)
+	for _, ev := range events {
+		switch ev.Kind {
+		case journal.KindObsBegin:
+			w := &window{id: ev.SnapshotID, begin: ev.AtNs, end: math.MaxInt64}
+			wins = append(wins, w)
+			byID[ev.SnapshotID] = w
+		case journal.KindObsComplete:
+			if w := byID[ev.SnapshotID]; w != nil {
+				w.end = ev.AtNs
+				w.excluded = ev.Value
+				w.obsSeen = true
+				w.obsCons = ev.Flag
+			}
+		case journal.KindChurn:
+			churn = append(churn, ev)
+		}
+	}
+
+	verdicts := make(map[packet.SeqID]*audit.Verdict)
+	if rep != nil {
+		for i := range rep.Verdicts {
+			verdicts[rep.Verdicts[i].SnapshotID] = &rep.Verdicts[i]
+		}
+	}
+
+	out := make([]Classified, 0, len(churn))
+	for _, ev := range churn {
+		c := Classified{Event: ev, Op: journal.ChurnOpName(ev.Value), Outcome: OutcomeClean}
+		for _, w := range wins {
+			if ev.AtNs < w.begin || ev.AtNs > w.end {
+				continue
+			}
+			c.Snapshots = append(c.Snapshots, w.id)
+			if g := grade(w, verdicts[w.id]); g > c.Outcome {
+				c.Outcome = g
+			}
+		}
+		sort.Slice(c.Snapshots, func(i, j int) bool { return c.Snapshots[i] < c.Snapshots[j] })
+		out = append(out, c)
+	}
+	return out
+}
+
+// grade is one snapshot's contribution to a churn event's outcome.
+func grade(w *window, v *audit.Verdict) Outcome {
+	if v != nil && v.Disagreement {
+		return OutcomeSilentDisagreement
+	}
+	// Detected inconsistency: the auditor proved it, or the observer
+	// (conservative by design) flagged it first.
+	if v != nil && v.Kind == audit.Inconsistent {
+		return OutcomeInconsistentCaught
+	}
+	if w.obsSeen && !w.obsCons {
+		return OutcomeInconsistentCaught
+	}
+	// Exclusions, or a snapshot the run never finalized.
+	if w.excluded > 0 || !w.obsSeen {
+		return OutcomeExcluded
+	}
+	if v != nil && v.Kind == audit.Incomplete {
+		return OutcomeExcluded
+	}
+	return OutcomeClean
+}
+
+// Tally aggregates classification outcomes.
+type Tally struct {
+	Clean              int
+	Excluded           int
+	InconsistentCaught int
+	SilentDisagreement int
+}
+
+// TallyOutcomes counts outcomes over a classification.
+func TallyOutcomes(cs []Classified) Tally {
+	var t Tally
+	for _, c := range cs {
+		switch c.Outcome {
+		case OutcomeClean:
+			t.Clean++
+		case OutcomeExcluded:
+			t.Excluded++
+		case OutcomeInconsistentCaught:
+			t.InconsistentCaught++
+		case OutcomeSilentDisagreement:
+			t.SilentDisagreement++
+		}
+	}
+	return t
+}
+
+// String renders the tally as a compact summary line.
+func (t Tally) String() string {
+	return fmt.Sprintf("clean=%d excluded=%d inconsistent-caught=%d silent-disagreement=%d",
+		t.Clean, t.Excluded, t.InconsistentCaught, t.SilentDisagreement)
+}

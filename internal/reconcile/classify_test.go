@@ -1,0 +1,118 @@
+package reconcile
+
+import (
+	"testing"
+
+	"speedlight/internal/audit"
+	"speedlight/internal/journal"
+	"speedlight/internal/packet"
+)
+
+func TestClassifyGrading(t *testing.T) {
+	// Four snapshot windows with distinct fates, one churn event inside
+	// each, plus one churn event between windows.
+	events := []journal.Event{
+		// Snapshot 1: clean window [100, 200].
+		journal.ObsBegin(100, 1),
+		journal.Churn(150, 2, -1, journal.ChurnSwitchDown),
+		journal.ObsComplete(200, 1, true, 0),
+		// Gap churn at 250: touches nothing.
+		journal.Churn(250, 3, 0, journal.ChurnLinkDown),
+		// Snapshot 2: finalized with exclusions, window [300, 400].
+		journal.ObsBegin(300, 2),
+		journal.Churn(350, 4, -1, journal.ChurnSwitchUp),
+		journal.ObsComplete(400, 2, true, 2),
+		// Snapshot 3: observer-flagged inconsistent, window [500, 600].
+		journal.ObsBegin(500, 3),
+		journal.Churn(550, 5, -1, journal.ChurnReconfig),
+		journal.ObsComplete(600, 3, false, 0),
+		// Snapshot 4: never finalized — open-ended from 700.
+		journal.ObsBegin(700, 4),
+		journal.Churn(750, 6, -1, journal.ChurnReroute),
+	}
+	rep := &audit.Report{Verdicts: []audit.Verdict{
+		{SnapshotID: 1, Kind: audit.Consistent},
+		{SnapshotID: 2, Kind: audit.Consistent},
+		{SnapshotID: 3, Kind: audit.Inconsistent},
+		{SnapshotID: 4, Kind: audit.Incomplete},
+	}}
+
+	cs := Classify(events, rep)
+	if len(cs) != 5 {
+		t.Fatalf("classified %d churn events, want 5", len(cs))
+	}
+	wantOutcome := []Outcome{
+		OutcomeClean,              // inside snapshot 1
+		OutcomeClean,              // between windows
+		OutcomeExcluded,           // inside snapshot 2
+		OutcomeInconsistentCaught, // inside snapshot 3
+		OutcomeExcluded,           // inside never-finalized snapshot 4
+	}
+	wantTouch := [][]packet.SeqID{{1}, nil, {2}, {3}, {4}}
+	for i, c := range cs {
+		if c.Outcome != wantOutcome[i] {
+			t.Errorf("event %d (%s at %d): outcome %v, want %v", i, c.Op, c.Event.AtNs, c.Outcome, wantOutcome[i])
+		}
+		if len(c.Snapshots) != len(wantTouch[i]) {
+			t.Errorf("event %d touches %v, want %v", i, c.Snapshots, wantTouch[i])
+			continue
+		}
+		for j := range c.Snapshots {
+			if c.Snapshots[j] != wantTouch[i][j] {
+				t.Errorf("event %d touches %v, want %v", i, c.Snapshots, wantTouch[i])
+			}
+		}
+	}
+
+	tal := TallyOutcomes(cs)
+	want := Tally{Clean: 2, Excluded: 2, InconsistentCaught: 1}
+	if tal != want {
+		t.Errorf("tally %+v, want %+v", tal, want)
+	}
+	if tal.SilentDisagreement != 0 {
+		t.Errorf("spurious silent disagreement: %s", tal)
+	}
+}
+
+func TestClassifySilentDisagreementDominates(t *testing.T) {
+	// One churn event spanning two overlapping windows: one clean, one
+	// with an auditor-proven disagreement. The worst grade wins.
+	events := []journal.Event{
+		journal.ObsBegin(100, 1),
+		journal.ObsBegin(120, 2),
+		journal.Churn(150, 1, -1, journal.ChurnSwitchDown),
+		journal.ObsComplete(200, 1, true, 0),
+		journal.ObsComplete(220, 2, true, 0),
+	}
+	rep := &audit.Report{Verdicts: []audit.Verdict{
+		{SnapshotID: 1, Kind: audit.Consistent},
+		{SnapshotID: 2, Kind: audit.Inconsistent, Disagreement: true},
+	}}
+	cs := Classify(events, rep)
+	if len(cs) != 1 {
+		t.Fatalf("classified %d events, want 1", len(cs))
+	}
+	if cs[0].Outcome != OutcomeSilentDisagreement {
+		t.Errorf("outcome %v, want silent-disagreement", cs[0].Outcome)
+	}
+	if len(cs[0].Snapshots) != 2 {
+		t.Errorf("touched %v, want both snapshots", cs[0].Snapshots)
+	}
+	if got := TallyOutcomes(cs).SilentDisagreement; got != 1 {
+		t.Errorf("silent disagreements = %d, want 1", got)
+	}
+}
+
+func TestClassifyNilReport(t *testing.T) {
+	// Without an audit report, classification falls back to observer
+	// verdicts alone.
+	events := []journal.Event{
+		journal.ObsBegin(100, 1),
+		journal.Churn(150, 1, -1, journal.ChurnLinkDown),
+		journal.ObsComplete(200, 1, false, 0),
+	}
+	cs := Classify(events, nil)
+	if len(cs) != 1 || cs[0].Outcome != OutcomeInconsistentCaught {
+		t.Fatalf("classify without report = %+v, want one inconsistent-caught", cs)
+	}
+}

@@ -1,0 +1,133 @@
+package reconcile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"speedlight/internal/sim"
+	"speedlight/internal/topology"
+)
+
+// Step is one desired-state change in a churn scenario.
+type Step struct {
+	// At is the step's offset from the scenario's schedule time.
+	At sim.Duration
+	// Label names the step in logs and failures.
+	Label string
+	// Mutate edits the desired state; the controller converges
+	// immediately afterwards in the same global-domain event.
+	Mutate func(s *Spec)
+}
+
+// Scenario is a scripted churn schedule. Builders below produce the
+// seeded suite the tests run; schedules are fully determined at build
+// time (any randomness comes from the caller's seeded source), so the
+// same scenario replays identically on every engine and shard count.
+type Scenario struct {
+	Name  string
+	Steps []Step
+}
+
+// Schedule arms every step on the controller's global-domain proc,
+// offsets measured from the current time. Each step mutates desired
+// state and immediately runs one convergence pass; the periodic
+// watcher (if started) covers any drift in between.
+func (sc *Scenario) Schedule(c *Controller) {
+	for i := range sc.Steps {
+		step := sc.Steps[i]
+		c.cfg.Proc.After(step.At, func() {
+			step.Mutate(&c.desired)
+			c.Reconcile()
+		})
+	}
+}
+
+// RollingUpgrade takes the given switches down and back up one at a
+// time, stagger apart, each staying down for downFor — a rolling
+// reboot across the fabric. With stagger > downFor at most one switch
+// is out at any moment.
+func RollingUpgrade(nodes []topology.NodeID, start, downFor, stagger sim.Duration) *Scenario {
+	sc := &Scenario{Name: "rolling-upgrade"}
+	for i, node := range nodes {
+		node := node
+		at := start + sim.Duration(i)*stagger
+		sc.Steps = append(sc.Steps,
+			Step{At: at, Label: fmt.Sprintf("down switch %d", node),
+				Mutate: func(s *Spec) { s.SetSwitchDown(node, true) }},
+			Step{At: at + downFor, Label: fmt.Sprintf("up switch %d", node),
+				Mutate: func(s *Spec) { s.SetSwitchDown(node, false) }},
+		)
+	}
+	return sc
+}
+
+// LinkFlapStorm drains and restores random fabric links: flaps
+// flap events drawn from r (which the caller seeds), starting at
+// start, with successive flaps up to maxGap apart and each drained
+// interval up to maxDown long. The schedule is drawn entirely at
+// build time, so one storm replays identically everywhere.
+func LinkFlapStorm(links []Link, r *rand.Rand, start sim.Duration, flaps int, maxGap, maxDown sim.Duration) *Scenario {
+	sc := &Scenario{Name: "link-flap-storm"}
+	at := start
+	for i := 0; i < flaps; i++ {
+		l := links[r.Intn(len(links))]
+		downFor := sim.Duration(1 + r.Int63n(int64(maxDown)))
+		sc.Steps = append(sc.Steps,
+			Step{At: at, Label: fmt.Sprintf("flap down %d/%d", l.A.Node, l.A.Port),
+				Mutate: func(s *Spec) { s.SetLinkDown(l, true) }},
+			Step{At: at + downFor, Label: fmt.Sprintf("flap up %d/%d", l.A.Node, l.A.Port),
+				Mutate: func(s *Spec) { s.SetLinkDown(l, false) }},
+		)
+		at += sim.Duration(1 + r.Int63n(int64(maxGap)))
+	}
+	return sc
+}
+
+// PartitionAndHeal drains the given link cut-set at once — chosen by
+// the caller to sever the fabric — and restores it healAfter later.
+func PartitionAndHeal(cut []Link, at, healAfter sim.Duration) *Scenario {
+	cut = append([]Link(nil), cut...)
+	return &Scenario{
+		Name: "partition-and-heal",
+		Steps: []Step{
+			{At: at, Label: "partition", Mutate: func(s *Spec) {
+				for _, l := range cut {
+					s.SetLinkDown(l, true)
+				}
+			}},
+			{At: at + healAfter, Label: "heal", Mutate: func(s *Spec) {
+				for _, l := range cut {
+					s.SetLinkDown(l, false)
+				}
+			}},
+		},
+	}
+}
+
+// ProvisioningRamp models staged capacity bring-up: the given switches
+// all leave at start (not yet provisioned), then return one at a time,
+// stagger apart, each followed by a config re-push once it is back.
+func ProvisioningRamp(nodes []topology.NodeID, start, stagger sim.Duration) *Scenario {
+	nodes = append([]topology.NodeID(nil), nodes...)
+	sc := &Scenario{Name: "provisioning-ramp"}
+	sc.Steps = append(sc.Steps, Step{
+		At: start, Label: "deprovision all",
+		Mutate: func(s *Spec) {
+			for _, node := range nodes {
+				s.SetSwitchDown(node, true)
+			}
+		},
+	})
+	for i, node := range nodes {
+		node := node
+		sc.Steps = append(sc.Steps, Step{
+			At:    start + sim.Duration(i+1)*stagger,
+			Label: fmt.Sprintf("provision switch %d", node),
+			Mutate: func(s *Spec) {
+				s.SetSwitchDown(node, false)
+				s.BumpConfig(node)
+			},
+		})
+	}
+	return sc
+}

@@ -31,16 +31,59 @@ type FIB struct {
 // Ports returns the ECMP group for a destination, or nil if unknown.
 func (f *FIB) Ports(dst topology.HostID) []int { return f.NextHops[dst] }
 
+// Filter restricts FIB computation to the live part of a churning
+// fabric. Nil predicates mean "everything is up". LinkDown is asked
+// about one endpoint of each switch-to-switch link; implementations
+// must answer identically for both endpoints.
+type Filter struct {
+	SwitchDown func(topology.NodeID) bool
+	LinkDown   func(node topology.NodeID, port int) bool
+}
+
+func (f Filter) switchDown(n topology.NodeID) bool {
+	return f.SwitchDown != nil && f.SwitchDown(n)
+}
+
+func (f Filter) linkDown(n topology.NodeID, p int) bool {
+	return f.LinkDown != nil && f.LinkDown(n, p)
+}
+
 // ComputeFIBs builds shortest-path ECMP forwarding tables for every
-// switch via breadth-first search over the switch graph.
+// switch via breadth-first search over the switch graph. Every host
+// must be reachable from every switch; an unreachable pair is an
+// error (static topologies are built connected).
 func ComputeFIBs(t *topology.Topology) (map[topology.NodeID]*FIB, error) {
+	fibs := computeFIBs(t, Filter{})
+	for _, sw := range t.Switches {
+		for _, h := range t.Hosts {
+			if len(fibs[sw.ID].NextHops[h.ID]) == 0 {
+				return nil, fmt.Errorf("routing: host %d unreachable from switch %d", h.ID, sw.ID)
+			}
+		}
+	}
+	return fibs, nil
+}
+
+// ComputeFIBsFiltered builds forwarding tables around a churn filter:
+// down switches and drained links are excluded from path search.
+// Unreachable (host, switch) pairs are not an error — the entry is
+// simply absent and the data plane drops toward it, exactly what a
+// partitioned fabric does. Down switches get an empty table.
+func ComputeFIBsFiltered(t *topology.Topology, f Filter) map[topology.NodeID]*FIB {
+	return computeFIBs(t, f)
+}
+
+func computeFIBs(t *topology.Topology, f Filter) map[topology.NodeID]*FIB {
 	n := len(t.Switches)
-	// dist[a][b]: hop distance between switches.
+	// dist[a][b]: hop distance between switches over live elements.
 	dist := make([][]int, n)
 	for i := range dist {
 		dist[i] = make([]int, n)
 		for j := range dist[i] {
 			dist[i][j] = -1
+		}
+		if f.switchDown(t.Switches[i].ID) {
+			continue
 		}
 		// BFS from switch i.
 		q := []int{i}
@@ -48,8 +91,11 @@ func ComputeFIBs(t *topology.Topology) (map[topology.NodeID]*FIB, error) {
 		for len(q) > 0 {
 			cur := q[0]
 			q = q[1:]
-			for _, peer := range t.Switches[cur].Ports {
+			for p, peer := range t.Switches[cur].Ports {
 				if peer.Kind != topology.PeerSwitch {
+					continue
+				}
+				if f.switchDown(peer.Node) || f.linkDown(t.Switches[cur].ID, p) {
 					continue
 				}
 				nb := int(peer.Node)
@@ -64,18 +110,28 @@ func ComputeFIBs(t *topology.Topology) (map[topology.NodeID]*FIB, error) {
 	fibs := make(map[topology.NodeID]*FIB, n)
 	for _, sw := range t.Switches {
 		fib := &FIB{Node: sw.ID, Version: 1, NextHops: make(map[topology.HostID][]int)}
+		fibs[sw.ID] = fib
+		if f.switchDown(sw.ID) {
+			continue
+		}
 		for _, h := range t.Hosts {
+			if f.switchDown(h.Node) {
+				continue // host's leaf is down: unreachable everywhere
+			}
 			if h.Node == sw.ID {
 				// Directly attached.
 				fib.NextHops[h.ID] = []int{h.Port}
 				continue
 			}
-			// Candidate ports: neighbors minimizing distance to the
-			// host's switch.
+			// Candidate ports: live neighbors minimizing distance to
+			// the host's switch.
 			best := -1
 			var ports []int
 			for p, peer := range sw.Ports {
 				if peer.Kind != topology.PeerSwitch {
+					continue
+				}
+				if f.switchDown(peer.Node) || f.linkDown(sw.ID, p) {
 					continue
 				}
 				d := dist[int(peer.Node)][int(h.Node)]
@@ -91,14 +147,13 @@ func ComputeFIBs(t *topology.Topology) (map[topology.NodeID]*FIB, error) {
 				}
 			}
 			if best < 0 {
-				return nil, fmt.Errorf("routing: host %d unreachable from switch %d", h.ID, sw.ID)
+				continue // unreachable under the filter: no entry
 			}
 			sort.Ints(ports)
 			fib.NextHops[h.ID] = ports
 		}
-		fibs[sw.ID] = fib
 	}
-	return fibs, nil
+	return fibs
 }
 
 // Balancer picks one egress port from an ECMP group for a packet.

@@ -235,3 +235,69 @@ func TestUtilizedPairsFatTreeValleyFree(t *testing.T) {
 		t.Error("no host-to-uplink pair utilized at edge 0")
 	}
 }
+
+func TestComputeFIBsFilteredSpineDown(t *testing.T) {
+	ls := leafSpine(t)
+	full, err := ComputeFIBs(ls.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downSpine := ls.Spines[0]
+	fibs := ComputeFIBsFiltered(ls.Topology, Filter{
+		SwitchDown: func(n topology.NodeID) bool { return n == downSpine },
+	})
+
+	// The down spine gets an empty table.
+	if got := len(fibs[downSpine].NextHops); got != 0 {
+		t.Fatalf("down spine has %d next-hop entries, want 0", got)
+	}
+	// Leaves lose the ECMP member through the down spine but stay
+	// connected via the surviving one.
+	leaf0 := fibs[ls.Leaves[0]]
+	remote := ls.HostsOn(ls.Leaves[1])[0]
+	fullGroup := full[ls.Leaves[0]].Ports(remote.ID)
+	group := leaf0.Ports(remote.ID)
+	if len(group) != len(fullGroup)-1 {
+		t.Fatalf("filtered ECMP group %v, want one fewer than %v", group, fullGroup)
+	}
+	// Local delivery is untouched.
+	local := ls.HostsOn(ls.Leaves[0])[0]
+	if got := leaf0.Ports(local.ID); len(got) != 1 || got[0] != local.Port {
+		t.Errorf("local next hop = %v", got)
+	}
+}
+
+func TestComputeFIBsFilteredPartition(t *testing.T) {
+	// A chain s0 - s1 with one host each; draining the only link
+	// partitions the fabric. The filtered computation must not error:
+	// the cross-partition entries simply vanish.
+	b := topology.NewBuilder()
+	s0 := b.AddSwitch(2)
+	s1 := b.AddSwitch(2)
+	b.Connect(s0, 0, s1, 0, sim.Microsecond)
+	h0 := b.AttachHost(s0, 1, sim.Microsecond)
+	h1 := b.AttachHost(s1, 1, sim.Microsecond)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fibs := ComputeFIBsFiltered(topo, Filter{
+		LinkDown: func(n topology.NodeID, p int) bool {
+			return (n == s0 && p == 0) || (n == s1 && p == 0)
+		},
+	})
+	if got := fibs[s0].Ports(h1); got != nil {
+		t.Errorf("s0 still routes to h1 across a drained link: %v", got)
+	}
+	if got := fibs[s1].Ports(h0); got != nil {
+		t.Errorf("s1 still routes to h0 across a drained link: %v", got)
+	}
+	// Each side keeps its local host.
+	if got := fibs[s0].Ports(h0); len(got) != 1 {
+		t.Errorf("s0 lost its local host: %v", got)
+	}
+	if got := fibs[s1].Ports(h1); len(got) != 1 {
+		t.Errorf("s1 lost its local host: %v", got)
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"speedlight/internal/invariant"
 	"speedlight/internal/journal"
 	"speedlight/internal/packet"
+	"speedlight/internal/reconcile"
 	"speedlight/internal/routing"
 	"speedlight/internal/sim"
 	"speedlight/internal/snapstore"
@@ -371,6 +372,35 @@ func (n *Network) EpochTraces() []*epochtrace.EpochTrace { return n.inner.EpochT
 // work/wait split (the shard-barrier profiler), or nil on a serial
 // engine or when metrics are disabled.
 func (n *Network) BarrierProfile() []sim.BarrierShardStats { return n.inner.BarrierProfile() }
+
+// Reconciler builds a fabric reconciliation controller over this
+// network: declare desired churn on its Spec (switches down, links
+// drained, config pushes) and the controller converges the fabric —
+// directly via Reconcile, on a periodic watcher via Start, or from
+// scripted scenarios (see internal/reconcile). All reconciliation runs
+// as deterministic global-domain events, so churned campaigns keep the
+// serial-vs-sharded byte-identical artifact contract.
+func (n *Network) Reconciler() (*reconcile.Controller, error) {
+	return reconcile.New(reconcile.Config{
+		Fabric: n.inner,
+		Proc:   n.inner.Engine().Proc(sim.GlobalDomain),
+	})
+}
+
+// LeakCheck verifies pooled-packet leak-freedom: after traffic stops
+// and the network drains, every pooled packet must be back in a free
+// list. A non-nil error means a teardown or drop path lost a packet.
+func (n *Network) LeakCheck() error { return n.inner.LeakCheck() }
+
+// ClassifyChurn grades every journaled churn event against the
+// snapshots it overlapped — clean, excluded, inconsistent-caught, or
+// (a defect) silent-disagreement. Nil when journaling is disabled.
+func (n *Network) ClassifyChurn() []reconcile.Classified {
+	if n.cfg.Journal == nil {
+		return nil
+	}
+	return reconcile.Classify(n.cfg.Journal.Events(), n.Audit())
+}
 
 // Inner exposes the underlying emulation for advanced use: attaching
 // the workload generators, custom metrics, or direct engine access.
