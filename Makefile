@@ -18,7 +18,7 @@ help:
 	@echo "               their //speedlight:allocgate allocation gates"
 	@echo "  vet          plain go vet"
 	@echo "  bench-shards serial-vs-sharded scaling benchmarks (CI gate)"
-	@echo "  bench-json   regenerate BENCH_7.json (hot-path allocs/op,"
+	@echo "  bench-json   regenerate BENCH_10.json (hot-path allocs/op,"
 	@echo "               trace-overhead pair, snapstore ingest/query"
 	@echo "               rates, events/sec, with the frozen pre-PR"
 	@echo "               baseline)"
@@ -60,8 +60,8 @@ vet:
 	go vet ./...
 
 # bench-shards runs the serial-vs-sharded scaling benchmarks that the
-# CI bench-regression job gates on (1.5x at 4 shards on the fat-tree,
-# multi-core runners only).
+# CI bench-regression job gates on (2.5x at 8 shards on both the
+# fat-tree and leaf-spine fabrics, runners with >=8 CPUs only).
 bench-shards:
 	go test -run '^$$' -bench BenchmarkShardScaling -benchtime 5x -timeout 30m .
 
@@ -84,12 +84,12 @@ churn:
 	done
 
 # bench-json reruns the hot-path, trace-overhead, snapstore and scaling
-# benchmarks and rewrites BENCH_7.json (committed) with after-numbers
+# benchmarks and rewrites BENCH_10.json (committed) with after-numbers
 # from this machine next to the frozen pre-PR baseline. CI uploads the
 # file as an artifact and gates allocs/op == 0 on the hot-path
 # benchmarks plus traced throughput within 3% of the untraced baseline.
 bench-json:
-	sh scripts/bench_json.sh BENCH_7.json
+	sh scripts/bench_json.sh BENCH_10.json
 
 clean:
 	rm -rf bin

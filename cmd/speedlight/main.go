@@ -103,8 +103,10 @@ func campaign() {
 		Shards:       *shards,
 	}
 	// Any observability flag turns telemetry on; without them the run
-	// pays nothing.
-	if *metricsAddr != "" || *traceOut != "" || *summary {
+	// pays nothing. -trace-epochs counts: its critical-path report
+	// includes the sharded engine's per-pair stall attribution, which
+	// needs the barrier profiler (registry + wall clock) enabled.
+	if *metricsAddr != "" || *traceOut != "" || *summary || *traceEpochs != "" {
 		cfg.Registry = telemetry.NewRegistry()
 		cfg.Tracer = telemetry.NewTracer(0)
 	}
@@ -203,7 +205,7 @@ func campaign() {
 		if cfg.Invariants != nil {
 			mc.Invariants = invariant.HTTPHandler(cfg.Invariants)
 		}
-		mc.EpochTrace = epochtrace.HTTPHandler(net.EpochTraces)
+		mc.EpochTrace = epochtrace.HTTPHandler(net.EpochTraces, net.BlockedProfile)
 		health.SetReady(true)
 		srv, err := telemetry.ServeConfig(*metricsAddr, mc)
 		if err != nil {
@@ -357,7 +359,9 @@ func campaign() {
 			fatalf("closing epoch traces: %v", err)
 		}
 		fmt.Printf("wrote %s (%d epochs)\n", *traceEpochs, len(traces))
-		printCritical(os.Stdout, epochtrace.NewRollup(traces))
+		roll := epochtrace.NewRollup(traces)
+		roll.Blocking = net.BlockedProfile()
+		printCritical(os.Stdout, roll)
 	}
 
 	if *churnMode != "" {
@@ -410,6 +414,11 @@ func printCritical(w io.Writer, r *epochtrace.Rollup) {
 			float64(sw.WavefrontNs)/1000, float64(sw.NotifNs)/1000,
 			float64(sw.CPQueueNs)/1000, float64(sw.CPServiceNs)/1000,
 			float64(sw.WireNs)/1000)
+	}
+	if len(r.Blocking) > 0 {
+		b := r.Blocking[0]
+		fmt.Fprintf(w, "  top blocking pair: shard %d stalled %.1fms waiting on shard %d's clock (%d blocked pair(s) total)\n",
+			b.Waiter, float64(b.WaitNs)/1e6, b.Holdup, len(r.Blocking))
 	}
 }
 

@@ -253,7 +253,11 @@ func TestDeterminismEquivalence(t *testing.T) {
 	if serial.journal == "" {
 		t.Fatal("campaign recorded no journal events")
 	}
-	shardCounts := []int{1, 2, 4, 8}
+	// Non-power-of-two counts {3, 5, 7} matter since PR 10: uneven
+	// switch-to-shard modulo assignment produces asymmetric pair-link
+	// sets (some shard pairs carry no links at all), exercising the
+	// undeclared-pair and per-pair-clock paths the even splits miss.
+	shardCounts := []int{1, 2, 3, 4, 5, 7, 8}
 	procCounts := []int{1, 4}
 	for _, shards := range shardCounts {
 		for _, procs := range procCounts {
@@ -287,7 +291,7 @@ func TestDeterminismEquivalenceFatTree(t *testing.T) {
 		snapshots: 3,
 	}
 	serial := runCampaign(t, cc, 0)
-	for _, shards := range []int{2, 4, 8} {
+	for _, shards := range []int{2, 3, 4, 5, 7, 8} {
 		shards := shards
 		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
 			got := runCampaign(t, cc, shards)

@@ -107,6 +107,16 @@ type Config struct {
 	// ObserverLatency is the control-plane-to-observer result delivery
 	// time. Default: 50 µs constant.
 	ObserverLatency dist.Dist
+	// ObserverMinLatency floors sampled observer latencies and doubles
+	// as the conservative lookahead of the switch-to-observer shard
+	// pairs: result deliveries execute in the observer's own domain (so
+	// snapshot assembly, store ingest and invariant evaluation run off
+	// the serialized global domain), and the parallel engine needs a
+	// positive lower bound on their delivery time. Samples below the
+	// floor are raised to it — identically on both engines, keeping
+	// serial and sharded runs byte-equal. Default 1 µs, far under the
+	// 50 µs default delivery time.
+	ObserverMinLatency sim.Duration
 
 	// LinkRateBps is the transmission rate of every link. Default
 	// 25 Gb/s (the testbed's server links).
@@ -206,6 +216,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.ObserverLatency == nil {
 		c.ObserverLatency = dist.Constant{V: 50_000}
+	}
+	if c.ObserverMinLatency <= 0 {
+		c.ObserverMinLatency = sim.Microsecond
 	}
 	if c.LinkRateBps == 0 {
 		c.LinkRateBps = 25e9
@@ -372,11 +385,17 @@ type Network struct {
 	cfg Config
 	eng sim.Sim
 	// doms maps each switch to its scheduling domain (topology order,
-	// starting at 1; sim.GlobalDomain hosts the observer, drivers, and
-	// recovery timers).
+	// starting at 1). The observer runs in its own domain right after
+	// the switches; sim.GlobalDomain keeps only drivers, recovery
+	// timers, and churn.
 	doms map[topology.NodeID]int
 	// gproc is the global domain's scheduling handle.
-	gproc    sim.Proc
+	gproc sim.Proc
+	// obsDom/obsProc address the observer's domain: snapshot results,
+	// snapstore ingest, invariant evaluation, and epoch-trace stamping
+	// all execute there, off the coordinator's critical path.
+	obsDom   int
+	obsProc  sim.Proc
 	topo     *topology.Topology
 	fibs     map[topology.NodeID]*routing.FIB
 	utilized map[topology.NodeID]map[[2]int]bool
@@ -455,8 +474,14 @@ func newNetTelemetry(reg *telemetry.Registry) netTelemetry {
 }
 
 // buildEngine picks the serial or sharded engine and assigns scheduling
-// domains: switch i of the topology is domain i+1; sim.GlobalDomain
-// hosts the observer, drivers, and recovery timers.
+// domains: switch i of the topology is domain i+1, and the observer
+// runs in its own domain right after the switches (see observerDomain).
+// sim.GlobalDomain keeps only what truly serializes: drivers, recovery
+// timers, and churn. On the sharded engine the cross-shard channel set
+// is declared per pair — each ordered shard pair gets the minimum
+// latency of the switch links that actually cross it as its lookahead —
+// so shards synchronize against their real neighbors instead of a
+// fleet-wide horizon.
 func buildEngine(cfg *Config) (sim.Sim, map[topology.NodeID]int, error) {
 	doms := make(map[topology.NodeID]int, len(cfg.Topo.Switches))
 	for i, sw := range cfg.Topo.Switches {
@@ -510,8 +535,61 @@ func buildEngine(cfg *Config) (sim.Sim, map[topology.NodeID]int, error) {
 	for _, sw := range cfg.Topo.Switches {
 		p.Place(doms[sw.ID], shard[sw.ID])
 	}
+	// The observer domain follows the same modulo placement rule as the
+	// switches (it is "domain len(switches)+1"), so its shard assignment
+	// is stable as topologies grow.
+	obsShard := len(cfg.Topo.Switches) % cfg.Shards
+	p.Place(observerDomain(cfg.Topo), obsShard)
+
+	// Declare the actual cross-shard channel set. Each ordered shard
+	// pair's lookahead is the minimum latency among the switch links
+	// whose sender lands on the pair's source shard and receiver on its
+	// destination shard — wire hops are scheduled with the sending
+	// port's latency, so that bound is exact, not merely conservative.
+	type shardPair struct{ from, to int }
+	pairMin := make(map[shardPair]sim.Duration)
+	declare := func(from, to int, l sim.Duration) {
+		if from == to {
+			return
+		}
+		pr := shardPair{from, to}
+		if cur, ok := pairMin[pr]; !ok || l < cur {
+			pairMin[pr] = l
+		}
+	}
+	for _, sw := range cfg.Topo.Switches {
+		for _, peer := range sw.Ports {
+			if peer.Kind == topology.PeerSwitch {
+				declare(shard[sw.ID], shard[peer.Node], sim.Duration(peer.Latency))
+			}
+		}
+	}
+	// Every switch shard reports snapshot results to the observer's
+	// shard; those sends are floored at ObserverMinLatency, which is
+	// therefore the pair's lookahead.
+	for _, sw := range cfg.Topo.Switches {
+		declare(shard[sw.ID], obsShard, cfg.ObserverMinLatency)
+	}
+	links := make([]sim.ShardLink, 0, len(pairMin))
+	for pr, l := range pairMin {
+		links = append(links, sim.ShardLink{From: pr.from, To: pr.to, Lookahead: l})
+	}
+	sort.Slice(links, func(a, b int) bool {
+		if links[a].From != links[b].From {
+			return links[a].From < links[b].From
+		}
+		return links[a].To < links[b].To
+	})
+	p.SetShardLinks(links)
 	return p, doms, nil
 }
+
+// observerDomain returns the scheduling domain that hosts the snapshot
+// observer: the slot right after the last switch domain. Keeping the
+// observer out of sim.GlobalDomain lets snapstore ingest, invariant
+// evaluation, and epoch-trace stamping run on a shard worker instead of
+// serializing on the coordinator.
+func observerDomain(topo *topology.Topology) int { return len(topo.Switches) + 1 }
 
 // New builds and wires the emulated network.
 func New(cfg Config) (*Network, error) {
@@ -541,6 +619,7 @@ func New(cfg Config) (*Network, error) {
 		eng:      eng,
 		doms:     doms,
 		gproc:    eng.Proc(sim.GlobalDomain),
+		obsDom:   observerDomain(cfg.Topo),
 		topo:     cfg.Topo,
 		fibs:     fibs,
 		utilized: routing.UtilizedPairs(cfg.Topo, fibs),
@@ -554,6 +633,7 @@ func New(cfg Config) (*Network, error) {
 		tel:      newNetTelemetry(cfg.Registry),
 		central:  packet.NewCentral(),
 	}
+	n.obsProc = eng.Proc(n.obsDom)
 	n.dpool = n.central.NewPool()
 	n.arriveFn = n.arriveCall
 	n.txFn = n.txCall
@@ -752,11 +832,17 @@ func (n *Network) provisionPlanes(es *EmuSwitch, spec *topology.Switch) error {
 		Telemetry:          n.cpTel,
 		Journal:            cfg.Journal.For(int(node)),
 		OnResult: func(res control.Result) {
-			// The observer lives in the global domain: results cross the
-			// network as domain->global sends and land serialized.
+			// The observer lives in its own domain: results cross the
+			// network as switch-to-observer sends and land serialized in
+			// that domain without touching the coordinator. The sampled
+			// latency is floored at ObserverMinLatency, the declared
+			// lookahead of every switch-shard-to-observer-shard pair.
 			lat := sim.Duration(cfg.ObserverLatency.Sample(es.rng))
-			es.proc.Send(sim.GlobalDomain, lat, func() {
-				n.obs.OnResult(res, n.gproc.Now())
+			if lat < cfg.ObserverMinLatency {
+				lat = cfg.ObserverMinLatency
+			}
+			es.proc.Send(n.obsDom, lat, func() {
+				n.obs.OnResult(res, n.obsProc.Now())
 			})
 		},
 	})
@@ -888,6 +974,26 @@ func (n *Network) BarrierProfile() []sim.BarrierShardStats {
 	return nil
 }
 
+// BlockedProfile returns the sharded engine's per-pair stall
+// attribution in the epoch-trace rollup's wire form, most blocking
+// waiter→holdup pair first. Nil on a serial engine or when no
+// Registry was configured. Driver context only.
+func (n *Network) BlockedProfile() []epochtrace.ShardBlocking {
+	p, ok := n.eng.(*sim.Parallel)
+	if !ok {
+		return nil
+	}
+	prof := p.BlockedProfile()
+	if len(prof) == 0 {
+		return nil
+	}
+	out := make([]epochtrace.ShardBlocking, len(prof))
+	for i, b := range prof {
+		out[i] = epochtrace.ShardBlocking{Waiter: b.Waiter, Holdup: b.Holdup, WaitNs: b.WaitNs}
+	}
+	return out
+}
+
 // Audit replays the journal and verifies every snapshot's consistency
 // invariants. Nil when journaling is disabled.
 func (n *Network) Audit() *audit.Report {
@@ -901,11 +1007,15 @@ func (n *Network) Audit() *audit.Report {
 	})
 }
 
-// anomaly dumps the flight recorder to the OnAnomaly hook. It reads
-// the journal tail, which is only coherent under the global domain's
-// total event order.
+// anomaly dumps the flight recorder to the OnAnomaly hook. It runs in
+// the observer's domain (snapshot finalization) or the global domain
+// (recovery timeouts). The journal tail it captures is built from
+// per-slot atomic reads and merged deterministically, so reading it
+// beside concurrently appending shards is safe; entries mid-publication
+// on other shards may simply miss the dump, which a flight recorder
+// tolerates.
 //
-//speedlight:global-only
+//speedlight:shard
 func (n *Network) anomaly(reason string, id packet.SeqID) {
 	if n.cfg.OnAnomaly == nil {
 		return

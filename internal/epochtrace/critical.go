@@ -125,6 +125,19 @@ type QueueTotal struct {
 	TotalNs int64 `json:"total_ns"`
 }
 
+// ShardBlocking is one directed waiter→holdup pair of the sharded
+// engine's stall attribution: wall time the waiter shard spent unable
+// to advance because the holdup shard's published clock bounded it.
+// It is runtime (wall-clock) accounting, not virtual-time causality —
+// the complement of the stage breakdown above: stages say where epoch
+// latency goes inside the protocol, blocking says which shard pair
+// gates the engine that executes it.
+type ShardBlocking struct {
+	Waiter int   `json:"waiter"`
+	Holdup int   `json:"holdup"`
+	WaitNs int64 `json:"wait_ns"`
+}
+
 // Rollup aggregates critical-path attribution across epochs: where
 // completion latency is spent by stage, and which switches, links and
 // control-plane queues carry it.
@@ -143,6 +156,12 @@ type Rollup struct {
 	Switches []SwitchTotal `json:"switches"`
 	Links    []LinkTotal   `json:"links"`
 	Queues   []QueueTotal  `json:"queues"`
+	// Blocking is the sharded engine's per-pair stall attribution,
+	// most blocking pair first. Traces alone cannot produce it (it is
+	// wall-clock engine accounting, not journal causality), so
+	// NewRollup leaves it empty and the owner of the engine fills it
+	// in — see emunet.Network.BlockedProfile.
+	Blocking []ShardBlocking `json:"blocking,omitempty"`
 }
 
 // NewRollup aggregates traces into a critical-path rollup.

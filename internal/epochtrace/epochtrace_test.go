@@ -206,7 +206,9 @@ func TestChromeTraceWellFormed(t *testing.T) {
 
 func TestHTTPHandler(t *testing.T) {
 	traces := Build(twoSwitchJournal())
-	h := HTTPHandler(func() []*EpochTrace { return traces })
+	blocking := []ShardBlocking{{Waiter: 1, Holdup: 0, WaitNs: 420}}
+	h := HTTPHandler(func() []*EpochTrace { return traces },
+		func() []ShardBlocking { return blocking })
 
 	get := func(url string) *httptest.ResponseRecorder {
 		rec := httptest.NewRecorder()
@@ -242,9 +244,17 @@ func TestHTTPHandler(t *testing.T) {
 	if rec := get("/trace/critical"); rec.Code != 200 ||
 		!strings.Contains(rec.Body.String(), `"stages"`) {
 		t.Fatalf("critical rollup: code %d body %.80s", rec.Code, rec.Body.String())
+	} else {
+		var roll Rollup
+		if err := json.Unmarshal(rec.Body.Bytes(), &roll); err != nil {
+			t.Fatalf("critical rollup decode: %v", err)
+		}
+		if len(roll.Blocking) != 1 || roll.Blocking[0] != blocking[0] {
+			t.Fatalf("critical rollup blocking = %+v, want %+v", roll.Blocking, blocking)
+		}
 	}
 
-	hNil := HTTPHandler(nil)
+	hNil := HTTPHandler(nil, nil)
 	rec := httptest.NewRecorder()
 	hNil.ServeHTTP(rec, httptest.NewRequest("GET", "/trace/epoch", nil))
 	if rec.Code != 503 {

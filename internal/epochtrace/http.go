@@ -32,9 +32,14 @@ type epochSummary struct {
 //	/trace/epoch?format=jsonl        full traces as JSON Lines
 //	/trace/critical         critical-path rollup across all epochs
 //
+// blocking, when non-nil, supplies the sharded engine's per-pair stall
+// attribution and is folded into the /trace/critical rollup as its
+// "blocking" field (see ShardBlocking); serial engines and offline
+// replays pass nil and the field is simply omitted.
+//
 // A nil src yields 503 on every request, matching the mux's
 // not-attached convention.
-func HTTPHandler(src func() []*EpochTrace) http.Handler {
+func HTTPHandler(src func() []*EpochTrace, blocking func() []ShardBlocking) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if src == nil {
 			http.Error(w, "epoch tracer not attached", http.StatusServiceUnavailable)
@@ -42,10 +47,14 @@ func HTTPHandler(src func() []*EpochTrace) http.Handler {
 		}
 		traces := src()
 		if strings.HasSuffix(r.URL.Path, "/critical") {
+			roll := NewRollup(traces)
+			if blocking != nil {
+				roll.Blocking = blocking()
+			}
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
-			if err := enc.Encode(NewRollup(traces)); err != nil {
+			if err := enc.Encode(roll); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 			return

@@ -19,8 +19,12 @@
 // independent of wall-clock interleaving between rings. That is what
 // lets the sharded parallel engine produce byte-identical journals to
 // the serial reference: each ring is only appended from one
-// deterministic execution context, and the merge key contains nothing
-// an OS scheduler can influence.
+// deterministic execution context — a switch's ring from its domain's
+// events, the observer ring from the observer's domain (its own
+// sharded domain under the per-pair engine; the serialized global
+// domain on the serial one) — and the merge key carries virtual
+// timestamps and per-ring ordinals, nothing an OS scheduler or a
+// shard placement can influence.
 //
 // Like internal/telemetry, every method is safe on a nil receiver,
 // which is the disabled state: an un-journaled deployment pays one
@@ -261,7 +265,9 @@ func (s *Set) sorted() []nodeRing {
 // re-stamped 1..n. Because each ring is appended from a single
 // deterministic execution context, the merged stream is identical for
 // any interleaving of rings — in particular, the parallel engine's
-// journal matches the serial engine's byte for byte. Nil on a nil Set.
+// journal matches the serial engine's byte for byte, even with the
+// observer ring appended from its own sharded domain: which shard (or
+// goroutine) hosts a domain never enters the key. Nil on a nil Set.
 func (s *Set) Events() []Event {
 	if s == nil {
 		return nil

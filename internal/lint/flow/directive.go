@@ -14,7 +14,11 @@ import (
 //
 //	//speedlight:hotpath                     (hotalloc, hotgate)
 //	//speedlight:pool-transfer <param>...    (poolown: callee takes ownership)
+//	//speedlight:pool-transfer-cell <param>... (poolown: write-once cell push;
+//	                                         consumes at call sites, body exempt)
 //	//speedlight:pool-unchecked              (poolown: deliberate violations)
+//	//speedlight:shard-handoff               (shardsafe: blessed cross-shard
+//	                                         handoff implementation)
 //	//speedlight:shard                       (shardsafe: worker entry point)
 //	//speedlight:global-only                 (shardsafe: GlobalDomain-only API)
 //	//speedlight:allocgate <name>...         (hotgate: test covers these hot paths)

@@ -33,8 +33,19 @@
 //
 // which both consumes the argument at every call site and makes the
 // parameter Owned-at-entry inside the callee, so the obligation is
-// checked on both sides of the call. Deliberate violations (the pool's
-// own panic tests) opt out per function with //speedlight:pool-unchecked.
+// checked on both sides of the call. The SPSC ring handoff (sim.evRing,
+// PR 10) uses the variant
+//
+//	//speedlight:pool-transfer-cell <param> [<param>...]
+//
+// for try-style cell pushes: call sites consume exactly like
+// pool-transfer (the push is the sanctioned cross-shard crossing), but
+// the callee body is exempt from Owned-at-entry — a failed tryPush
+// returns ownership to the caller, a protocol the path-insensitive
+// lattice cannot express, so the cell write itself is trusted and the
+// caller's retry/stash loop carries the checked obligation. Deliberate
+// violations (the pool's own panic tests) opt out per function with
+// //speedlight:pool-unchecked.
 //
 // Known approximations, all conservative for real findings: aliasing a
 // tracked value (p := pkt) stops tracking both; a deferred Put
@@ -90,8 +101,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		pass:     pass,
 		transfer: map[*types.Func][]int{},
 	}
-	// Pass 1: collect //speedlight:pool-transfer signatures so call
-	// sites anywhere in the package consume the right argument slots.
+	// Pass 1: collect //speedlight:pool-transfer (and the ring-cell
+	// variant) signatures so call sites anywhere in the package consume
+	// the right argument slots.
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -99,6 +111,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 				continue
 			}
 			args, ok := flow.Directive(fd.Doc, "pool-transfer")
+			if !ok {
+				args, ok = flow.Directive(fd.Doc, "pool-transfer-cell")
+			}
 			if !ok {
 				continue
 			}

@@ -55,3 +55,56 @@ func (e *engine) putTwice(retry bool) {
 	}
 	e.pool.put(ev) // want `double Put of pooled value ev`
 }
+
+// ---- SPSC ring handoff (PR 10) ----
+
+// ring mirrors sim.evRing: tryPush is the write-once cell crossing of
+// the sharded engine.
+type ring struct {
+	slots []*Event
+	full  bool
+}
+
+// tryPush is a pool-transfer-cell: call sites consume exactly like a
+// pool-transfer, but the body is exempt from Owned-at-entry — on the
+// full path ownership snaps back to the caller, whose retry/stash loop
+// is where the obligation is checked. Without the -cell variant the
+// `return false` path below would be a false-positive leak.
+//
+//speedlight:pool-transfer-cell ev
+func (r *ring) tryPush(ev *Event) bool {
+	if r.full {
+		return false
+	}
+	r.slots = append(r.slots, ev)
+	return true
+}
+
+// pushRing is the checked side of the cell protocol: owned at entry,
+// discharged through the cell on the fast path and the stash queue on
+// the full path.
+//
+//speedlight:pool-transfer ev
+func (e *engine) pushRing(r *ring, ev *Event) {
+	if r.tryPush(ev) {
+		return
+	}
+	e.push(ev)
+}
+
+// sendCross discharges a fresh event through the blessed cell: the
+// call site consumes, so no leak is reported.
+func (e *engine) sendCross(r *ring) {
+	ev := e.pool.get()
+	r.tryPush(ev)
+}
+
+// crossOutsideRing hands the event to nothing on the early return —
+// the direct-send-outside-the-ring shape poolown still catches.
+func (e *engine) crossOutsideRing(r *ring, skip bool) {
+	ev := e.pool.get()
+	if skip {
+		return // want `pooled value ev may leak on this return path`
+	}
+	r.tryPush(ev)
+}

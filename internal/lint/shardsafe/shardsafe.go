@@ -22,7 +22,17 @@
 //     sim.Engine, or sim.Parallel: Now, Rand, Schedule, After, Cancel,
 //     NewTicker, Run, ...): worker code must go through its sim.Proc,
 //     whose Send/SendCall/SendAt methods are the blessed cross-shard
-//     handoff that the runtime routes through per-shard mailboxes.
+//     handoff that the runtime routes through per-pair SPSC rings;
+//
+//   - direct touches of the engine's shard table or global queue (the
+//     sim Parallel fields named shards / global): a worker owns exactly
+//     one shard, and every cross-shard or shard-to-global event must
+//     travel a pair ring — pushing into another shard's queue directly
+//     bypasses the ring protocol's ordering and memory-publication
+//     guarantees. The handful of functions that ARE the handoff
+//     protocol (sendAt's routing switch, the home-shard lookup) declare
+//     themselves with //speedlight:shard-handoff, which exempts them
+//     from this one rule while the others still apply.
 //
 // The call graph is intraprocedural per package and purely static:
 // calls through function values or interfaces other than the sim API
@@ -49,6 +59,11 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
+// handoffFields are the sim.Parallel fields only the coordinator (or a
+// //speedlight:shard-handoff function) may touch from shard-reachable
+// code: the shard table and the global domain's queue state.
+var handoffFields = map[string]bool{"shards": true, "global": true}
+
 // globalOnlyAPI are the sim engine methods reserved for the global
 // domain / driver; Proc's methods (Send, SendCall, SendAt, Schedule,
 // After, Cancel, NewTicker on the Proc interface) are the blessed
@@ -65,11 +80,12 @@ var globalOnlyAPI = map[string]bool{
 var engineRecv = map[string]bool{"Sim": true, "Engine": true, "Parallel": true}
 
 type fnNode struct {
-	fn     *types.Func
-	decl   *ast.FuncDecl
-	name   string
-	shard  bool // //speedlight:shard
-	global bool // //speedlight:global-only
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	name    string
+	shard   bool // //speedlight:shard
+	global  bool // //speedlight:global-only
+	handoff bool // //speedlight:shard-handoff
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
@@ -92,6 +108,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			n := &fnNode{fn: fn, decl: fd, name: name}
 			_, n.shard = flow.Directive(fd.Doc, "shard")
 			_, n.global = flow.Directive(fd.Doc, "global-only")
+			_, n.handoff = flow.Directive(fd.Doc, "shard-handoff")
 			nodes[fn] = n
 			order = append(order, n)
 		}
@@ -194,9 +211,33 @@ func check(pass *analysis.Pass, nodes map[*types.Func]*fnNode, n *fnNode, entry 
 			if isEngineAPI(fn) {
 				pass.Reportf(s.Pos(), "shard-reachable %s calls sim engine API %s%s: worker code must use its Proc (Send/SendCall/SendAt) so the runtime can route across shards", n.name, fn.Name(), via)
 			}
+		case *ast.SelectorExpr:
+			if n.handoff {
+				return true
+			}
+			if f := handoffField(pass, s); f != "" {
+				pass.Reportf(s.Pos(), "shard-reachable %s touches Parallel.%s directly%s: cross-shard events must travel the pair ring handoff (pushRing), not another shard's queue; blessed implementations declare //speedlight:shard-handoff", n.name, f, via)
+			}
 		}
 		return true
 	})
+}
+
+// handoffField reports whether sel reads one of sim.Parallel's
+// coordinator-owned fields (the shard table or the global shard),
+// returning the field name when it does.
+func handoffField(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	if !handoffFields[sel.Sel.Name] {
+		return ""
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() == nil {
+		return ""
+	}
+	if analysis.PkgScope(v.Pkg().Path()) != "sim" {
+		return ""
+	}
+	return v.Name()
 }
 
 // pkgLevelTarget resolves an assignment target to the package-level

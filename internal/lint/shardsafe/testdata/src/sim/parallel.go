@@ -1,0 +1,57 @@
+// parallel.go fakes the sharded engine's coordinator-owned state —
+// the shard table and the global shard — so the ring-handoff rule has
+// a same-scope surface to exercise: shard-reachable code must route
+// cross-shard events through the blessed //speedlight:shard-handoff
+// functions, never into another shard's queue directly.
+package sim
+
+type event struct{ at Time }
+
+type evRing struct{ slots []*event }
+
+func (r *evRing) tryPush(ev *event) bool {
+	if len(r.slots) > 0 {
+		return false
+	}
+	r.slots = append(r.slots, ev)
+	return true
+}
+
+type pshard struct {
+	q    []*event
+	ring *evRing
+}
+
+func (sh *pshard) push(ev *event) { sh.q = append(sh.q, ev) }
+
+// Parallel mirrors the real engine's coordinator-owned fields.
+type Parallel struct {
+	shards []*pshard
+	global *pshard
+}
+
+// epochLoop is a worker entry: it owns exactly its argument shard, so
+// reaching into the shard table or the global queue is a direct
+// cross-shard send outside the ring.
+//
+//speedlight:shard
+func (p *Parallel) epochLoop(sh *pshard, tgt int) {
+	p.shards[tgt].push(&event{}) // want `shard-reachable Parallel.epochLoop touches Parallel.shards directly`
+	p.global.push(&event{})      // want `shard-reachable Parallel.epochLoop touches Parallel.global directly`
+	p.pushRing(sh, &event{})
+	sh.push(&event{}) // own shard: fine
+}
+
+// route is only dangerous because epochLoop could make it reachable;
+// nothing does, so its table access stays quiet (global-domain code).
+func (p *Parallel) route(tgt int, ev *event) { p.shards[tgt].push(ev) }
+
+// pushRing is the handoff protocol itself: exempt from the table rule
+// by declaration, still subject to every other check.
+//
+//speedlight:shard-handoff
+func (p *Parallel) pushRing(sh *pshard, ev *event) {
+	if !sh.ring.tryPush(ev) {
+		p.shards[0].push(ev) // blessed: the handoff owns this routing
+	}
+}

@@ -354,9 +354,11 @@ func (n *Network) Start() {
 			mc.Journal = journal.HTTPHandler(n.cfg.Journal.Events)
 			mc.Audit = audit.HTTPHandler(n.Audit)
 			jr := n.cfg.Journal
+			// No blocking source: live switches are real goroutines,
+			// there is no sharded simulation engine to attribute.
 			mc.EpochTrace = epochtrace.HTTPHandler(func() []*epochtrace.EpochTrace {
 				return epochtrace.Build(jr.Events())
-			})
+			}, nil)
 		}
 		if n.cfg.Snapstore != nil {
 			mc.Snapshots = snapstore.HTTPHandler(n.cfg.Snapstore.View)

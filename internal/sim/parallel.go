@@ -3,40 +3,70 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"speedlight/internal/telemetry"
 )
 
 // Parallel is the sharded implementation of Sim: a conservative
-// parallel discrete-event engine. Domains (one per emulated switch)
-// are partitioned across shards; each shard owns an event queue drained
-// by one worker goroutine. Execution proceeds in null-message-free
-// barrier rounds: with S the earliest pending shard event and L the
-// lookahead (the minimum latency of any cross-shard interaction), every
-// shard may safely execute all its events with time < S+L, because no
-// event another shard produces during the round can land below that
-// horizon. GlobalDomain events serialize: they run between rounds, on
-// the coordinating goroutine, with every worker parked — the horizon
-// never crosses a pending global event.
+// parallel discrete-event engine built on per-shard-pair channel
+// clocks. Domains (one per emulated switch) are partitioned across
+// shards; each shard owns an event queue drained by one worker
+// goroutine.
+//
+// Synchronization is per pair, not fleet-wide. Every shard publishes a
+// monotone clock pub_i — a lower bound on the time of anything it will
+// ever execute or emit again — through an atomic channel-clock table.
+// A shard's execution bound is the min over its actual inbound
+// neighbor pairs of (pub_j + L_ji), where L_ji is the pair's declared
+// lookahead (derived from topology at wiring time via SetShardLinks;
+// the default is a complete graph at the engine-wide lookahead). Shards
+// with slack therefore run ahead on their own, instead of parking at a
+// fleet-wide horizon every lookahead interval: between two GlobalDomain
+// events the coordinator starts one epoch, and inside it the workers
+// free-run under the pair clocks with no barrier at all.
+//
+// Cross-shard handoff is a per-pair SPSC lock-free ring (evRing)
+// instead of a mutex mailbox merged at barriers. The producer pushes
+// during event execution and publishes its clock afterwards; the
+// consumer loads the producer's clock before draining the ring, so any
+// push the drain misses is from an event at or above the loaded clock
+// and the pair bound stays sound. Arrivals merge into the consumer's
+// queue in (time, src, seq) key order, which keeps journal, audit and
+// snapshot bytes identical at every shard count and GOMAXPROCS.
+//
+// GlobalDomain events still serialize: they run between epochs, on the
+// coordinating goroutine, with every worker parked — an epoch's fence
+// never crosses a pending global event. Shard-to-global sends travel
+// on per-shard rings the coordinator drains while the epoch runs, and
+// execute at the fence in global key order.
+//
+// Engines with a zero-lookahead pair cannot free-run (a pair clock
+// never gets ahead of its neighbor), so they fall back to the legacy
+// lockstep round: every shard executes below a shared horizon of
+// min-event-time plus the minimum pair lookahead, with a barrier per
+// round. That path exists for compatibility with lookahead-0
+// configurations; real topologies always have positive link latency.
 //
 // Determinism. Event order within a shard follows the same
 // (time, src, seq) key as the serial Engine; cross-shard events carry
 // keys assigned by their (deterministic) scheduling domain, so merge
 // order is independent of goroutine interleaving, GOMAXPROCS and shard
-// count. A send between shards below the current horizon is a
-// causality violation and panics — it means the configured lookahead
-// exceeds the actual minimum cross-shard latency.
+// count. A cross-shard send arriving below the pair clock of its
+// source is a causality violation and panics — it means the declared
+// pair lookahead exceeds the actual cross-shard latency.
 //
 // Event pooling. Each shard (and the coordinator, via the global
 // pseudo-shard) keeps its own event free list. An event is drawn from
-// the scheduling context's pool — the worker's own shard during a
-// round, any pool from the parked-coordinator context — and returned
-// to the pool of whichever context pops it, so cross-shard events
-// simply migrate between free lists. No pool is ever touched by two
-// goroutines at once: workers only reach their own shard's pool, and
-// the coordinator only runs while workers are parked.
+// the scheduling context's pool and returned to the pool of whichever
+// context pops it, so cross-shard events simply migrate between free
+// lists through the rings. No pool is ever touched by two goroutines
+// at once: workers only reach their own shard's pool, and the
+// coordinator only runs while workers are parked.
 //
 // Context rules (the serial engine forgives these; this one does not):
 // domain state must only be touched by its own domain's events or by
@@ -45,31 +75,63 @@ import (
 type Parallel struct {
 	lookahead Duration
 	now       Time // driver/global-context clock (low-water mark)
-	horizon   Time // current round's exclusive bound, valid while roundActive
-	// roundActive marks worker execution in flight. Written by the
-	// coordinator strictly before dispatching and after joining a
-	// round, so worker reads are ordered by the dispatch channel and
-	// the barrier.
+	horizon   Time // legacy lockstep round bound, valid while roundActive
+	// roundActive marks shard execution in flight (epoch, lockstep
+	// round, or inline solo run). Written by the coordinator strictly
+	// before dispatching and after joining, so worker reads are ordered
+	// by the dispatch channel and the barrier.
 	roundActive bool
-	domains     []pardom
-	shards      []*pshard
-	global      *pshard // GlobalDomain-owned events, run by the coordinator
-	rng         *rand.Rand
-	seedSrc     *rand.Rand
-	fired       uint64 // events executed in global context
-	wg          sync.WaitGroup
-	workersUp   bool
-	active      []*pshard // per-round scratch
+	// solo marks an inline single-shard run on the coordinator: no
+	// other shard is executing, so cross-shard sends push straight into
+	// the target queue instead of the rings.
+	solo bool
+	// epochMode selects free-running epochs (every declared pair has
+	// positive lookahead) over legacy lockstep rounds.
+	epochMode bool
+	finalized bool
+	domains   []pardom
+	shards    []*pshard
+	global    *pshard // GlobalDomain-owned events, run by the coordinator
+	rng       *rand.Rand
+	seedSrc   *rand.Rand
+	fired     uint64 // events executed in global context
+	wg        sync.WaitGroup
+	workersUp bool
+	active    []*pshard  // per-round scratch
+	staged    [][]*Event // lockstep mid-round ring drains, per target shard
+	links     []ShardLink
+	custom    bool     // SetShardLinks was called: unlisted pairs panic
+	minL      Duration // min declared pair lookahead (lockstep horizon step)
+	ringCap   int      // per-pair ring capacity; settable before the first Run (tests)
 	// wall is the injected wall-clock source for the barrier profiler
 	// (nil = profiling disabled, zero cost). Virtual time cannot measure
-	// barrier skew — shards at the same horizon burn different amounts
-	// of real time — so this is the one place the engine reads a real
-	// clock, and only through an injected func so the simulation itself
-	// stays deterministic.
-	wall func() int64
+	// synchronization skew — shards at the same fence burn different
+	// amounts of real time — so this is the one place the engine reads a
+	// real clock, and only through an injected func so the simulation
+	// itself stays deterministic.
+	wall       func() int64
+	blockedVec *telemetry.CounterVec
+
+	// Epoch coordination. quiet counts shards whose published clock
+	// reached the fence; done counts workers that finished the
+	// dispatched job; epochDone releases quiesced workers from their
+	// ring-draining duty; panics flags captured worker panics so the
+	// coordinator stops waiting for quiescence.
+	epochDone atomic.Bool
+	quiet     atomic.Int32
+	done      atomic.Int32
+	panics    atomic.Int32
 }
 
 var _ Sim = (*Parallel)(nil)
+
+// ShardLink declares one directed cross-shard channel and its
+// conservative lookahead: no send from From to To ever arrives less
+// than Lookahead after the sending event's time.
+type ShardLink struct {
+	From, To  int
+	Lookahead Duration
+}
 
 // pardom is one domain's placement and schedule counter. The counter is
 // only touched by the shard (or the parked-coordinator context)
@@ -81,8 +143,40 @@ type pardom struct {
 	_     [48]byte
 }
 
-// pshard is one shard: an event queue plus a mailbox for cross-shard
-// arrivals, merged at barriers, plus the shard's event free list.
+// inPair is one inbound cross-shard channel: the source shard whose
+// published clock bounds this consumer, the pair lookahead, and the
+// SPSC ring arrivals travel on.
+type inPair struct {
+	src    *pshard
+	srcIdx int
+	la     Duration
+	ring   *evRing
+	// epochBlockedNs is written by the owning worker during an epoch
+	// and folded by the coordinator after the barrier; the cumulative
+	// field and counter are coordinator-context only.
+	epochBlockedNs int64
+	statBlockedNs  int64
+	blockedC       *telemetry.Counter
+}
+
+// outPair is one outbound cross-shard channel. A negative lookahead
+// marks an undeclared pair: sending on it panics, which is how a
+// topology-derived link set catches placement drift.
+type outPair struct {
+	ring *evRing
+	la   Duration
+}
+
+// stashedEv parks a cross-shard event a producer could not hand off
+// because the epoch was torn down (another worker panicked) while its
+// ring was full. The coordinator routes it after the barrier.
+type stashedEv struct {
+	tgt int // target shard, -1 = global
+	ev  *Event
+}
+
+// pshard is one shard: an event queue, its pair-clock publication, its
+// inbound/outbound rings, and the shard's event free list.
 type pshard struct {
 	q        evq
 	pool     eventPool
@@ -90,16 +184,31 @@ type pshard struct {
 	fired    uint64
 	job      chan Time
 	panicked any // panic captured by the worker, re-raised at the barrier
+	idx      int
 
-	mailMu sync.Mutex
-	mail   []*Event
-	spare  []*Event
+	in       []inPair
+	out      []outPair // indexed by target shard
+	gring    *evRing   // shard-to-global sends, drained by the coordinator
+	minOutLa Duration  // min declared outbound lookahead (solo-run bound)
+	overflow []stashedEv
 
-	// Barrier profiling state. roundWorkNs is written by the shard's
-	// worker during a round and read by the coordinator after the
-	// barrier; the cumulative fields and cached counters are
-	// coordinator-context only.
+	// pub is the shard's published channel clock: a lower bound on the
+	// time of anything the shard will execute or emit again. Written
+	// only by the owning worker during an epoch (and by the coordinator
+	// between epochs); read by neighbor workers. Padded onto its own
+	// cache line — it is the one hot cross-shard word.
+	_   [64]byte
+	pub atomic.Int64
+	_   [56]byte
+
+	// Profiling state. roundWorkNs (lockstep/solo) and the epoch*
+	// fields are written by the owning worker during a round or epoch
+	// and read by the coordinator after the barrier; the cumulative
+	// fields and cached counters are coordinator-context only.
 	roundWorkNs int64
+	epochWorkNs int64
+	epochWaitNs int64
+	epochActive bool
 	statRounds  uint64
 	statWorkNs  int64
 	statWaitNs  int64
@@ -107,15 +216,10 @@ type pshard struct {
 	waitC       *telemetry.Counter
 }
 
-//speedlight:pool-transfer ev
-func (sh *pshard) pushMail(ev *Event) {
-	sh.mailMu.Lock()
-	sh.mail = append(sh.mail, ev)
-	sh.mailMu.Unlock()
-}
-
 // nextTime returns the shard's earliest live event time, recycling
-// cancelled queue tops. Coordinator context only.
+// cancelled queue tops into the shard's pool. Must only be called by
+// the context that currently owns the shard (its worker during an
+// epoch, the coordinator otherwise).
 func (sh *pshard) nextTime() Time {
 	for {
 		ev := sh.q.peek()
@@ -135,8 +239,10 @@ func (sh *pshard) nextTime() Time {
 // count and conservative lookahead. The lookahead must not exceed the
 // minimum virtual-time latency of any cross-shard interaction the
 // simulation performs; larger values are detected at run time as
-// causality violations. Randomness derives entirely from seed, exactly
-// as in NewEngine.
+// causality violations. By default every ordered shard pair is a
+// channel at this lookahead; SetShardLinks narrows the set to the
+// pairs the topology actually wires, with per-pair lookaheads.
+// Randomness derives entirely from seed, exactly as in NewEngine.
 func NewParallel(seed int64, shards int, lookahead Duration) *Parallel {
 	if shards < 1 {
 		shards = 1
@@ -153,7 +259,7 @@ func NewParallel(seed int64, shards int, lookahead Duration) *Parallel {
 		domains:   []pardom{{shard: -1}}, // GlobalDomain
 	}
 	for i := range p.shards {
-		p.shards[i] = &pshard{q: newEvq()}
+		p.shards[i] = &pshard{q: newEvq(), idx: i}
 	}
 	return p
 }
@@ -161,8 +267,109 @@ func NewParallel(seed int64, shards int, lookahead Duration) *Parallel {
 // Shards returns the worker shard count.
 func (p *Parallel) Shards() int { return len(p.shards) }
 
-// Lookahead returns the configured conservative lookahead.
+// Lookahead returns the configured engine-wide lookahead (the default
+// pair lookahead when no explicit link set was declared).
 func (p *Parallel) Lookahead() Duration { return p.lookahead }
+
+// SetShardLinks declares the directed cross-shard channels the
+// simulation will actually use, replacing the default complete pair
+// graph. Each link's lookahead must be a true lower bound on the
+// latency of every send from From to To; a send on a pair not in the
+// set panics. Duplicate pairs keep the smallest lookahead. Must be
+// called before the first Run*.
+func (p *Parallel) SetShardLinks(links []ShardLink) {
+	if p.finalized {
+		panic("sim: SetShardLinks after the first Run")
+	}
+	n := len(p.shards)
+	for _, l := range links {
+		if l.From < 0 || l.From >= n || l.To < 0 || l.To >= n {
+			panic(fmt.Sprintf("sim: shard link %d->%d out of range [0,%d)", l.From, l.To, n))
+		}
+		if l.From == l.To {
+			panic(fmt.Sprintf("sim: self shard link %d->%d", l.From, l.To))
+		}
+		if l.Lookahead < 0 {
+			panic(fmt.Sprintf("sim: negative lookahead on shard link %d->%d", l.From, l.To))
+		}
+	}
+	p.links = append(p.links[:0], links...)
+	p.custom = true
+}
+
+// finalize freezes the pair graph and builds the per-pair rings and
+// clock table. Runs once, at the first Run* call.
+func (p *Parallel) finalize() {
+	if p.finalized {
+		return
+	}
+	p.finalized = true
+	if p.ringCap <= 0 {
+		p.ringCap = 1024
+	}
+	n := len(p.shards)
+	for _, sh := range p.shards {
+		sh.out = make([]outPair, n)
+		for j := range sh.out {
+			sh.out[j].la = -1
+		}
+		sh.gring = newEvRing(p.ringCap)
+		sh.minOutLa = Duration(maxTime)
+	}
+	links := p.links
+	if !p.custom {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					links = append(links, ShardLink{From: i, To: j, Lookahead: p.lookahead})
+				}
+			}
+		}
+	}
+	for _, l := range links {
+		from, to := p.shards[l.From], p.shards[l.To]
+		if cur := from.out[l.To].la; cur >= 0 {
+			if l.Lookahead < cur {
+				from.out[l.To].la = l.Lookahead
+				for k := range to.in {
+					if to.in[k].srcIdx == l.From {
+						to.in[k].la = l.Lookahead
+					}
+				}
+			}
+			continue
+		}
+		r := newEvRing(p.ringCap)
+		from.out[l.To] = outPair{ring: r, la: l.Lookahead}
+		to.in = append(to.in, inPair{src: from, srcIdx: l.From, la: l.Lookahead, ring: r})
+	}
+	p.minL = Duration(maxTime)
+	zero := false
+	for _, sh := range p.shards {
+		sort.Slice(sh.in, func(a, b int) bool { return sh.in[a].srcIdx < sh.in[b].srcIdx })
+		for j := range sh.out {
+			la := sh.out[j].la
+			if la < 0 {
+				continue
+			}
+			if la < sh.minOutLa {
+				sh.minOutLa = la
+			}
+			if la < p.minL {
+				p.minL = la
+			}
+			if la == 0 {
+				zero = true
+			}
+		}
+	}
+	if p.minL == Duration(maxTime) {
+		p.minL = p.lookahead
+	}
+	p.epochMode = !zero
+	p.staged = make([][]*Event, n)
+	p.ensurePairCounters()
+}
 
 // Place assigns a domain to a shard. All placements must happen before
 // the first Run* call; unplaced domains default to (domain-1) modulo
@@ -204,16 +411,19 @@ func (p *Parallel) NewRand() *rand.Rand {
 	return rand.New(rand.NewSource(p.seedSrc.Int63()))
 }
 
-// EnableBarrierMetrics turns on the shard-barrier profiler. nowNs is
-// the wall-clock source (normally telemetry.NowNs — the engine never
-// reads a real clock directly, keeping the simulation deterministic by
-// construction). When reg is non-nil the per-shard cumulative totals
-// are also published as the counters speedlight_sim_round_work_ns and
-// speedlight_sim_barrier_wait_ns, labeled by shard: work is the wall
-// time a shard spent executing events inside barrier rounds, wait is
-// the wall time it sat parked at the barrier while straggler shards
-// finished — the direct diagnostic for shard-scaling plateaus. Call
-// before the first Run*; not safe during a round.
+// EnableBarrierMetrics turns on the shard synchronization profiler.
+// nowNs is the wall-clock source (normally telemetry.NowNs — the
+// engine never reads a real clock directly, keeping the simulation
+// deterministic by construction). When reg is non-nil the per-shard
+// cumulative totals are also published as the counters
+// speedlight_sim_round_work_ns and speedlight_sim_barrier_wait_ns,
+// labeled by shard: work is the wall time a shard spent executing
+// events, wait is the wall time it spent stalled on a neighbor's pair
+// clock or idling out an epoch — the direct diagnostic for
+// shard-scaling plateaus. Per-pair stall attribution is additionally
+// published as speedlight_sim_blocked_on_shard_ns labeled
+// waiter/holdup, and available through BlockedProfile. Call before the
+// first Run*; not safe during a round.
 func (p *Parallel) EnableBarrierMetrics(reg *telemetry.Registry, nowNs func() int64) {
 	if nowNs == nil {
 		return
@@ -223,24 +433,47 @@ func (p *Parallel) EnableBarrierMetrics(reg *telemetry.Registry, nowNs func() in
 		return
 	}
 	workV := reg.CounterVec("speedlight_sim_round_work_ns",
-		"Wall nanoseconds each shard spent executing events inside barrier rounds.",
+		"Wall nanoseconds each shard spent executing events inside epochs and rounds.",
 		"shard")
 	waitV := reg.CounterVec("speedlight_sim_barrier_wait_ns",
-		"Wall nanoseconds each shard spent parked at the round barrier waiting for stragglers.",
+		"Wall nanoseconds each shard spent stalled on pair clocks or idling out epochs.",
 		"shard")
 	for i, sh := range p.shards {
 		lbl := strconv.Itoa(i)
 		sh.workC = workV.With(lbl)
 		sh.waitC = waitV.With(lbl)
 	}
+	p.blockedVec = reg.CounterVec("speedlight_sim_blocked_on_shard_ns",
+		"Wall nanoseconds a waiter shard spent stalled on a specific holdup shard's published pair clock.",
+		"waiter", "holdup")
+	p.ensurePairCounters()
 }
 
-// BarrierShardStats is one shard's cumulative barrier accounting.
+// ensurePairCounters caches one blocked-on counter per declared inbound
+// pair. Needs both the metric vec and the finalized pair graph, in
+// either order.
+func (p *Parallel) ensurePairCounters() {
+	if p.blockedVec == nil || !p.finalized {
+		return
+	}
+	for _, sh := range p.shards {
+		w := strconv.Itoa(sh.idx)
+		for k := range sh.in {
+			ip := &sh.in[k]
+			if ip.blockedC == nil {
+				ip.blockedC = p.blockedVec.With(w, strconv.Itoa(ip.srcIdx))
+			}
+		}
+	}
+}
+
+// BarrierShardStats is one shard's cumulative synchronization
+// accounting.
 type BarrierShardStats struct {
 	Shard  int
-	Rounds uint64 // rounds the shard was active in
+	Rounds uint64 // epochs/rounds the shard executed events in
 	WorkNs int64  // wall time spent executing events
-	WaitNs int64  // wall time spent waiting at the barrier
+	WaitNs int64  // wall time spent stalled on pair clocks or idling
 }
 
 // BarrierProfile returns each shard's cumulative work/wait split.
@@ -260,6 +493,43 @@ func (p *Parallel) BarrierProfile() []BarrierShardStats {
 	return stats
 }
 
+// BlockedPairStats is one directed pair's cumulative stall
+// attribution: wall time the waiter shard spent unable to execute
+// because the holdup shard's published clock bounded it.
+type BlockedPairStats struct {
+	Waiter int
+	Holdup int
+	WaitNs int64
+}
+
+// BlockedProfile returns the per-pair stall attribution, most blocking
+// pair first. Driver context only; returns nil unless
+// EnableBarrierMetrics was called.
+func (p *Parallel) BlockedProfile() []BlockedPairStats {
+	if p.wall == nil {
+		return nil
+	}
+	var out []BlockedPairStats
+	for _, sh := range p.shards {
+		for k := range sh.in {
+			ip := &sh.in[k]
+			if ip.statBlockedNs > 0 {
+				out = append(out, BlockedPairStats{Waiter: sh.idx, Holdup: ip.srcIdx, WaitNs: ip.statBlockedNs})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WaitNs != out[j].WaitNs {
+			return out[i].WaitNs > out[j].WaitNs
+		}
+		if out[i].Waiter != out[j].Waiter {
+			return out[i].Waiter < out[j].Waiter
+		}
+		return out[i].Holdup < out[j].Holdup
+	})
+	return out
+}
+
 // Fired returns the total number of events executed so far.
 func (p *Parallel) Fired() uint64 {
 	n := p.fired
@@ -269,7 +539,9 @@ func (p *Parallel) Fired() uint64 {
 	return n
 }
 
-// Pending returns the number of scheduled, uncancelled events.
+// Pending returns the number of scheduled, uncancelled events. Driver
+// context only — between Run* calls every ring is drained, so the
+// queues hold the whole schedule.
 func (p *Parallel) Pending() int {
 	n := 0
 	count := func(sh *pshard) {
@@ -278,9 +550,6 @@ func (p *Parallel) Pending() int {
 				n++
 			}
 		})
-		sh.mailMu.Lock()
-		n += len(sh.mail)
-		sh.mailMu.Unlock()
 	}
 	count(p.global)
 	for _, sh := range p.shards {
@@ -345,11 +614,13 @@ func (p *Parallel) RunUntil(t Time) {
 func (p *Parallel) RunFor(d Duration) { p.RunUntil(p.now.Add(d)) }
 
 // run is the coordinator loop: alternate serial global events and
-// parallel shard rounds until no event below limit remains.
+// shard execution (free-running epochs, inline solo runs, or legacy
+// lockstep rounds) until no event below limit remains.
 func (p *Parallel) run(limit Time) {
+	p.finalize()
 	defer p.stopWorkers()
 	for {
-		p.drainMail()
+		p.drainRings()
 		g := p.global.nextTime()
 		s := maxTime
 		for _, sh := range p.shards {
@@ -378,26 +649,118 @@ func (p *Parallel) run(limit Time) {
 			p.global.pool.put(ev)
 			continue
 		}
-		horizon := s.Add(p.lookahead)
-		if horizon <= s {
-			horizon = s + 1 // progress under zero lookahead (or overflow)
+		fence := g
+		if limit < fence {
+			fence = limit
 		}
-		if g < horizon {
-			horizon = g
+		if !p.epochMode {
+			horizon := s.Add(p.minL)
+			if horizon <= s {
+				horizon = s + 1 // progress under zero lookahead (or overflow)
+			}
+			if fence < horizon {
+				horizon = fence
+			}
+			p.runRound(horizon)
+			continue
 		}
-		if limit < horizon {
-			horizon = limit
+		busy := 0
+		var bsh *pshard
+		for _, sh := range p.shards {
+			if sh.nextTime() < fence {
+				busy++
+				bsh = sh
+			}
 		}
-		p.runRound(horizon)
+		if busy == 1 {
+			p.soloRun(bsh, fence)
+			continue
+		}
+		p.runEpoch(fence, s)
 	}
 }
 
-// runRound executes every shard's events below horizon, in parallel
-// when more than one shard has work.
+// soloRun executes the single busy shard inline on the coordinator, up
+// to the point where another shard could legally receive work (its
+// minimum outbound lookahead) or the fence, whichever is first. No
+// worker dispatch, no rings: with every other shard quiet, cross-shard
+// sends push straight into the target queue.
+func (p *Parallel) soloRun(sh *pshard, fence Time) {
+	head := sh.nextTime()
+	lim := head.Add(sh.minOutLa)
+	if lim < head {
+		lim = maxTime // overflow, or no outbound pairs at all
+	} else if lim == head {
+		lim = head + 1
+	}
+	if fence < lim {
+		lim = fence
+	}
+	p.active = append(p.active[:0], sh)
+	p.roundActive, p.solo = true, true
+	if p.wall != nil {
+		t0 := p.wall()
+		t := p.wall()
+		p.process(sh, lim)
+		sh.roundWorkNs = p.wall() - t
+		p.roundActive, p.solo = false, false
+		p.accountRound(p.wall()-t0, p.active)
+		return
+	}
+	p.process(sh, lim)
+	p.roundActive, p.solo = false, false
+}
+
+// runEpoch free-runs every shard below fence under the per-pair
+// clocks. s is the global minimum pending shard event time — the
+// trivially sound initial clock publication. The coordinator's only
+// mid-epoch duty is draining the shard-to-global rings; everything
+// else is worker-to-worker through the clock table and the pair rings.
+func (p *Parallel) runEpoch(fence, s Time) {
+	p.epochDone.Store(false)
+	p.quiet.Store(0)
+	p.done.Store(0)
+	for _, sh := range p.shards {
+		sh.pub.Store(int64(s))
+	}
+	p.roundActive = true
+	p.startWorkers()
+	n := int32(len(p.shards))
+	p.wg.Add(len(p.shards))
+	for _, sh := range p.shards {
+		sh.job <- fence
+	}
+	for {
+		p.drainGlobalRings()
+		if p.quiet.Load() >= n || p.panics.Load() > 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	p.epochDone.Store(true)
+	for p.done.Load() < n {
+		p.drainGlobalRings()
+		runtime.Gosched()
+	}
+	p.wg.Wait()
+	p.roundActive = false
+	if p.wall != nil {
+		p.foldEpoch()
+	}
+	p.drainRings()
+	p.raisePanics()
+}
+
+// runRound is the legacy lockstep path for zero-lookahead pair graphs:
+// every shard with events below horizon executes them behind a shared
+// bound, with a barrier per round. Cross-shard sends still travel on
+// the rings; the coordinator drains them mid-round (into a staging
+// area — the target's queue is its worker's to touch) to keep full
+// rings from wedging a producer against a parked consumer.
 func (p *Parallel) runRound(horizon Time) {
 	active := p.active[:0]
 	for _, sh := range p.shards {
-		if ev := sh.q.peek(); ev != nil && ev.at < horizon {
+		if sh.nextTime() < horizon {
 			active = append(active, sh)
 		}
 	}
@@ -411,15 +774,26 @@ func (p *Parallel) runRound(horizon Time) {
 	if len(active) == 1 {
 		// Single busy shard: run inline, skip the barrier round-trip.
 		sh := active[0]
-		p.process(sh, horizon)
+		p.solo = true
 		if p.wall != nil {
-			sh.roundWorkNs = p.wall() - t0
+			t := p.wall()
+			p.process(sh, horizon)
+			sh.roundWorkNs = p.wall() - t
+		} else {
+			p.process(sh, horizon)
 		}
+		p.solo = false
 	} else {
 		p.startWorkers()
+		p.done.Store(0)
 		p.wg.Add(len(active))
 		for _, sh := range active {
 			sh.job <- horizon
+		}
+		n := int32(len(active))
+		for p.done.Load() < n {
+			p.pollRings()
+			runtime.Gosched()
 		}
 		p.wg.Wait()
 	}
@@ -427,22 +801,38 @@ func (p *Parallel) runRound(horizon Time) {
 	if p.wall != nil {
 		p.accountRound(p.wall()-t0, active)
 	}
-	// Re-raise worker panics on the coordinator so they reach the Run*
-	// caller like a serial panic would. Lowest shard wins for a
-	// deterministic message.
+	p.flushStaged()
+	p.drainRings()
+	p.raisePanics()
+}
+
+// raisePanics re-raises worker panics on the coordinator so they reach
+// the Run* caller like a serial panic would. Lowest shard wins for a
+// deterministic message.
+func (p *Parallel) raisePanics() {
+	if p.panics.Load() == 0 {
+		return
+	}
+	p.panics.Store(0)
+	var first any
 	for _, sh := range p.shards {
 		if r := sh.panicked; r != nil {
 			sh.panicked = nil
-			panic(r)
+			if first == nil {
+				first = r
+			}
 		}
+	}
+	if first != nil {
+		panic(first)
 	}
 }
 
-// accountRound folds one round's wall-clock duration into each active
-// shard's work/wait split: a shard's wait is the round's wall duration
-// minus the time its own worker spent draining events. Coordinator
-// context, after the barrier — the workers' roundWorkNs writes are
-// ordered by wg.Wait.
+// accountRound folds one lockstep round's (or solo run's) wall-clock
+// duration into each active shard's work/wait split: a shard's wait is
+// the round's wall duration minus the time its own worker spent
+// draining events. Coordinator context, after the barrier — the
+// workers' roundWorkNs writes are ordered by wg.Wait.
 func (p *Parallel) accountRound(roundNs int64, active []*pshard) {
 	if roundNs < 0 {
 		roundNs = 0
@@ -467,11 +857,158 @@ func (p *Parallel) accountRound(roundNs int64, active []*pshard) {
 	}
 }
 
-// process drains one shard's events below horizon in (time, src, seq)
-// order. Runs on the shard's worker during rounds (or inline on the
-// coordinator when the shard is the only active one). Fired and
+// foldEpoch folds the workers' per-epoch accounting into the
+// cumulative per-shard and per-pair totals. Coordinator context, after
+// the barrier.
+func (p *Parallel) foldEpoch() {
+	for _, sh := range p.shards {
+		work, wait := sh.epochWorkNs, sh.epochWaitNs
+		sh.epochWorkNs, sh.epochWaitNs = 0, 0
+		if work < 0 {
+			work = 0
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		if sh.epochActive {
+			sh.statRounds++
+		}
+		sh.epochActive = false
+		sh.statWorkNs += work
+		sh.statWaitNs += wait
+		if sh.workC != nil {
+			sh.workC.Add(uint64(work))
+			sh.waitC.Add(uint64(wait))
+		}
+		for k := range sh.in {
+			ip := &sh.in[k]
+			if d := ip.epochBlockedNs; d > 0 {
+				ip.epochBlockedNs = 0
+				ip.statBlockedNs += d
+				if ip.blockedC != nil {
+					ip.blockedC.Add(uint64(d))
+				}
+			}
+		}
+	}
+}
+
+// epochBatch bounds how many events a worker executes between clock
+// republications, so neighbors waiting on this shard's pair clock see
+// it advance at a bounded staleness.
+const epochBatch = 128
+
+// epochLoop is one worker's free-run: load each inbound neighbor's
+// published clock (acquire), drain that pair's ring, execute a bounded
+// batch below min(inbound bounds, fence), republish own clock
+// (release), repeat. The load-before-drain order is what keeps the
+// bound sound: any push the drain missed was made after the loaded
+// clock was published, so it arrives at or above loaded clock plus the
+// pair lookahead. A worker whose clock reaches the fence counts itself
+// quiescent but keeps draining its inbound rings — a parked consumer
+// would wedge a producer spinning on a full ring — until the
+// coordinator declares the epoch done.
+//
+//speedlight:shard
+func (p *Parallel) epochLoop(sh *pshard, fence Time) {
+	counted := false
+	timing := p.wall != nil
+	var lastWall int64
+	if timing {
+		lastWall = p.wall()
+	}
+	for !p.epochDone.Load() {
+		bound := maxTime
+		holdup := -1
+		for k := range sh.in {
+			ip := &sh.in[k]
+			b := Time(ip.src.pub.Load())
+			p.drainRing(sh, ip.ring)
+			hb := b.Add(ip.la)
+			if hb < b {
+				hb = maxTime // overflow
+			}
+			if hb < bound {
+				bound = hb
+				holdup = k
+			}
+		}
+		head := sh.nextTime()
+		pub := head
+		if bound < pub {
+			pub = bound
+		}
+		if int64(pub) > sh.pub.Load() {
+			sh.pub.Store(int64(pub))
+		}
+		if !counted && pub >= fence {
+			counted = true
+			p.quiet.Add(1)
+		}
+		lim := bound
+		if fence < lim {
+			lim = fence
+		}
+		if head < lim {
+			if timing {
+				t := p.wall()
+				sh.epochWaitNs += t - lastWall
+				lastWall = t
+			}
+			p.processBatch(sh, lim, epochBatch)
+			sh.epochActive = true
+			if timing {
+				t := p.wall()
+				sh.epochWorkNs += t - lastWall
+				lastWall = t
+			}
+			continue
+		}
+		if timing {
+			t := p.wall()
+			d := t - lastWall
+			lastWall = t
+			sh.epochWaitNs += d
+			if d > 0 && head < fence && holdup >= 0 {
+				sh.in[holdup].epochBlockedNs += d
+			}
+		}
+		runtime.Gosched()
+	}
+	if timing {
+		sh.epochWaitNs += p.wall() - lastWall
+	}
+}
+
+// processBatch drains up to max of one shard's events below lim in
+// (time, src, seq) order. Worker context, inside an epoch. Fired and
 // cancelled events return to this shard's pool — the popping context
 // owns the recycle.
+//
+//speedlight:hotpath
+//speedlight:shard
+func (p *Parallel) processBatch(sh *pshard, lim Time, max int) {
+	for n := 0; n < max; n++ {
+		top := sh.q.peek()
+		if top == nil || top.at >= lim {
+			return
+		}
+		sh.q.pop()
+		if top.canceled {
+			sh.pool.put(top)
+			continue
+		}
+		sh.now = top.at
+		sh.fired++
+		top.fire()
+		sh.pool.put(top)
+	}
+}
+
+// process drains one shard's events below horizon in (time, src, seq)
+// order. Runs on the shard's worker during lockstep rounds, or inline
+// on the coordinator during solo runs. Fired and cancelled events
+// return to this shard's pool — the popping context owns the recycle.
 //
 //speedlight:hotpath
 //speedlight:shard
@@ -493,23 +1030,136 @@ func (p *Parallel) process(sh *pshard, horizon Time) {
 	}
 }
 
-// drainMail merges cross-shard arrivals into their queues. Coordinator
-// context only (workers parked).
-func (p *Parallel) drainMail() {
-	p.drainInto(p.global)
-	for _, sh := range p.shards {
-		p.drainInto(sh)
+// drainRing merges one inbound ring's arrivals into the shard's queue.
+// Must be called by the ring's current consumer: the owning worker
+// during an epoch, the coordinator after the barrier.
+//
+//speedlight:shard
+func (p *Parallel) drainRing(sh *pshard, r *evRing) {
+	for {
+		ev := r.tryPop()
+		if ev == nil {
+			return
+		}
+		sh.q.push(ev)
 	}
 }
 
-func (p *Parallel) drainInto(sh *pshard) {
-	sh.mailMu.Lock()
-	mail := sh.mail
-	sh.mail = sh.spare[:0]
-	sh.spare = mail
-	sh.mailMu.Unlock()
-	for _, ev := range mail {
-		sh.q.push(ev)
+// drainGlobalRings moves shard-to-global sends into the global queue.
+// Coordinator context (the coordinator is these rings' only consumer,
+// mid-epoch and after).
+//
+//speedlight:global-only
+func (p *Parallel) drainGlobalRings() {
+	for _, sh := range p.shards {
+		for {
+			ev := sh.gring.tryPop()
+			if ev == nil {
+				break
+			}
+			p.global.q.push(ev)
+		}
+	}
+}
+
+// drainRings sweeps every ring and overflow stash into the owning
+// queues. Coordinator context, workers parked.
+//
+//speedlight:global-only
+func (p *Parallel) drainRings() {
+	for _, sh := range p.shards {
+		for k := range sh.in {
+			p.drainRing(sh, sh.in[k].ring)
+		}
+		if len(sh.overflow) > 0 {
+			for _, st := range sh.overflow {
+				if st.tgt < 0 {
+					p.global.q.push(st.ev)
+				} else {
+					p.shards[st.tgt].q.push(st.ev)
+				}
+			}
+			sh.overflow = sh.overflow[:0]
+		}
+	}
+	p.drainGlobalRings()
+}
+
+// pollRings is the coordinator's mid-lockstep-round drain: cross-shard
+// arrivals go to a per-target staging area (the target queue belongs
+// to its worker until the barrier), global sends straight to the
+// global queue. In lockstep mode the coordinator is every ring's
+// consumer — the workers only produce.
+//
+//speedlight:global-only
+func (p *Parallel) pollRings() {
+	for _, sh := range p.shards {
+		for k := range sh.in {
+			ip := &sh.in[k]
+			for {
+				ev := ip.ring.tryPop()
+				if ev == nil {
+					break
+				}
+				p.staged[sh.idx] = append(p.staged[sh.idx], ev)
+			}
+		}
+	}
+	p.drainGlobalRings()
+}
+
+// flushStaged pushes mid-round staged arrivals into their target
+// queues. Coordinator context, after the barrier.
+//
+//speedlight:global-only
+func (p *Parallel) flushStaged() {
+	for i, st := range p.staged {
+		if len(st) == 0 {
+			continue
+		}
+		for _, ev := range st {
+			p.shards[i].q.push(ev)
+		}
+		p.staged[i] = st[:0]
+	}
+}
+
+// pushRing hands one cross-shard (or shard-to-global) event to its
+// pair ring. The fast path is a single tryPush; the slow path sheds
+// backpressure without deadlock.
+//
+//speedlight:hotpath
+//speedlight:pool-transfer ev
+func (p *Parallel) pushRing(sh *pshard, r *evRing, ev *Event, tgt int) {
+	if r.tryPush(ev) {
+		return
+	}
+	p.pushRingSlow(sh, r, ev, tgt)
+}
+
+// pushRingSlow spins on a full ring. In epoch mode the producer drains
+// its own inbound rings while it waits — every ring's consumer is
+// always either free-running or in this loop, so every full ring is
+// eventually drained and the wait graph cannot deadlock. If the epoch
+// is torn down mid-spin (another worker panicked), the event is parked
+// in the overflow stash for the coordinator to route after the
+// barrier. In lockstep mode the coordinator is the consumer and is
+// polling concurrently, so a plain yield loop suffices.
+func (p *Parallel) pushRingSlow(sh *pshard, r *evRing, ev *Event, tgt int) {
+	for {
+		if p.epochMode {
+			for k := range sh.in {
+				p.drainRing(sh, sh.in[k].ring)
+			}
+			if p.epochDone.Load() {
+				sh.overflow = append(sh.overflow, stashedEv{tgt: tgt, ev: ev})
+				return
+			}
+		}
+		if r.tryPush(ev) {
+			return
+		}
+		runtime.Gosched()
 	}
 }
 
@@ -531,10 +1181,14 @@ func (p *Parallel) startWorkers() {
 					defer func() {
 						if r := recover(); r != nil {
 							sh.panicked = r
+							p.panics.Add(1)
 						}
+						p.done.Add(1)
 						p.wg.Done()
 					}()
-					if p.wall != nil {
+					if p.epochMode {
+						p.epochLoop(sh, h)
+					} else if p.wall != nil {
 						t := p.wall()
 						p.process(sh, h)
 						sh.roundWorkNs = p.wall() - t
@@ -547,8 +1201,8 @@ func (p *Parallel) startWorkers() {
 	}
 }
 
-// stopWorkers retires the round workers at the end of each Run* call,
-// so an idle engine holds no goroutines.
+// stopWorkers retires the workers at the end of each Run* call, so an
+// idle engine holds no goroutines.
 func (p *Parallel) stopWorkers() {
 	if !p.workersUp {
 		return
@@ -570,6 +1224,8 @@ func (pr parProc) Domain() int { return pr.dom }
 // Now returns the domain's shard-local clock during rounds and the
 // global clock otherwise (driver context, or a GlobalDomain event
 // executing with workers parked).
+//
+//speedlight:shard
 func (pr parProc) Now() Time {
 	p := pr.p
 	if p.roundActive {
@@ -580,6 +1236,10 @@ func (pr parProc) Now() Time {
 	return p.now
 }
 
+// shardOf resolves a domain to its home shard (nil for GlobalDomain):
+// the read-only placement lookup the handoff protocol starts from.
+//
+//speedlight:shard-handoff
 func (p *Parallel) shardOf(dom int) *pshard {
 	if s := p.domains[dom].shard; s >= 0 {
 		return p.shards[s]
@@ -632,9 +1292,12 @@ func (pr parProc) SendCall(owner int, d Duration, fn CallFn, a, b any, i int64) 
 // context's free list: the worker's own shard pool during a round
 // (workers never reach another shard's pool), or — from driver/global
 // context, with every worker parked — the scheduling domain's home
-// pool.
+// pool. Cross-shard events travel the pair's ring (or go straight to
+// the target queue when no other shard is executing).
 //
 //speedlight:hotpath
+//speedlight:shard
+//speedlight:shard-handoff
 func (pr parProc) sendAt(owner int, at Time, fn func(), cfn CallFn, a, b any, i int64) Handle {
 	p := pr.p
 	if owner < 0 || owner >= len(p.domains) {
@@ -683,16 +1346,33 @@ func (pr parProc) sendAt(owner int, at Time, fn func(), cfn CallFn, a, b any, i 
 	case tgt == src:
 		sh.q.push(ev)
 	case tgt < 0:
-		// To the global domain: executes at the next barrier at the
-		// correct position of the global order.
-		p.global.pushMail(ev)
+		// To the global domain: executes at the fence, at the correct
+		// position of the global order.
+		if p.solo {
+			p.global.q.push(ev)
+		} else {
+			p.pushRing(sh, sh.gring, ev, -1)
+		}
 	default:
-		if at < p.horizon {
+		op := &sh.out[tgt]
+		if op.la < 0 {
+			panic(fmt.Sprintf("sim: cross-shard send %d->%d outside the declared shard-link set", src, tgt))
+		}
+		if at < sh.now.Add(op.la) {
+			panic(fmt.Sprintf(
+				"sim: causality violation: cross-shard send %d->%d at %d below the pair clock %d (pair lookahead %d exceeds the actual cross-shard latency)",
+				src, tgt, at, sh.now.Add(op.la), op.la))
+		}
+		if !p.epochMode && at < p.horizon {
 			panic(fmt.Sprintf(
 				"sim: causality violation: cross-shard send at %d inside round horizon %d (lookahead %d exceeds the minimum cross-shard latency)",
-				at, p.horizon, p.lookahead))
+				at, p.horizon, p.minL))
 		}
-		p.shards[tgt].pushMail(ev)
+		if p.solo {
+			p.shards[tgt].q.push(ev)
+		} else {
+			p.pushRing(sh, op.ring, ev, int(tgt))
+		}
 	}
 	return h
 }

@@ -1,0 +1,97 @@
+package sim
+
+import "sync/atomic"
+
+// evRing is a bounded single-producer single-consumer lock-free ring of
+// pooled events: the cross-shard handoff channel of the Parallel
+// engine. One goroutine may push and one may pop at any moment; the
+// roles themselves migrate between contexts (a shard's worker produces
+// during an epoch, the coordinator drains the residue after the
+// barrier), with every role change ordered by the epoch barrier.
+//
+// The protocol generalizes the journal's chunked write-once-cell trick:
+// each slot is written exactly once per lap by the producer and the
+// publication order is carried entirely by the tail index. The producer
+// writes the slot, then release-stores tail; the consumer
+// acquire-loads tail, reads the slot, then release-stores head, which
+// is what licenses the producer to reuse the slot a lap later. Both
+// sides keep a plain-field cache of the opposite index so the steady
+// state costs one atomic store per operation.
+//
+// Capacity is fixed at construction and rounded up to a power of two so
+// the index math is a mask. A full ring never blocks in here: tryPush
+// reports failure and the caller decides how to shed (the engine drains
+// its own inbound rings while it waits, which is what makes the
+// backpressure graph deadlock-free).
+type evRing struct {
+	slots []*Event
+	mask  uint64
+
+	_    [64]byte // keep the two contended indexes on separate lines
+	head atomic.Uint64
+	// cachedTail is consumer-owned: the last tail value the consumer
+	// observed, refreshed only when the ring looks empty.
+	cachedTail uint64
+
+	_    [40]byte
+	tail atomic.Uint64
+	// cachedHead is producer-owned: the last head value the producer
+	// observed, refreshed only when the ring looks full.
+	cachedHead uint64
+
+	_ [40]byte
+}
+
+// newEvRing returns a ring with capacity at least n slots.
+func newEvRing(n int) *evRing {
+	c := 2
+	for c < n {
+		c <<= 1
+	}
+	return &evRing{slots: make([]*Event, c), mask: uint64(c - 1)}
+}
+
+// tryPush appends ev, or reports false if the ring is full. Producer
+// context only. On success the event's ownership transfers through the
+// cell to whichever context pops it; on failure it stays with the
+// caller (which is why this is a pool-transfer-cell, not a plain
+// pool-transfer: the caller's retry/stash loop owns the obligation).
+//
+//speedlight:hotpath
+//speedlight:pool-transfer-cell ev
+func (r *evRing) tryPush(ev *Event) bool {
+	t := r.tail.Load()
+	if t-r.cachedHead >= uint64(len(r.slots)) {
+		r.cachedHead = r.head.Load()
+		if t-r.cachedHead >= uint64(len(r.slots)) {
+			return false
+		}
+	}
+	r.slots[t&r.mask] = ev
+	r.tail.Store(t + 1)
+	return true
+}
+
+// tryPop removes the oldest event, or returns nil if the ring is
+// empty. Consumer context only.
+//
+//speedlight:hotpath
+func (r *evRing) tryPop() *Event {
+	h := r.head.Load()
+	if h == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if h == r.cachedTail {
+			return nil
+		}
+	}
+	ev := r.slots[h&r.mask]
+	r.slots[h&r.mask] = nil
+	r.head.Store(h + 1)
+	return ev
+}
+
+// empty reports whether the ring held no events at the observation
+// instant. Safe from any context, but only a snapshot.
+func (r *evRing) empty() bool {
+	return r.head.Load() == r.tail.Load()
+}

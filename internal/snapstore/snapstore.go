@@ -19,9 +19,13 @@
 // retained cut while the writer keeps sealing new ones.
 //
 // Concurrency contract: all writer methods (Begin, Observe, Seal,
-// Ingest, RecordLag) must be called from a single goroutine — the
-// observer's completion path. View and Sealed are safe from any
-// goroutine at any time.
+// Ingest, RecordLag) must be serialized — the observer's completion
+// path. Under the emulated fabric that path is the observer's
+// simulation domain: a sharded domain of the per-pair parallel engine,
+// where domain events never run concurrently with each other even
+// though the hosting shard migrates work off the coordinator. One
+// logical writer at a time, not one pinned goroutine. View and Sealed
+// are safe from any goroutine at any time.
 package snapstore
 
 import (

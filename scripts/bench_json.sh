@@ -1,18 +1,22 @@
 #!/bin/sh
-# bench_json.sh regenerates BENCH_7.json: the machine-readable record of
-# the epoch-causal-tracer work (PR 7). It runs the gated hot-path
-# benchmarks (-benchmem, including the trace-overhead pair
-# EmulationThroughputSnapshots/EmulationThroughputTraced), the snapshot
-# history-store ingest/query benchmarks on the 1024-port fabric, and
-# the serial-vs-sharded scaling benchmarks, and emits one JSON document
-# with ns/op, allocs/op, registers/sec, queries/sec and events/sec,
-# alongside the frozen pre-PR baseline for the benchmarks that existed
-# before this PR.
+# bench_json.sh regenerates BENCH_10.json: the machine-readable record
+# of the per-pair synchronization work (PR 10 — per-pair lookahead
+# clocks, lock-free cross-shard rings, deserialized global domain). It
+# runs the gated hot-path benchmarks (-benchmem, including the
+# trace-overhead pair EmulationThroughputSnapshots/
+# EmulationThroughputTraced), the snapshot history-store ingest/query
+# benchmarks on the 1024-port fabric, and the serial-vs-sharded scaling
+# benchmarks, and emits one JSON document with ns/op, allocs/op,
+# registers/sec, queries/sec and events/sec, alongside the frozen
+# pre-PR baseline (BENCH_7.json's after-column) for the benchmarks that
+# existed before this PR. The document records the CPU count of the
+# machine that produced it: shard-scaling ratios are only meaningful
+# when cpus >= the shard count.
 #
-# Usage: scripts/bench_json.sh [output.json]   (default BENCH_7.json)
+# Usage: scripts/bench_json.sh [output.json]   (default BENCH_10.json)
 set -eu
 
-out=${1:-BENCH_7.json}
+out=${1:-BENCH_10.json}
 
 hot=$(go test -run '^$' \
   -bench 'BenchmarkUnitOnPacket$|BenchmarkHeaderCodec$|BenchmarkTelemetryHotPath$|BenchmarkEmulationThroughput$|BenchmarkSnapshotIngestHot$' \
@@ -41,7 +45,8 @@ store=$(go test -run '^$' \
   -benchmem -benchtime 1s -timeout 30m .)
 shards=$(go test -run '^$' -bench BenchmarkShardScaling -benchtime 2x -timeout 30m .)
 
-printf '%s\n%s\n%s\n%s\n' "$hot" "$trace" "$store" "$shards" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+printf '%s\n%s\n%s\n%s\n' "$hot" "$trace" "$store" "$shards" | awk \
+  -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v cpus="$(nproc)" '
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1
@@ -62,26 +67,29 @@ printf '%s\n%s\n%s\n%s\n' "$hot" "$trace" "$store" "$shards" | awk -v date="$(da
 }
 END {
     printf "{\n"
-    printf "  \"pr\": 7,\n"
+    printf "  \"pr\": 10,\n"
     printf "  \"generated\": \"%s\",\n", date
     printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"note\": \"before = PR 6 numbers for the benchmarks that predate this PR (BENCH_6.json after-column). EmulationThroughputSnapshots/EmulationThroughputTraced are new in PR 7 (epoch causal tracer): same snapshotting workload with the journal detached vs attached, so their gap is the trace-stamp overhead, gated within 3%% at best-of fixed-iteration runs (the *Best entries) and at 0 allocs/op. Both report lower events/sec than EmulationThroughput because snapshots add protocol work.\",\n"
+    printf "  \"cpus\": %s,\n", cpus
+    printf "  \"note\": \"before = PR 7 numbers (BENCH_7.json after-column), recorded on the barrier-round engine with the observer on the serialized global domain. PR 10 replaces fleet-wide barrier rounds with per-pair channel clocks and SPSC ring handoff, and moves snapshot ingest / invariants / epoch stamping into an observer shard domain. ShardScaling ratios are meaningful only when cpus >= shard count: on a single-CPU machine shards time-share one core and the sharded rows measure synchronization overhead, not speedup (CI gates 8-shard >= 2.5x serial on >=8-CPU runners).\",\n"
     printf "  \"before\": {\n"
-    printf "    \"UnitOnPacket\": {\"ns_per_op\": 25.89, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
-    printf "    \"HeaderCodec\": {\"ns_per_op\": 0.9603, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
-    printf "    \"TelemetryHotPath\": {\"ns_per_op\": 32.28, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
-    printf "    \"EmulationThroughput\": {\"ns_per_op\": 1200, \"allocs_per_op\": 0, \"bytes_per_op\": 0, \"events_per_sec\": 5799354},\n"
-    printf "    \"SnapshotIngestHot\": {\"ns_per_op\": 47.89, \"allocs_per_op\": 0, \"bytes_per_op\": 42},\n"
-    printf "    \"StoreIngest\": {\"ns_per_op\": 295028, \"allocs_per_op\": 9, \"bytes_per_op\": 42690, \"registers_per_sec\": 3470864},\n"
-    printf "    \"SnapshotQuery\": {\"ns_per_op\": 29694, \"allocs_per_op\": 2, \"bytes_per_op\": 18601, \"queries_per_sec\": 33676},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards0\": {\"events_per_sec\": 3092661},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards2\": {\"events_per_sec\": 3191360},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards4\": {\"events_per_sec\": 3658103},\n"
-    printf "    \"ShardScaling/leafspine8x4/shards8\": {\"events_per_sec\": 3729232},\n"
-    printf "    \"ShardScaling/fattree4/shards0\": {\"events_per_sec\": 3187070},\n"
-    printf "    \"ShardScaling/fattree4/shards2\": {\"events_per_sec\": 3214276},\n"
-    printf "    \"ShardScaling/fattree4/shards4\": {\"events_per_sec\": 3621735},\n"
-    printf "    \"ShardScaling/fattree4/shards8\": {\"events_per_sec\": 3585568}\n"
+    printf "    \"UnitOnPacket\": {\"ns_per_op\": 34.91, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
+    printf "    \"HeaderCodec\": {\"ns_per_op\": 1.2, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
+    printf "    \"TelemetryHotPath\": {\"ns_per_op\": 36.58, \"allocs_per_op\": 0, \"bytes_per_op\": 0},\n"
+    printf "    \"EmulationThroughput\": {\"ns_per_op\": 1606, \"allocs_per_op\": 0, \"bytes_per_op\": 0, \"events_per_sec\": 4334598},\n"
+    printf "    \"SnapshotIngestHot\": {\"ns_per_op\": 56.39, \"allocs_per_op\": 0, \"bytes_per_op\": 42},\n"
+    printf "    \"EmulationThroughputSnapshotsBest\": {\"events_per_sec\": 5897557},\n"
+    printf "    \"EmulationThroughputTracedBest\": {\"events_per_sec\": 5871174},\n"
+    printf "    \"StoreIngest\": {\"ns_per_op\": 325382, \"allocs_per_op\": 9, \"bytes_per_op\": 42816, \"registers_per_sec\": 3147074},\n"
+    printf "    \"SnapshotQuery\": {\"ns_per_op\": 35324, \"allocs_per_op\": 2, \"bytes_per_op\": 18671, \"queries_per_sec\": 28309},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards0\": {\"events_per_sec\": 3124343},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards2\": {\"events_per_sec\": 2976185},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards4\": {\"events_per_sec\": 3529779},\n"
+    printf "    \"ShardScaling/leafspine8x4/shards8\": {\"events_per_sec\": 3420281},\n"
+    printf "    \"ShardScaling/fattree4/shards0\": {\"events_per_sec\": 2955000},\n"
+    printf "    \"ShardScaling/fattree4/shards2\": {\"events_per_sec\": 3146862},\n"
+    printf "    \"ShardScaling/fattree4/shards4\": {\"events_per_sec\": 3391900},\n"
+    printf "    \"ShardScaling/fattree4/shards8\": {\"events_per_sec\": 3707868}\n"
     printf "  },\n"
     printf "  \"after\": {\n"
     for (i = 1; i <= n; i++) {

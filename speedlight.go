@@ -373,6 +373,12 @@ func (n *Network) EpochTraces() []*epochtrace.EpochTrace { return n.inner.EpochT
 // engine or when metrics are disabled.
 func (n *Network) BarrierProfile() []sim.BarrierShardStats { return n.inner.BarrierProfile() }
 
+// BlockedProfile returns the sharded engine's per-pair stall
+// attribution (which waiter shard lost how much wall time to which
+// holdup shard's published clock), most blocking pair first, or nil on
+// a serial engine or when metrics are disabled.
+func (n *Network) BlockedProfile() []epochtrace.ShardBlocking { return n.inner.BlockedProfile() }
+
 // Reconciler builds a fabric reconciliation controller over this
 // network: declare desired churn on its Spec (switches down, links
 // drained, config pushes) and the controller converges the fabric —
